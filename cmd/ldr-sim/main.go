@@ -1,0 +1,106 @@
+// Command ldr-sim runs the closed-loop control cycle of Figure 11 on a
+// topology: every simulated minute the controller re-optimizes from the
+// previous minute's measurements, and the installed placement carries the
+// next (drifted, bursty) minute through a fluid simulator.
+//
+// Usage:
+//
+//	ldr-sim -net gts-like -minutes 10
+//	ldr-sim -file mynet.graphml -controller minmax -load 0.6
+//	ldr-sim -net grid-4x4 -controller latopt -buffer 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lowlat"
+)
+
+func main() {
+	var (
+		netName    = flag.String("net", "gts-like", "zoo network name")
+		file       = flag.String("file", "", "topology file instead of -net")
+		minutes    = flag.Int("minutes", 10, "simulated minutes")
+		seed       = flag.Int64("seed", 1, "random seed")
+		load       = flag.Float64("load", 0.55, "target MinMax peak utilization for the base traffic")
+		locality   = flag.Float64("locality", 1, "traffic locality ℓ")
+		controller = flag.String("controller", "ldr", "ldr, latopt, sp, b4, minmax, minmax-k10, mplste")
+		buffer     = flag.Float64("buffer", 0, "link buffer in seconds of capacity (0 = unbounded)")
+		drift      = flag.Float64("drift", 0.025, "per-minute relative mean drift")
+	)
+	flag.Parse()
+
+	var g *lowlat.Graph
+	var err error
+	if *file != "" {
+		g, err = lowlat.ReadTopologyFile(*file, lowlat.TopologyReadOptions{})
+	} else {
+		e, ok := lowlat.NetworkByName(*netName)
+		if !ok {
+			fatal(fmt.Errorf("unknown network %q", *netName))
+		}
+		g = e.Build()
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := lowlat.GenerateTraffic(g, lowlat.TrafficConfig{
+		Seed: *seed, TargetMaxUtil: *load, Locality: *locality, NoLocality: *locality == 0,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	specs := lowlat.SpecsFromMatrix(res.Matrix, *seed)
+
+	cfg := lowlat.ClosedLoopConfig{
+		Minutes:        *minutes,
+		Seed:           *seed,
+		BufferSec:      *buffer,
+		DriftPerMinute: *drift,
+	}
+	switch *controller {
+	case "ldr":
+		// Controller defaults are the paper's.
+	case "latopt":
+		cfg.Scheme = lowlat.NewLatencyOptimal(0)
+	case "sp":
+		cfg.Scheme = lowlat.NewShortestPath()
+	case "b4":
+		cfg.Scheme = lowlat.NewB4(0)
+	case "minmax":
+		cfg.Scheme = lowlat.NewMinMax()
+	case "minmax-k10":
+		cfg.Scheme = lowlat.NewMinMaxK(10)
+	case "mplste":
+		cfg.Scheme = lowlat.NewMPLSTE()
+	default:
+		fatal(fmt.Errorf("unknown controller %q", *controller))
+	}
+
+	fmt.Printf("%s: %d nodes, %d links, %d aggregates, controller %s\n\n",
+		g.Name(), g.NumNodes(), g.NumLinks(), len(specs), *controller)
+
+	out, err := lowlat.RunClosedLoop(g, specs, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%6s %12s %12s %10s %10s %6s %6s\n",
+		"minute", "max-queue", "congested", "stretch", "dropped", "mux", "unres")
+	for _, ms := range out.Minutes {
+		fmt.Printf("%6d %10.2fms %12.3f %10.4f %9.3f%% %6d %6d\n",
+			ms.Minute, ms.MaxQueueSec*1e3, ms.CongestedFraction,
+			ms.LatencyStretch, ms.DropFraction*100, ms.MuxRounds, ms.Unresolved)
+	}
+	fmt.Printf("\nworst queue %.2f ms, %d/%d minutes over the %.0f ms budget, mean stretch %.4f\n",
+		out.WorstQueueSec*1e3, out.QueueViolations, len(out.Minutes),
+		out.QueueBoundSec*1e3, out.MeanStretch)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ldr-sim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command llpd scores topologies with the paper's §2 metrics: per-pair
+// alternate path availability (APA) and the network-level LLPD.
+//
+// Usage:
+//
+//	llpd -net gts-like
+//	llpd -file Abilene.graphml -stretch 1.4 -cdf
+//	llpd -zoo                      score every zoo network, sorted by LLPD
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"lowlat"
+)
+
+func main() {
+	var (
+		netName = flag.String("net", "", "zoo network name")
+		file    = flag.String("file", "", "topology file (graphml, repetita, or native)")
+		zoo     = flag.Bool("zoo", false, "score the whole synthetic zoo")
+		stretch = flag.Float64("stretch", 1.4, "path stretch limit for APA viability")
+		thresh  = flag.Float64("apa", 0.7, "APA threshold defining LLPD")
+		cdf     = flag.Bool("cdf", false, "print the full APA CDF (Figure 1 curve)")
+	)
+	flag.Parse()
+
+	cfg := lowlat.APAConfig{StretchLimit: *stretch, APAThreshold: *thresh}
+
+	if *zoo {
+		scoreZoo(cfg)
+		return
+	}
+
+	g, err := loadTopology(*netName, *file)
+	if err != nil {
+		fatal(err)
+	}
+	score(g, cfg, *cdf)
+}
+
+func score(g *lowlat.Graph, cfg lowlat.APAConfig, cdf bool) {
+	fmt.Printf("%s: %d nodes, %d links, diameter %.1f ms\n",
+		g.Name(), g.NumNodes(), g.NumLinks(), g.Diameter()*1e3)
+	llpd := lowlat.LLPD(g, cfg)
+	fmt.Printf("LLPD = %.3f (stretch limit %.2f, APA threshold %.2f)\n",
+		llpd, cfg.StretchLimit, cfg.APAThreshold)
+
+	dist := lowlat.APADistribution(g, cfg)
+	if len(dist) == 0 {
+		return
+	}
+	c := lowlat.NewCDF(dist)
+	fmt.Printf("APA quartiles: p25 %.3f  median %.3f  p75 %.3f  mean %.3f\n",
+		c.Quantile(0.25), c.Quantile(0.5), c.Quantile(0.75), c.Mean())
+	if cdf {
+		fmt.Println("\napa cumulative-fraction")
+		for _, pt := range c.Points(21) {
+			fmt.Printf("%.3f %.4f\n", pt.X, pt.Y)
+		}
+	}
+}
+
+func scoreZoo(cfg lowlat.APAConfig) {
+	type row struct {
+		name  string
+		class lowlat.TopologyClass
+		nodes int
+		llpd  float64
+	}
+	var rows []row
+	for _, e := range lowlat.Zoo() {
+		g := e.Build()
+		rows = append(rows, row{e.Name, e.Class, g.NumNodes(), lowlat.LLPD(g, cfg)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].llpd < rows[j].llpd })
+	fmt.Printf("%-24s %-14s %6s %7s\n", "network", "class", "nodes", "llpd")
+	for _, r := range rows {
+		fmt.Printf("%-24s %-14s %6d %7.3f\n", r.name, r.class, r.nodes, r.llpd)
+	}
+}
+
+func loadTopology(netName, file string) (*lowlat.Graph, error) {
+	switch {
+	case netName != "" && file != "":
+		return nil, fmt.Errorf("use -net or -file, not both")
+	case netName != "":
+		e, ok := lowlat.NetworkByName(netName)
+		if !ok {
+			return nil, fmt.Errorf("unknown network %q", netName)
+		}
+		return e.Build(), nil
+	case file != "":
+		return lowlat.ReadTopologyFile(file, lowlat.TopologyReadOptions{})
+	default:
+		return nil, fmt.Errorf("one of -net, -file, -zoo is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "llpd: %v\n", err)
+	os.Exit(1)
+}

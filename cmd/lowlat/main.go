@@ -1,0 +1,187 @@
+// Command lowlat is the reproduction's command-line interface: inspect the
+// synthetic topology zoo, run routing schemes on generated traffic, and
+// regenerate the paper's figures.
+//
+// Usage:
+//
+//	lowlat zoo                           list zoo networks with LLPD
+//	lowlat topo -net gts-like            print one topology (text format)
+//	lowlat route -net gts-like -scheme ldr [-headroom 0.1] [-tms 3]
+//	lowlat exp -name fig3 [-tms 3] [-max-networks 20]
+//	lowlat exp -name all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"lowlat/internal/experiments"
+	"lowlat/internal/metrics"
+	"lowlat/internal/routing"
+	"lowlat/internal/tmgen"
+	"lowlat/internal/topo"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "zoo":
+		err = cmdZoo(os.Args[2:])
+	case "topo":
+		err = cmdTopo(os.Args[2:])
+	case "route":
+		err = cmdRoute(os.Args[2:])
+	case "exp":
+		err = cmdExp(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lowlat: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lowlat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  lowlat zoo                                  list networks with size and LLPD
+  lowlat topo -net <name>                     print a topology in text format
+  lowlat route -net <name> -scheme <s>        route generated traffic
+         schemes: sp, b4, mplste, minmax, minmax-k10, ldr
+         flags: -headroom <f> -tms <n> -seed <n> -load <f> -locality <f>
+  lowlat exp -name <figN|all>                 regenerate paper figures
+         flags: -tms <n> -seed <n> -max-networks <n> -max-nodes <n>`)
+}
+
+func cmdZoo(args []string) error {
+	fs := flag.NewFlagSet("zoo", flag.ExitOnError)
+	sortLLPD := fs.Bool("sort-llpd", false, "sort by LLPD instead of zoo order")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nets := experiments.LoadZoo()
+	if *sortLLPD {
+		sort.Slice(nets, func(a, b int) bool { return nets[a].LLPD < nets[b].LLPD })
+	}
+	fmt.Printf("%-22s %-18s %6s %6s %8s %7s\n", "network", "class", "nodes", "links", "diam(ms)", "LLPD")
+	for _, n := range nets {
+		fmt.Printf("%-22s %-18s %6d %6d %8.1f %7.3f\n",
+			n.Name, n.Class, n.Graph.NumNodes(), n.Graph.NumLinks(),
+			n.Graph.Diameter()*1000, n.LLPD)
+	}
+	g := topo.GoogleLike()
+	fmt.Printf("%-22s %-18s %6d %6d %8.1f %7.3f  (outside the zoo, Figure 19)\n",
+		"google-like", topo.ClassIntercontinental, g.NumNodes(), g.NumLinks(),
+		g.Diameter()*1000, metrics.LLPD(g, metrics.APAConfig{}))
+	return nil
+}
+
+func cmdTopo(args []string) error {
+	fs := flag.NewFlagSet("topo", flag.ExitOnError)
+	name := fs.String("net", "gts-like", "network name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	e, ok := topo.ByName(*name)
+	if !ok {
+		return fmt.Errorf("unknown network %q", *name)
+	}
+	os.Stdout.Write(topo.Marshal(e.Build()))
+	return nil
+}
+
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	name := fs.String("net", "gts-like", "network name")
+	schemeName := fs.String("scheme", "ldr", "sp | b4 | mplste | minmax | minmax-k10 | ldr")
+	headroom := fs.Float64("headroom", 0, "reserved link fraction (b4/ldr)")
+	tms := fs.Int("tms", 3, "traffic matrices to evaluate")
+	seed := fs.Int64("seed", 1, "random seed")
+	load := fs.Float64("load", 1/1.3, "target min-cut utilization")
+	locality := fs.Float64("locality", 1, "traffic locality parameter")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	e, ok := topo.ByName(*name)
+	if !ok {
+		return fmt.Errorf("unknown network %q", *name)
+	}
+	g := e.Build()
+
+	var scheme routing.Scheme
+	switch *schemeName {
+	case "sp":
+		scheme = routing.SP{}
+	case "b4":
+		scheme = routing.B4{Headroom: *headroom}
+	case "mplste":
+		scheme = routing.MPLSTE{Headroom: *headroom}
+	case "minmax":
+		scheme = routing.MinMax{}
+	case "minmax-k10":
+		scheme = routing.MinMax{K: 10}
+	case "ldr", "latopt":
+		scheme = routing.LatencyOpt{Headroom: *headroom}
+	default:
+		return fmt.Errorf("unknown scheme %q", *schemeName)
+	}
+
+	llpd := metrics.LLPD(g, metrics.APAConfig{})
+	fmt.Printf("network %s: %d nodes, %d links, LLPD %.3f\n",
+		g.Name(), g.NumNodes(), g.NumLinks(), llpd)
+	fmt.Printf("%-4s %12s %12s %12s %12s %6s\n",
+		"tm", "congested", "stretch", "max-stretch", "max-util", "fits")
+	for i := 0; i < *tms; i++ {
+		res, err := tmgen.Generate(g, tmgen.Config{
+			Seed: *seed + int64(i), Locality: *locality,
+			NoLocality: *locality == 0, TargetMaxUtil: *load,
+		})
+		if err != nil {
+			return err
+		}
+		p, err := scheme.Place(g, res.Matrix)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-4d %12.3f %12.3f %12.3f %12.3f %6v\n",
+			i, p.CongestedPairFraction(), p.LatencyStretch(), p.MaxStretch(),
+			p.MaxUtilization(), p.Fits())
+	}
+	return nil
+}
+
+func cmdExp(args []string) error {
+	fs := flag.NewFlagSet("exp", flag.ExitOnError)
+	name := fs.String("name", "", "experiment name (fig1..fig20) or 'all'")
+	tms := fs.Int("tms", 3, "traffic matrices per topology")
+	seed := fs.Int64("seed", 1, "random seed")
+	maxNetworks := fs.Int("max-networks", 0, "cap on zoo networks (0 = all)")
+	maxNodes := fs.Int("max-nodes", 0, "skip networks above this size (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("-name is required; available: %v or all", experiments.Names())
+	}
+	cfg := experiments.Config{
+		TMsPerTopology: *tms,
+		Seed:           *seed,
+		MaxNetworks:    *maxNetworks,
+		MaxNodes:       *maxNodes,
+	}
+	if *name == "all" {
+		return experiments.RunAll(cfg, os.Stdout)
+	}
+	return experiments.Run(*name, cfg, os.Stdout)
+}

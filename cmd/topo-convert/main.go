@@ -1,0 +1,85 @@
+// Command topo-convert converts topologies between the supported on-disk
+// formats: Internet Topology Zoo GraphML, REPETITA .graph, and the
+// library's native text format. It can also export synthetic zoo networks.
+//
+// Usage:
+//
+//	topo-convert -in Abilene.graphml -to repetita -out abilene.graph
+//	topo-convert -net gts-like -to graphml            (stdout)
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lowlat"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input topology file")
+		netName = flag.String("net", "", "synthetic zoo network to export instead of -in")
+		to      = flag.String("to", "native", "output format: graphml, repetita, native")
+		out     = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var g *lowlat.Graph
+	var err error
+	switch {
+	case *in != "" && *netName != "":
+		fatal(fmt.Errorf("use -in or -net, not both"))
+	case *in != "":
+		g, err = lowlat.ReadTopologyFile(*in, lowlat.TopologyReadOptions{})
+	case *netName != "":
+		e, ok := lowlat.NetworkByName(*netName)
+		if !ok {
+			fatal(fmt.Errorf("unknown network %q", *netName))
+		}
+		g = e.Build()
+	default:
+		fatal(fmt.Errorf("one of -in or -net is required"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var buf bytes.Buffer
+	switch *to {
+	case "graphml":
+		err = lowlat.WriteGraphML(&buf, g)
+	case "repetita":
+		err = lowlat.WriteRepetita(&buf, g)
+	case "native":
+		buf.Write(lowlat.MarshalTopology(g))
+	default:
+		err = fmt.Errorf("unknown format %q", *to)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %s (%s, %d nodes, %d links)\n", *out, *to, g.NumNodes(), g.NumLinks())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "topo-convert: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+package lowlat
+
+import (
+	"io"
+	"net"
+
+	"lowlat/internal/ctrlplane"
+	"lowlat/internal/graph"
+)
+
+// This file exposes the TCP control plane: the distributed skeleton of the
+// paper's §5 centralized design. Ingress routers stream measurement
+// reports; the controller runs LDR cycles and pushes path installations.
+
+// ControlServer is the centralized controller endpoint.
+type ControlServer = ctrlplane.Server
+
+// ControlServerConfig parameterizes a ControlServer.
+type ControlServerConfig = ctrlplane.ServerConfig
+
+// RouterAgent is the ingress-router side of the control plane.
+type RouterAgent = ctrlplane.RouterAgent
+
+// ControlAggregateKey names an aggregate on the wire by its endpoint node
+// names.
+type ControlAggregateKey = ctrlplane.AggregateKey
+
+// ControlInstall is a controller path push: per-aggregate path node lists
+// and fractions.
+type ControlInstall = ctrlplane.Install
+
+// NewControlServer returns a controller server bound to the topology.
+// Call Serve with a net.Listener to start it.
+func NewControlServer(g *graph.Graph, cfg ControlServerConfig) *ControlServer {
+	return ctrlplane.NewServer(g, cfg)
+}
+
+// DialController connects a router agent to the controller at addr and
+// performs the protocol handshake.
+func DialController(addr, node string, aggs []ControlAggregateKey) (*RouterAgent, error) {
+	return ctrlplane.Dial(addr, node, aggs)
+}
+
+// NewRouterAgent runs the handshake over an existing connection (tests and
+// in-process pipes).
+func NewRouterAgent(conn net.Conn, node string, aggs []ControlAggregateKey) (*RouterAgent, error) {
+	return ctrlplane.NewRouterAgent(conn, node, aggs)
+}
+
+// ControlProtocolVersion is the wire protocol version both sides must
+// speak.
+const ControlProtocolVersion = ctrlplane.ProtocolVersion
+
+// WriteControlFrame and ReadControlFrame expose the length-prefixed JSON
+// framing for tooling (packet inspection, fuzzing, replay).
+func WriteControlFrame(w io.Writer, env *ctrlplane.Envelope) error {
+	return ctrlplane.WriteFrame(w, env)
+}
+
+// ReadControlFrame reads one control-plane frame.
+func ReadControlFrame(r io.Reader) (*ctrlplane.Envelope, error) {
+	return ctrlplane.ReadFrame(r)
+}

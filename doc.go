@@ -1,0 +1,38 @@
+// Package lowlat reproduces "On low-latency-capable topologies, and their
+// impact on the design of intra-domain routing" (Gvozdiev, Vissicchio,
+// Karp, Handley — SIGCOMM 2018) as a self-contained Go library.
+//
+// The root package is the public facade: topology construction and the
+// synthetic zoo, GraphML/REPETITA file I/O, the APA/LLPD metrics (§2),
+// gravity-model traffic generation (§3), the routing schemes of the
+// landscape study (SP, B4, MPLS-TE, MinMax, MinMax-K, latency-optimal LP
+// with the §4 headroom dial), the LDR controller (§5, Figures 11-14), a
+// fluid placement simulator with a closed-loop control-cycle driver, and
+// a TCP control plane connecting ingress-router agents to the controller.
+//
+// The implementation lives under internal/:
+//
+//   - internal/metrics — the APA and LLPD topology metrics (§2)
+//   - internal/topo — the synthetic topology zoo standing in for the
+//     Internet Topology Zoo, plus GTS-, Cogent- and Google-like networks
+//   - internal/topoio — Topology Zoo GraphML and REPETITA file formats
+//   - internal/tmgen — gravity-model traffic with the locality LP (§3)
+//   - internal/routing — SP, B4, MPLS-TE, MinMax, MinMax-K10, the
+//     Figure 12/13 latency-optimal LP with the headroom dial, and the
+//     link-based MCF baseline
+//   - internal/core — the LDR controller: predict, optimize, appraise
+//     multiplexing, scale up (§5, Figures 11-14)
+//   - internal/mux, internal/predict, internal/trace — the statistical
+//     multiplexing checks, Algorithm 1, and the CAIDA-like trace
+//     generator behind §4
+//   - internal/sim — fluid simulation of placements under live traffic,
+//     plus the minute-by-minute closed-loop driver
+//   - internal/ctrlplane — the §5 architecture over TCP: measurement
+//     reports in, path installations out
+//   - internal/experiments — one driver per results figure
+//
+// The benchmarks in bench_test.go regenerate every results figure, and
+// bench_new_test.go covers the simulator, file I/O, wire protocol, and
+// greedy-scheme ablations; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for measured outcomes versus the paper.
+package lowlat

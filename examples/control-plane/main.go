@@ -1,0 +1,85 @@
+// Control plane: the §5 architecture as running processes. A controller
+// server listens on loopback TCP; ingress-router agents connect, announce
+// their aggregates, and stream minute-by-minute measurement reports; the
+// controller runs an LDR cycle per complete round and pushes path
+// installations back over the same connections.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"lowlat"
+)
+
+func main() {
+	// The diamond from the quickstart: a 15G aggregate that must split,
+	// plus a small one that must not detour.
+	b := lowlat.NewBuilder("demo")
+	a := b.AddNode("ams", lowlat.Point{Lat: 52.4, Lon: 4.9})
+	u := b.AddNode("fra", lowlat.Point{Lat: 50.1, Lon: 8.7})
+	v := b.AddNode("par", lowlat.Point{Lat: 48.9, Lon: 2.4})
+	z := b.AddNode("lon", lowlat.Point{Lat: 51.5, Lon: -0.1})
+	b.AddGeoBiLink(a, u, 10*lowlat.Gbps)
+	b.AddGeoBiLink(u, z, 10*lowlat.Gbps)
+	b.AddGeoBiLink(a, v, 10*lowlat.Gbps)
+	b.AddGeoBiLink(v, z, 10*lowlat.Gbps)
+	b.AddGeoBiLink(a, z, 10*lowlat.Gbps)
+	g := b.MustBuild()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := lowlat.NewControlServer(g, lowlat.ControlServerConfig{
+		Logf: func(format string, args ...interface{}) {
+			fmt.Printf("  [controller] "+format+"\n", args...)
+		},
+	})
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+	fmt.Printf("controller listening on %s\n", addr)
+
+	// Two ingress routers.
+	ra, err := lowlat.DialController(addr, "ams", []lowlat.ControlAggregateKey{{Src: "ams", Dst: "lon"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ra.Close()
+	ru, err := lowlat.DialController(addr, "fra", []lowlat.ControlAggregateKey{{Src: "fra", Dst: "lon"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ru.Close()
+
+	for round := 1; round <= 3; round++ {
+		// ams's demand grows each round; fra's stays flat.
+		amsRate := float64(round) * 5 * lowlat.Gbps
+		amsSeries := lowlat.AggregateSeries(int64(round), 600, amsRate, 0.15, 0.9)
+		fraSeries := lowlat.AggregateSeries(int64(round)+100, 600, 2*lowlat.Gbps, 0.05, 0.5)
+
+		if err := ra.Report([][]float64{amsSeries}, []int{int(amsRate / 1e6)}); err != nil {
+			log.Fatal(err)
+		}
+		if err := ru.Report([][]float64{fraSeries}, []int{2000}); err != nil {
+			log.Fatal(err)
+		}
+
+		instA, err := ra.WaitInstall()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := ru.WaitInstall(); err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("round %d: ams offered %.0fG, installed paths for ams->lon:\n", round, amsRate/1e9)
+		for _, p := range instA.Aggregates[0].Paths {
+			fmt.Printf("    %5.1f%% via %v\n", p.Fraction*100, p.Nodes)
+		}
+	}
+	fmt.Println("as demand grows past the direct link, the controller splits the")
+	fmt.Println("aggregate across alternates — pushed to the ingress over TCP.")
+}

@@ -1,0 +1,54 @@
+// Growth planning: the §8 topology-evolution experiment in miniature.
+// Takes a ring (poor LLPD), greedily adds the links that raise LLPD most
+// (+20% link budget), and shows which routing schemes can actually turn
+// the new links into lower latency — the paper's Figure 20 argument that
+// the routing system determines which links are worth building.
+package main
+
+import (
+	"fmt"
+
+	"log"
+	"lowlat"
+)
+
+func main() {
+	before := lowlat.Ring("ring-12", 12, 1400, lowlat.Cap10G)
+	llpdBefore := lowlat.LLPD(before, lowlat.APAConfig{})
+
+	after, added := lowlat.GrowTopology(before, lowlat.GrowConfig{Fraction: 0.20, Seed: 3})
+	llpdAfter := lowlat.LLPD(after, lowlat.APAConfig{})
+
+	fmt.Printf("ring-12: LLPD %.3f -> %.3f after adding %d bidirectional link(s):\n",
+		llpdBefore, llpdAfter, len(added))
+	for _, a := range added {
+		fmt.Printf("  %s <-> %s (LLPD after: %.3f)\n",
+			before.Node(a.From).Name, before.Node(a.To).Name, a.LLPD)
+	}
+
+	// Same traffic on both topologies.
+	res, err := lowlat.GenerateTraffic(before, lowlat.TrafficConfig{Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-12s %14s %14s\n", "scheme", "stretch before", "stretch after")
+	for _, s := range []lowlat.Scheme{
+		lowlat.NewLatencyOptimal(0),
+		lowlat.NewB4(0),
+		lowlat.NewMinMax(),
+		lowlat.NewMinMaxK(10),
+	} {
+		pb, err := s.Place(before, res.Matrix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pa, err := s.Place(after, res.Matrix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %14.4f %14.4f\n", s.Name(), pb.LatencyStretch(), pa.LatencyStretch())
+	}
+	fmt.Println("\nonly a latency-aware scheme reliably converts added links into lower delay;")
+	fmt.Println("MinMax may even get slower as it load-balances over the new paths.")
+}

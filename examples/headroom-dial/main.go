@@ -1,0 +1,40 @@
+// Headroom dial: §4's continuum between living on the edge (0% headroom,
+// lowest delay) and MinMax (maximum headroom, highest delay). Sweeps
+// reserved headroom on the GTS-like network and shows latency stretch and
+// peak utilization at each setting.
+package main
+
+import (
+	"fmt"
+
+	"log"
+	"lowlat"
+)
+
+func main() {
+	g := lowlat.GTSLike()
+	// The paper's Figure 8 setting: a lighter load where the matrix
+	// could grow 65% before becoming unroutable.
+	res, err := lowlat.GenerateTraffic(g, lowlat.TrafficConfig{Seed: 7, TargetMaxUtil: 1 / 1.65})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("headroom   stretch   peak-util   (latency-optimal placement on GTS-like)")
+	for _, h := range []float64{0, 0.05, 0.11, 0.17, 0.23, 0.30, 0.40} {
+		p, err := (lowlat.LatencyOpt{Headroom: h}).Place(g, res.Matrix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7.0f%% %9.4f %11.3f\n", h*100, p.LatencyStretch(), p.MaxUtilization())
+	}
+
+	mm, err := (lowlat.NewMinMax()).Place(g, res.Matrix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minmax  %9.4f %11.3f   (the far end of the dial)\n",
+		mm.LatencyStretch(), mm.MaxUtilization())
+	fmt.Println("\nstretch grows only mildly until headroom approaches the MinMax extreme —")
+	fmt.Println("the paper's argument that ~10% headroom buys safety nearly for free.")
+}

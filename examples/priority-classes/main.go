@@ -1,0 +1,57 @@
+// Priority classes: the paper's §8 extension. Two aggregates compete for
+// one short path; the latency-sensitive class carries a higher weight in
+// the Figure 12 objective, so when someone must detour, the optimizer
+// moves the best-effort traffic and keeps the sensitive class on the
+// short path — without hard reservations or separate queues.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lowlat"
+)
+
+func main() {
+	b := lowlat.NewBuilder("classes")
+	src := b.AddNode("src", lowlat.Point{})
+	via := b.AddNode("via", lowlat.Point{Lat: 2})
+	dst := b.AddNode("dst", lowlat.Point{Lat: 1})
+	b.AddBiLink(src, dst, 10*lowlat.Gbps, 0.005) // short: 5 ms
+	b.AddBiLink(src, via, 10*lowlat.Gbps, 0.006)
+	b.AddBiLink(via, dst, 10*lowlat.Gbps, 0.006) // detour: 12 ms
+	g := b.MustBuild()
+
+	run := func(label string, sensitiveWeight float64) {
+		// Both classes want the same 5 ms link; together they exceed
+		// it, so 2G must take the 12 ms detour.
+		m := lowlat.NewMatrix([]lowlat.Aggregate{
+			{Src: src, Dst: dst, Volume: 6 * lowlat.Gbps, Flows: 6000,
+				Weight: sensitiveWeight}, // latency-sensitive (e.g. voice)
+			{Src: src, Dst: dst, Volume: 6 * lowlat.Gbps, Flows: 6000}, // bulk
+		})
+		p, err := lowlat.NewLatencyOptimal(0).Place(g, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", label)
+		for i, allocs := range p.Allocs {
+			a := p.TM.Aggregates[i]
+			class := "bulk     "
+			if a.Weight > 1 {
+				class = "sensitive"
+			}
+			for _, al := range allocs {
+				fmt.Printf("  %s %5.1f%% via %s\n", class,
+					al.Fraction*100, al.Path.Format(g))
+			}
+		}
+		fmt.Println()
+	}
+
+	run("equal weights (the detour falls arbitrarily)", 1)
+	run("sensitive class weighted 8x (bulk takes the whole detour)", 8)
+
+	fmt.Println("the weight multiplies the class's delay in the LP objective (§8):")
+	fmt.Println("prioritization falls out of the same optimization, no reservations.")
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a small WAN, feed LDR one minute of per-aggregate
+// measurements, and print the latency-optimal congestion-free placement it
+// computes, including the headroom it added for a badly-multiplexing
+// aggregate.
+package main
+
+import (
+	"fmt"
+
+	"log"
+	"lowlat"
+)
+
+func main() {
+	// A five-node WAN: two sources behind a hub with a direct 10G path
+	// to the sink and a slightly longer 10G detour.
+	b := lowlat.NewBuilder("quickstart")
+	src1 := b.AddNode("src1", lowlat.Point{Lat: 48.1, Lon: 11.6}) // Munich
+	src2 := b.AddNode("src2", lowlat.Point{Lat: 50.1, Lon: 8.7})  // Frankfurt
+	hub := b.AddNode("hub", lowlat.Point{Lat: 50.9, Lon: 6.9})    // Cologne
+	via := b.AddNode("via", lowlat.Point{Lat: 52.4, Lon: 4.9})    // Amsterdam
+	sink := b.AddNode("sink", lowlat.Point{Lat: 51.5, Lon: -0.1}) // London
+	b.AddGeoBiLink(src1, hub, 100e9)
+	b.AddGeoBiLink(src2, hub, 100e9)
+	b.AddGeoBiLink(hub, sink, 10e9)
+	b.AddGeoBiLink(hub, via, 10e9)
+	b.AddGeoBiLink(via, sink, 10e9)
+	g := b.MustBuild()
+
+	// One minute of 100ms ingress measurements per aggregate: src1's
+	// traffic is smooth, src2's is bursty.
+	smooth := lowlat.AggregateSeries(1, 600, 4.5e9, 0.05, 0.5)
+	bursty := lowlat.AggregateSeries(2, 600, 4.5e9, 0.35, 0.9)
+
+	ctrl := lowlat.NewController(g, lowlat.ControllerConfig{})
+	res, err := ctrl.Optimize([]lowlat.AggregateInput{
+		{Src: src1, Dst: sink, Flows: 4500, Series: smooth},
+		{Src: src2, Dst: sink, Flows: 4500, Series: bursty},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if len(res.UnresolvedLinks) > 0 {
+		fmt.Printf("LDR stopped with %d link(s) still failing multiplexing\n", len(res.UnresolvedLinks))
+	} else {
+		fmt.Printf("LDR converged in %d appraisal round(s), %v\n", res.MuxRounds, res.Runtime)
+	}
+	for i, allocs := range res.Placement.Allocs {
+		agg := res.Placement.TM.Aggregates[i]
+		fmt.Printf("aggregate %s -> %s (demand %.2f Gb/s, headroom x%.2f):\n",
+			g.Node(agg.Src).Name, g.Node(agg.Dst).Name,
+			res.Demands[i]/1e9, res.Multipliers[i])
+		for _, a := range allocs {
+			fmt.Printf("  %5.1f%% on %s\n", a.Fraction*100, a.Path.Format(g))
+		}
+	}
+	fmt.Printf("latency stretch: %.4f, max link utilization: %.3f\n",
+		res.Placement.LatencyStretch(), res.Placement.MaxUtilization())
+}

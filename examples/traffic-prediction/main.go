@@ -1,0 +1,51 @@
+// Traffic prediction: Algorithm 1 on a synthetic backbone trace (the
+// reproduction's CAIDA stand-in). Prints the per-minute prediction against
+// the measured level and the §4 headline statistics behind Figure 9.
+package main
+
+import (
+	"fmt"
+
+	"lowlat"
+)
+
+func main() {
+	tr := lowlat.GenerateTrace(lowlat.TraceConfig{Seed: 11, Minutes: 20, BinsPerSecond: 100})
+	means := lowlat.MinuteMeans(tr.Rates, tr.BinsPerMinute())
+
+	fmt.Println("minute   measured(Gb/s)   predicted(Gb/s)   measured/predicted")
+	var p lowlat.Predictor
+	pred := p.Next(means[0])
+	for i, actual := range means[1:] {
+		ratio := actual / pred
+		marker := ""
+		if ratio > 1 {
+			marker = "  <-- exceeded prediction"
+		}
+		fmt.Printf("%6d %16.3f %17.3f %20.3f%s\n", i+1, actual/1e9, pred/1e9, ratio, marker)
+		pred = p.Next(actual)
+	}
+
+	ratios := lowlat.EvaluateTrace(means)
+	exceed := 0
+	for _, r := range ratios {
+		if r > 1 {
+			exceed++
+		}
+	}
+	c := lowlat.NewCDF(ratios)
+	fmt.Printf("\nconstant traffic would sit at 1/1.1 = 0.909; median here: %.3f\n", c.Quantile(0.5))
+	fmt.Printf("minutes exceeding the prediction: %d/%d (paper: ~0.5%%, never by >10%%)\n",
+		exceed, len(ratios))
+
+	// Per-minute burst variability persists (Figure 10's x = y line).
+	stds := lowlat.MinuteStds(tr.Rates, tr.BinsPerMinute())
+	var xs, ys []float64
+	for i := 0; i+1 < len(stds); i++ {
+		xs = append(xs, stds[i])
+		ys = append(ys, stds[i+1])
+	}
+	fmt.Printf("sigma(t) vs sigma(t+1) correlation: %.3f — variability is predictable,\n",
+		lowlat.Correlation(xs, ys))
+	fmt.Println("so a controller can budget headroom per aggregate from last minute's sigma.")
+}

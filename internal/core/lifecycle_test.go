@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"lowlat/internal/graph"
+	"lowlat/internal/topo"
+	"lowlat/internal/trace"
+)
+
+// TestControllerTracksDriftingTraffic runs the controller the way an ISP
+// would: one optimization cycle per minute over ten minutes of slowly
+// drifting traffic on the GTS-like backbone. While Algorithm 1's
+// predictability assumption holds, every cycle must converge, every
+// placement must carry all traffic without overload, and the warm KSP
+// cache must keep growing rather than being rebuilt.
+func TestControllerTracksDriftingTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute simulation")
+	}
+	g := topo.GTSLike()
+	ctrl := NewController(g, Config{})
+
+	// Pick a few dozen aggregates between random PoPs; each gets an
+	// independent 10-minute trace at 100ms resolution.
+	type flow struct {
+		src, dst graph.NodeID
+		trace    []float64 // 100ms bins across all minutes
+	}
+	var flows []flow
+	seed := int64(100)
+	for s := 0; s < g.NumNodes(); s += 3 {
+		for d := 1; d < g.NumNodes(); d += 4 {
+			if s == d {
+				continue
+			}
+			seed++
+			full := trace.Generate(trace.Config{
+				Seed: seed, Minutes: 10, BinsPerSecond: 10,
+				MeanBps: 150e6, BurstStd: 0.2, BurstCorr: 0.8,
+			})
+			flows = append(flows, flow{graph.NodeID(s), graph.NodeID(d), full.Rates})
+		}
+	}
+	if len(flows) < 30 {
+		t.Fatalf("only %d flows", len(flows))
+	}
+
+	binsPerMinute := 600
+	for minute := 0; minute < 10; minute++ {
+		inputs := make([]AggregateInput, len(flows))
+		for i, f := range flows {
+			window := f.trace[minute*binsPerMinute : (minute+1)*binsPerMinute]
+			inputs[i] = AggregateInput{Src: f.src, Dst: f.dst, Flows: 100, Series: window}
+		}
+		res, err := ctrl.Optimize(inputs)
+		if err != nil {
+			t.Fatalf("minute %d: %v", minute, err)
+		}
+		if len(res.UnresolvedLinks) != 0 {
+			t.Fatalf("minute %d: unresolved links %v", minute, res.UnresolvedLinks)
+		}
+		if err := res.Placement.Validate(); err != nil {
+			t.Fatalf("minute %d: %v", minute, err)
+		}
+		if mu := res.Placement.MaxUtilization(); mu > 1+1e-6 {
+			t.Fatalf("minute %d: overload %v", minute, mu)
+		}
+		// The placement reserves room: the *actual* traffic (mean of the
+		// measured window, not the hedged prediction) must fit well
+		// inside capacity on every link.
+		loads := make([]float64, g.NumLinks())
+		for i, allocs := range res.Placement.Allocs {
+			mean := 0.0
+			for _, v := range inputs[i].Series {
+				mean += v
+			}
+			mean /= float64(len(inputs[i].Series))
+			for _, al := range allocs {
+				for _, lid := range al.Path.Links {
+					loads[lid] += mean * al.Fraction
+				}
+			}
+		}
+		for lid, load := range loads {
+			if c := g.Link(graph.LinkID(lid)).Capacity; load > c {
+				t.Fatalf("minute %d: actual traffic overloads link %d (%.2f%%)",
+					minute, lid, load/c*100)
+			}
+		}
+	}
+}

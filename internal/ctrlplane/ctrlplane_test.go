@@ -1,0 +1,396 @@
+package ctrlplane
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	envs := []*Envelope{
+		{Type: MsgHello, Hello: &Hello{Version: 1, Node: "a", Aggregates: []AggregateKey{{Src: "a", Dst: "b"}}}},
+		{Type: MsgHelloOK},
+		{Type: MsgReport, Report: &Report{Node: "a", Round: 3, Aggregates: []AggregateReport{
+			{Key: AggregateKey{Src: "a", Dst: "b"}, Flows: 10, SeriesBps: []float64{1e9, 2e9}},
+		}}},
+		{Type: MsgInstall, Install: &Install{Round: 3, Stretch: 1.01, Aggregates: []AggregateInstall{
+			{Key: AggregateKey{Src: "a", Dst: "b"}, Paths: []PathInstall{{Nodes: []string{"a", "b"}, Fraction: 1}}},
+		}}},
+		{Type: MsgError, Error: &Error{Reason: "boom"}},
+	}
+	var buf bytes.Buffer
+	for _, e := range envs {
+		if err := WriteFrame(&buf, e); err != nil {
+			t.Fatalf("write %s: %v", e.Type, err)
+		}
+	}
+	for _, want := range envs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %s: %v", want.Type, err)
+		}
+		if got.Type != want.Type {
+			t.Fatalf("type %s, want %s", got.Type, want.Type)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("drained stream: err = %v, want EOF", err)
+	}
+}
+
+func TestWireRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameBytes+1)
+	buf.Write(hdr[:])
+	if _, err := ReadFrame(&buf); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v, want out-of-range", err)
+	}
+}
+
+func TestWireRejectsZeroAndTruncatedFrames(t *testing.T) {
+	var zero bytes.Buffer
+	zero.Write([]byte{0, 0, 0, 0})
+	if _, err := ReadFrame(&zero); err == nil {
+		t.Fatal("zero-length frame must error")
+	}
+
+	var trunc bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	trunc.Write(hdr[:])
+	trunc.WriteString("{}") // only 2 of 100 bytes
+	if _, err := ReadFrame(&trunc); err == nil {
+		t.Fatal("truncated frame must error")
+	}
+}
+
+func TestWireRejectsMismatchedPayload(t *testing.T) {
+	cases := []string{
+		`{"type":"report"}`,
+		`{"type":"hello"}`,
+		`{"type":"install"}`,
+		`{"type":"error"}`,
+		`{"type":"nonsense"}`,
+		`not json`,
+	}
+	for _, body := range cases {
+		var buf bytes.Buffer
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+		buf.Write(hdr[:])
+		buf.WriteString(body)
+		if _, err := ReadFrame(&buf); err == nil {
+			t.Errorf("%s: want error", body)
+		}
+	}
+}
+
+// testNet is a diamond: a -> {u, v} -> z, so the controller can split.
+func testNet() *graph.Graph {
+	b := graph.NewBuilder("diamond")
+	a := b.AddNode("a", geo.Point{})
+	u := b.AddNode("u", geo.Point{})
+	v := b.AddNode("v", geo.Point{})
+	z := b.AddNode("z", geo.Point{})
+	b.AddBiLink(a, u, 10e9, 0.001)
+	b.AddBiLink(u, z, 10e9, 0.001)
+	b.AddBiLink(a, v, 10e9, 0.002)
+	b.AddBiLink(v, z, 10e9, 0.002)
+	b.AddBiLink(a, z, 10e9, 0.0015)
+	return b.MustBuild()
+}
+
+// startServer launches a Server on a loopback listener and returns its
+// address and a shutdown func.
+func startServer(t *testing.T, g *graph.Graph) (string, *Server, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(g, ServerConfig{Logf: t.Logf})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	return ln.Addr().String(), srv, func() {
+		srv.Close()
+		<-done
+	}
+}
+
+func steady(rate float64, bins int) []float64 {
+	s := make([]float64, bins)
+	for i := range s {
+		s[i] = rate
+	}
+	return s
+}
+
+func TestControlPlaneEndToEnd(t *testing.T) {
+	g := testNet()
+	addr, srv, stop := startServer(t, g)
+	defer stop()
+
+	// Router a originates one 15G aggregate to z: the direct 10G link
+	// cannot carry it alone, so the install must split.
+	ra, err := Dial(addr, "a", []AggregateKey{{Src: "a", Dst: "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+
+	// Router u originates a small aggregate to z.
+	ru, err := Dial(addr, "u", []AggregateKey{{Src: "u", Dst: "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ru.Close()
+
+	if err := ra.Report([][]float64{steady(15e9, 60)}, []int{1500}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ru.Report([][]float64{steady(1e9, 60)}, []int{100}); err != nil {
+		t.Fatal(err)
+	}
+
+	instA, err := ra.WaitInstall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	instU, err := ru.WaitInstall()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if srv.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1", srv.Rounds())
+	}
+	if len(instA.Aggregates) != 1 || len(instU.Aggregates) != 1 {
+		t.Fatalf("installs cover %d/%d aggregates", len(instA.Aggregates), len(instU.Aggregates))
+	}
+
+	// a's aggregate must be split across >= 2 paths, fractions ~1.
+	allocA := instA.Aggregates[0]
+	if len(allocA.Paths) < 2 {
+		t.Fatalf("15G over 10G links must split, got %+v", allocA.Paths)
+	}
+	total := 0.0
+	for _, p := range allocA.Paths {
+		total += p.Fraction
+		if p.Nodes[0] != "a" || p.Nodes[len(p.Nodes)-1] != "z" {
+			t.Fatalf("path endpoints wrong: %v", p.Nodes)
+		}
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Fatalf("fractions sum to %v", total)
+	}
+
+	// Second round: demand collapses to 2G. Algorithm 1 decays its
+	// prediction by only 2% per minute, so the controller must still
+	// plan for ~16G and keep the split — the paper's conservative
+	// hedge against demand growth.
+	if err := ra.Report([][]float64{steady(2e9, 60)}, []int{200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ru.Report([][]float64{steady(1e9, 60)}, []int{100}); err != nil {
+		t.Fatal(err)
+	}
+	instA2, err := ra.WaitInstall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instA2.Round != 2 {
+		t.Fatalf("second install round = %d, want 2", instA2.Round)
+	}
+	if len(instA2.Aggregates[0].Paths) < 2 {
+		t.Fatalf("prediction decays slowly; the split should persist, got %+v",
+			instA2.Aggregates[0].Paths)
+	}
+
+	// Keep reporting 2G: the decayed prediction eventually fits the
+	// direct path alone and the install collapses to one path.
+	collapsed := false
+	for round := 3; round <= 40 && !collapsed; round++ {
+		if err := ra.Report([][]float64{steady(2e9, 60)}, []int{200}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ru.Report([][]float64{steady(1e9, 60)}, []int{100}); err != nil {
+			t.Fatal(err)
+		}
+		inst, err := ra.WaitInstall()
+		if err != nil {
+			t.Fatal(err)
+		}
+		collapsed = len(inst.Aggregates[0].Paths) == 1
+	}
+	if !collapsed {
+		t.Fatal("install never collapsed to the direct path after 40 decay rounds")
+	}
+	if srv.Rounds() < 3 {
+		t.Fatalf("rounds = %d, want >= 3", srv.Rounds())
+	}
+}
+
+func TestControlPlaneRejectsBadHello(t *testing.T) {
+	g := testNet()
+	addr, _, stop := startServer(t, g)
+	defer stop()
+
+	// Unknown node.
+	if _, err := Dial(addr, "nope", []AggregateKey{{Src: "nope", Dst: "z"}}); err == nil {
+		t.Fatal("unknown node must be rejected")
+	}
+	// Aggregate not originating at the router.
+	if _, err := Dial(addr, "a", []AggregateKey{{Src: "u", Dst: "z"}}); err == nil {
+		t.Fatal("foreign aggregate must be rejected client-side")
+	}
+	// Unknown destination.
+	if _, err := Dial(addr, "a", []AggregateKey{{Src: "a", Dst: "nope"}}); err == nil {
+		t.Fatal("unknown destination must be rejected")
+	}
+	// No aggregates.
+	if _, err := Dial(addr, "a", nil); err == nil {
+		t.Fatal("empty hello must be rejected")
+	}
+	// Wrong protocol version, sent raw.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bad := &Envelope{Type: MsgHello, Hello: &Hello{Version: 99, Node: "a",
+		Aggregates: []AggregateKey{{Src: "a", Dst: "z"}}}}
+	if err := WriteFrame(conn, bad); err != nil {
+		t.Fatal(err)
+	}
+	env, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != MsgError || !strings.Contains(env.Error.Reason, "version") {
+		t.Fatalf("want version error, got %+v", env)
+	}
+}
+
+func TestControlPlaneRejectsDuplicateNode(t *testing.T) {
+	g := testNet()
+	addr, _, stop := startServer(t, g)
+	defer stop()
+
+	ra, err := Dial(addr, "a", []AggregateKey{{Src: "a", Dst: "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+	if _, err := Dial(addr, "a", []AggregateKey{{Src: "a", Dst: "u"}}); err == nil {
+		t.Fatal("second connection for node a must be rejected")
+	}
+}
+
+func TestControlPlaneRejectsBadReports(t *testing.T) {
+	g := testNet()
+	addr, _, stop := startServer(t, g)
+	defer stop()
+
+	// Report with wrong aggregate count: the agent itself refuses.
+	ra, err := Dial(addr, "a", []AggregateKey{{Src: "a", Dst: "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+	if err := ra.Report(nil, nil); err == nil {
+		t.Fatal("mismatched report must fail locally")
+	}
+
+	// Hand-rolled report for an unannounced aggregate: server kills the
+	// connection with an error.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := &Envelope{Type: MsgHello, Hello: &Hello{Version: ProtocolVersion, Node: "u",
+		Aggregates: []AggregateKey{{Src: "u", Dst: "z"}}}}
+	if err := WriteFrame(conn, hello); err != nil {
+		t.Fatal(err)
+	}
+	if env, err := ReadFrame(conn); err != nil || env.Type != MsgHelloOK {
+		t.Fatalf("hello: %v %v", env, err)
+	}
+	rogue := &Envelope{Type: MsgReport, Report: &Report{Node: "u", Round: 1,
+		Aggregates: []AggregateReport{{Key: AggregateKey{Src: "u", Dst: "a"},
+			SeriesBps: []float64{1e9}}}}}
+	if err := WriteFrame(conn, rogue); err != nil {
+		t.Fatal(err)
+	}
+	env, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != MsgError {
+		t.Fatalf("want error push, got %s", env.Type)
+	}
+}
+
+func TestControlPlaneNegativeRateRejected(t *testing.T) {
+	g := testNet()
+	addr, _, stop := startServer(t, g)
+	defer stop()
+
+	ra, err := Dial(addr, "a", []AggregateKey{{Src: "a", Dst: "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+	if err := ra.Report([][]float64{{1e9, -5}}, []int{10}); err != nil {
+		t.Fatal(err)
+	}
+	// The server responds with an error and drops us.
+	deadline := time.After(5 * time.Second)
+	select {
+	case <-deadline:
+		t.Fatal("timed out waiting for rejection")
+	case <-waitErr(ra):
+	}
+	if ra.Err() == nil {
+		t.Fatal("agent must surface the server error")
+	}
+}
+
+func waitErr(a *RouterAgent) <-chan struct{} { return a.done }
+
+func TestControlPlaneServerClose(t *testing.T) {
+	g := testNet()
+	addr, srv, stop := startServer(t, g)
+
+	ra, err := Dial(addr, "a", []AggregateKey{{Src: "a", Dst: "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	// Agent notices the shutdown.
+	select {
+	case <-waitErr(ra):
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent did not notice server shutdown")
+	}
+	ra.Close()
+	if srv.Rounds() != 0 {
+		t.Fatal("no rounds should have run")
+	}
+	// Dialing a closed server fails.
+	if _, err := Dial(addr, "a", []AggregateKey{{Src: "a", Dst: "z"}}); err == nil {
+		t.Fatal("dial after close must fail")
+	}
+}

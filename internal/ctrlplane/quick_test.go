@@ -1,0 +1,85 @@
+package ctrlplane
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickReadFrameNeverPanicsOnJunk(t *testing.T) {
+	f := func(junk []byte) bool {
+		r := bytes.NewReader(junk)
+		for {
+			env, err := ReadFrame(r)
+			if err != nil {
+				return true // any junk must end in an error, not a panic
+			}
+			if env == nil {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFramedJunkPayloadsFailCleanly(t *testing.T) {
+	// Correctly framed but arbitrary payloads: must error or produce a
+	// validated envelope, never panic.
+	f := func(payload []byte) bool {
+		var buf bytes.Buffer
+		var hdr [4]byte
+		if len(payload) == 0 {
+			payload = []byte("x")
+		}
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		buf.Write(hdr[:])
+		buf.Write(payload)
+		env, err := ReadFrame(&buf)
+		if err != nil {
+			return true
+		}
+		return env.validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReportRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rep := &Report{
+			Node:  "node",
+			Round: rng.Intn(1000),
+		}
+		nAggs := 1 + rng.Intn(5)
+		for i := 0; i < nAggs; i++ {
+			series := make([]float64, 1+rng.Intn(50))
+			for j := range series {
+				series[j] = rng.Float64() * 1e10
+			}
+			rep.Aggregates = append(rep.Aggregates, AggregateReport{
+				Key:       AggregateKey{Src: "node", Dst: "dst"},
+				Flows:     rng.Intn(10000),
+				SeriesBps: series,
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &Envelope{Type: MsgReport, Report: rep}); err != nil {
+			return false
+		}
+		env, err := ReadFrame(&buf)
+		if err != nil || env.Type != MsgReport {
+			return false
+		}
+		return reflect.DeepEqual(env.Report, rep)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package ctrlplane
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// RouterAgent is the ingress-router side of the control plane: it
+// announces the aggregates originating at its node, streams measurement
+// reports, and tracks the controller's latest path installation.
+type RouterAgent struct {
+	node string
+	aggs []AggregateKey
+	conn net.Conn
+
+	writeMu sync.Mutex
+	round   int
+
+	mu        sync.Mutex
+	installed *Install
+	installCh chan *Install
+	readErr   error
+	done      chan struct{}
+}
+
+// Dial connects to the controller at addr and performs the Hello
+// exchange. Every aggregate must have Src equal to node.
+func Dial(addr, node string, aggs []AggregateKey) (*RouterAgent, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a, err := NewRouterAgent(conn, node, aggs)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// NewRouterAgent runs the Hello exchange over an existing connection
+// (loopback tests use net.Pipe-like transports).
+func NewRouterAgent(conn net.Conn, node string, aggs []AggregateKey) (*RouterAgent, error) {
+	for _, k := range aggs {
+		if k.Src != node {
+			return nil, fmt.Errorf("ctrlplane: aggregate %s->%s does not originate at %q", k.Src, k.Dst, node)
+		}
+	}
+	hello := &Envelope{Type: MsgHello, Hello: &Hello{
+		Version:    ProtocolVersion,
+		Node:       node,
+		Aggregates: aggs,
+	}}
+	if err := WriteFrame(conn, hello); err != nil {
+		return nil, err
+	}
+	env, err := ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("ctrlplane: hello reply: %w", err)
+	}
+	switch env.Type {
+	case MsgHelloOK:
+	case MsgError:
+		return nil, fmt.Errorf("ctrlplane: controller rejected hello: %s", env.Error.Reason)
+	default:
+		return nil, fmt.Errorf("ctrlplane: want hello_ok, got %s", env.Type)
+	}
+
+	a := &RouterAgent{
+		node:      node,
+		aggs:      aggs,
+		conn:      conn,
+		installCh: make(chan *Install, 4),
+		done:      make(chan struct{}),
+	}
+	go a.readLoop()
+	return a, nil
+}
+
+// readLoop consumes controller pushes until the connection dies.
+func (a *RouterAgent) readLoop() {
+	defer close(a.done)
+	for {
+		env, err := ReadFrame(a.conn)
+		if err != nil {
+			a.mu.Lock()
+			a.readErr = err
+			a.mu.Unlock()
+			return
+		}
+		switch env.Type {
+		case MsgInstall:
+			a.mu.Lock()
+			a.installed = env.Install
+			a.mu.Unlock()
+			select {
+			case a.installCh <- env.Install:
+			default: // slow consumer keeps only the freshest installs
+			}
+		case MsgError:
+			a.mu.Lock()
+			a.readErr = fmt.Errorf("ctrlplane: controller error: %s", env.Error.Reason)
+			a.mu.Unlock()
+			return
+		default:
+			a.mu.Lock()
+			a.readErr = fmt.Errorf("ctrlplane: unexpected %s push", env.Type)
+			a.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Report sends one measurement interval. series must hold one entry per
+// announced aggregate, in announcement order; flows likewise.
+func (a *RouterAgent) Report(series [][]float64, flows []int) error {
+	if len(series) != len(a.aggs) || len(flows) != len(a.aggs) {
+		return fmt.Errorf("ctrlplane: %d series / %d flows for %d aggregates",
+			len(series), len(flows), len(a.aggs))
+	}
+	a.writeMu.Lock()
+	defer a.writeMu.Unlock()
+	a.round++
+	rep := &Report{Node: a.node, Round: a.round}
+	for i, k := range a.aggs {
+		rep.Aggregates = append(rep.Aggregates, AggregateReport{
+			Key: k, Flows: flows[i], SeriesBps: series[i],
+		})
+	}
+	return WriteFrame(a.conn, &Envelope{Type: MsgReport, Report: rep})
+}
+
+// WaitInstall blocks until the controller pushes an installation, the
+// connection fails, or done is closed by Close.
+func (a *RouterAgent) WaitInstall() (*Install, error) {
+	select {
+	case inst := <-a.installCh:
+		return inst, nil
+	case <-a.done:
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		if a.readErr != nil {
+			return nil, a.readErr
+		}
+		return nil, errors.New("ctrlplane: connection closed")
+	}
+}
+
+// Installed returns the latest installation (nil before the first push).
+func (a *RouterAgent) Installed() *Install {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.installed
+}
+
+// Err returns the terminal read error, if the connection has failed.
+func (a *RouterAgent) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.readErr
+}
+
+// Node returns the router's node name.
+func (a *RouterAgent) Node() string { return a.node }
+
+// Close tears the connection down.
+func (a *RouterAgent) Close() error {
+	err := a.conn.Close()
+	<-a.done
+	return err
+}

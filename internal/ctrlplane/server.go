@@ -1,0 +1,361 @@
+package ctrlplane
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+
+	"lowlat/internal/core"
+	"lowlat/internal/graph"
+)
+
+// ServerConfig parameterizes a controller server.
+type ServerConfig struct {
+	// Controller configures the embedded LDR instance.
+	Controller core.Config
+	// Logf receives operational log lines (default: log.Printf).
+	Logf func(format string, args ...interface{})
+}
+
+// Server is the centralized controller endpoint: it accepts router
+// connections, folds their measurement reports, and after each complete
+// round (one fresh report from every connected router) runs an LDR cycle
+// and pushes Install messages back.
+type Server struct {
+	g    *graph.Graph
+	ctl  *core.Controller
+	logf func(string, ...interface{})
+
+	mu      sync.Mutex
+	conns   map[*routerConn]struct{}
+	rounds  int // completed optimization rounds
+	closing bool
+
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// routerConn is one connected ingress router.
+type routerConn struct {
+	conn net.Conn
+	node string
+	aggs []AggregateKey
+
+	writeMu sync.Mutex // Install pushes and error replies interleave
+
+	// pending is the router's latest unconsumed report (nil if none).
+	pending *Report
+}
+
+// NewServer returns a controller server for the topology. Call Serve with
+// a listener to start it.
+func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Server{
+		g:     g,
+		ctl:   core.NewController(g, cfg.Controller),
+		logf:  logf,
+		conns: make(map[*routerConn]struct{}),
+	}
+}
+
+// Serve accepts router connections on ln until Close. It returns the
+// listener's terminal error (net.ErrClosed after Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return errors.New("ctrlplane: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, disconnects routers, and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closing = true
+	ln := s.ln
+	for rc := range s.conns {
+		rc.conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// Rounds reports how many optimization rounds have completed.
+func (s *Server) Rounds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rounds
+}
+
+// handle runs one router connection to completion.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+
+	rc, err := s.accept(conn)
+	if err != nil {
+		s.logf("ctrlplane: rejecting %s: %v", conn.RemoteAddr(), err)
+		writeError(conn, err.Error())
+		return
+	}
+	defer s.drop(rc)
+	s.logf("ctrlplane: router %q connected with %d aggregates", rc.node, len(rc.aggs))
+
+	for {
+		env, err := ReadFrame(conn)
+		if err != nil {
+			s.logf("ctrlplane: router %q gone: %v", rc.node, err)
+			return
+		}
+		switch env.Type {
+		case MsgReport:
+			if err := s.fold(rc, env.Report); err != nil {
+				s.logf("ctrlplane: router %q report rejected: %v", rc.node, err)
+				writeError(conn, err.Error())
+				return
+			}
+		case MsgError:
+			s.logf("ctrlplane: router %q error: %s", rc.node, env.Error.Reason)
+			return
+		default:
+			writeError(conn, fmt.Sprintf("unexpected %s frame", env.Type))
+			return
+		}
+	}
+}
+
+// accept performs the Hello exchange and registers the router.
+func (s *Server) accept(conn net.Conn) (*routerConn, error) {
+	env, err := ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("reading hello: %w", err)
+	}
+	if env.Type != MsgHello {
+		return nil, fmt.Errorf("want hello, got %s", env.Type)
+	}
+	h := env.Hello
+	if h.Version != ProtocolVersion {
+		return nil, fmt.Errorf("protocol version %d, want %d", h.Version, ProtocolVersion)
+	}
+	if _, ok := s.g.NodeByName(h.Node); !ok {
+		return nil, fmt.Errorf("unknown node %q", h.Node)
+	}
+	if len(h.Aggregates) == 0 {
+		return nil, errors.New("router announced no aggregates")
+	}
+	seen := make(map[AggregateKey]bool, len(h.Aggregates))
+	for _, k := range h.Aggregates {
+		if k.Src != h.Node {
+			return nil, fmt.Errorf("aggregate %s->%s does not originate at %q", k.Src, k.Dst, h.Node)
+		}
+		if _, ok := s.g.NodeByName(k.Dst); !ok {
+			return nil, fmt.Errorf("aggregate destination %q unknown", k.Dst)
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("duplicate aggregate %s->%s", k.Src, k.Dst)
+		}
+		seen[k] = true
+	}
+
+	rc := &routerConn{conn: conn, node: h.Node, aggs: h.Aggregates}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil, errors.New("server closing")
+	}
+	for other := range s.conns {
+		if other.node == rc.node {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("node %q already connected", rc.node)
+		}
+	}
+	s.conns[rc] = struct{}{}
+	s.mu.Unlock()
+
+	rc.writeMu.Lock()
+	err = WriteFrame(conn, &Envelope{Type: MsgHelloOK})
+	rc.writeMu.Unlock()
+	if err != nil {
+		s.drop(rc)
+		return nil, err
+	}
+	return rc, nil
+}
+
+func (s *Server) drop(rc *routerConn) {
+	s.mu.Lock()
+	delete(s.conns, rc)
+	s.mu.Unlock()
+}
+
+// fold stores the router's report and, when every connected router has a
+// fresh one, runs an optimization round and pushes installs.
+func (s *Server) fold(rc *routerConn, rep *Report) error {
+	if rep.Node != rc.node {
+		return fmt.Errorf("report node %q from router %q", rep.Node, rc.node)
+	}
+	if len(rep.Aggregates) != len(rc.aggs) {
+		return fmt.Errorf("report covers %d aggregates, hello announced %d",
+			len(rep.Aggregates), len(rc.aggs))
+	}
+	announced := make(map[AggregateKey]bool, len(rc.aggs))
+	for _, k := range rc.aggs {
+		announced[k] = true
+	}
+	for _, ar := range rep.Aggregates {
+		if !announced[ar.Key] {
+			return fmt.Errorf("report for unannounced or repeated aggregate %s->%s", ar.Key.Src, ar.Key.Dst)
+		}
+		announced[ar.Key] = false // each aggregate reports exactly once
+		if len(ar.SeriesBps) == 0 {
+			return fmt.Errorf("empty series for %s->%s", ar.Key.Src, ar.Key.Dst)
+		}
+		for _, v := range ar.SeriesBps {
+			if v < 0 {
+				return fmt.Errorf("negative rate for %s->%s", ar.Key.Src, ar.Key.Dst)
+			}
+		}
+	}
+
+	s.mu.Lock()
+	rc.pending = rep
+	ready := make([]*routerConn, 0, len(s.conns))
+	complete := true
+	for other := range s.conns {
+		if other.pending == nil {
+			complete = false
+			break
+		}
+		ready = append(ready, other)
+	}
+	if !complete {
+		s.mu.Unlock()
+		return nil
+	}
+	// Consume the round under the lock; optimize outside it.
+	reports := make(map[*routerConn]*Report, len(ready))
+	for _, other := range ready {
+		reports[other] = other.pending
+		other.pending = nil
+	}
+	s.mu.Unlock()
+
+	return s.optimize(reports)
+}
+
+// optimize runs one LDR cycle over a complete round and pushes installs.
+func (s *Server) optimize(reports map[*routerConn]*Report) error {
+	type slot struct {
+		rc  *routerConn
+		key AggregateKey
+	}
+	var inputs []core.AggregateInput
+	var slots []slot
+	round := 0
+
+	// Deterministic input order: by node name, then aggregate order.
+	rcs := make([]*routerConn, 0, len(reports))
+	for rc := range reports {
+		rcs = append(rcs, rc)
+	}
+	sort.Slice(rcs, func(i, j int) bool { return rcs[i].node < rcs[j].node })
+
+	for _, rc := range rcs {
+		rep := reports[rc]
+		if rep.Round > round {
+			round = rep.Round
+		}
+		for _, ar := range rep.Aggregates {
+			src, _ := s.g.NodeByName(ar.Key.Src)
+			dst, _ := s.g.NodeByName(ar.Key.Dst)
+			inputs = append(inputs, core.AggregateInput{
+				Src:    src.ID,
+				Dst:    dst.ID,
+				Flows:  ar.Flows,
+				Series: ar.SeriesBps,
+			})
+			slots = append(slots, slot{rc: rc, key: ar.Key})
+		}
+	}
+
+	res, err := s.ctl.Optimize(inputs)
+	if err != nil {
+		return fmt.Errorf("optimize: %w", err)
+	}
+	s.mu.Lock()
+	s.rounds++
+	s.mu.Unlock()
+	s.logf("ctrlplane: round %d optimized %d aggregates (stretch %.4f, %d mux rounds)",
+		round, len(inputs), res.Placement.LatencyStretch(), res.MuxRounds)
+
+	// Optimize sorts aggregates by (src, dst); map each slot to its
+	// allocation through the placement's own aggregate order.
+	allocIdx := make(map[[2]graph.NodeID]int, len(res.Placement.TM.Aggregates))
+	for i, a := range res.Placement.TM.Aggregates {
+		allocIdx[[2]graph.NodeID{a.Src, a.Dst}] = i
+	}
+
+	// Group allocations per router and push.
+	perRouter := make(map[*routerConn][]AggregateInstall, len(reports))
+	for _, sl := range slots {
+		src, _ := s.g.NodeByName(sl.key.Src)
+		dst, _ := s.g.NodeByName(sl.key.Dst)
+		i, ok := allocIdx[[2]graph.NodeID{src.ID, dst.ID}]
+		if !ok {
+			return fmt.Errorf("aggregate %s->%s missing from placement", sl.key.Src, sl.key.Dst)
+		}
+		var paths []PathInstall
+		for _, al := range res.Placement.Allocs[i] {
+			nodes := al.Path.Nodes(s.g)
+			names := make([]string, len(nodes))
+			for j, nid := range nodes {
+				names[j] = s.g.Node(nid).Name
+			}
+			paths = append(paths, PathInstall{Nodes: names, Fraction: al.Fraction})
+		}
+		perRouter[sl.rc] = append(perRouter[sl.rc], AggregateInstall{Key: sl.key, Paths: paths})
+	}
+	for rc, aggs := range perRouter {
+		inst := &Install{
+			Round:      round,
+			Aggregates: aggs,
+			Stretch:    res.Placement.LatencyStretch(),
+			MuxRounds:  res.MuxRounds,
+		}
+		rc.writeMu.Lock()
+		err := WriteFrame(rc.conn, &Envelope{Type: MsgInstall, Install: inst})
+		rc.writeMu.Unlock()
+		if err != nil {
+			s.logf("ctrlplane: install push to %q failed: %v", rc.node, err)
+			rc.conn.Close()
+		}
+	}
+	return nil
+}
+
+func writeError(conn net.Conn, reason string) {
+	_ = WriteFrame(conn, &Envelope{Type: MsgError, Error: &Error{Reason: reason}})
+}

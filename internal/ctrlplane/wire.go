@@ -1,0 +1,184 @@
+// Package ctrlplane is the distributed skeleton of the paper's §5 design
+// (Figure 11): ingress routers measure per-aggregate traffic and report
+// batches of counter readings to a centralized controller over TCP; the
+// controller runs the LDR cycle (predict, optimize, appraise multiplexing)
+// and pushes path installations back to the routers that originate each
+// aggregate.
+//
+// The wire protocol is length-prefixed JSON: a 4-byte big-endian frame
+// length followed by one Envelope. JSON keeps the protocol debuggable with
+// tcpdump and nc; framing keeps message boundaries exact. Frames are
+// capped to guard both sides against corrupt peers.
+package ctrlplane
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ProtocolVersion gates incompatible wire changes. A Hello carrying a
+// different version is rejected.
+const ProtocolVersion = 1
+
+// MaxFrameBytes bounds one frame. A full minute of 100 ms measurements
+// for a few thousand aggregates fits comfortably; anything larger is a
+// corrupt or hostile peer.
+const MaxFrameBytes = 32 << 20
+
+// MsgType discriminates Envelope payloads.
+type MsgType string
+
+// Message types.
+const (
+	// MsgHello is the router's first message: node identity plus the
+	// aggregates it originates.
+	MsgHello MsgType = "hello"
+	// MsgHelloOK acknowledges a Hello.
+	MsgHelloOK MsgType = "hello_ok"
+	// MsgReport carries one measurement interval's per-aggregate series.
+	MsgReport MsgType = "report"
+	// MsgInstall carries path allocations for the router's aggregates.
+	MsgInstall MsgType = "install"
+	// MsgError reports a fatal protocol error before the sender closes.
+	MsgError MsgType = "error"
+)
+
+// Envelope is the single frame shape; exactly one payload pointer is
+// non-nil, matching Type.
+type Envelope struct {
+	Type    MsgType  `json:"type"`
+	Hello   *Hello   `json:"hello,omitempty"`
+	Report  *Report  `json:"report,omitempty"`
+	Install *Install `json:"install,omitempty"`
+	Error   *Error   `json:"error,omitempty"`
+}
+
+// AggregateKey names an aggregate by its endpoints (node names, since the
+// wire must not leak internal IDs).
+type AggregateKey struct {
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+}
+
+// Hello announces a router: which node it is and which aggregates it
+// originates (all must have Src equal to the router's node).
+type Hello struct {
+	Version    int            `json:"version"`
+	Node       string         `json:"node"`
+	Aggregates []AggregateKey `json:"aggregates"`
+}
+
+// AggregateReport is one aggregate's measurements for the interval.
+type AggregateReport struct {
+	Key AggregateKey `json:"key"`
+	// Flows is the router's current flow-count estimate (n_a).
+	Flows int `json:"flows"`
+	// SeriesBps holds per-bin mean bitrates for the interval, oldest
+	// first (the controller expects 100 ms bins).
+	SeriesBps []float64 `json:"series_bps"`
+}
+
+// Report is one measurement interval from one router.
+type Report struct {
+	Node string `json:"node"`
+	// Round counts the router's reporting intervals, starting at 1.
+	Round      int               `json:"round"`
+	Aggregates []AggregateReport `json:"aggregates"`
+}
+
+// PathInstall is one path assignment: node names from source to
+// destination and the traffic fraction it carries.
+type PathInstall struct {
+	Nodes    []string `json:"nodes"`
+	Fraction float64  `json:"fraction"`
+}
+
+// AggregateInstall is the allocation for one aggregate.
+type AggregateInstall struct {
+	Key   AggregateKey  `json:"key"`
+	Paths []PathInstall `json:"paths"`
+}
+
+// Install is the controller's path push after an optimization round.
+type Install struct {
+	// Round echoes the highest report round folded into this
+	// optimization.
+	Round int `json:"round"`
+	// Aggregates covers every aggregate the receiving router announced.
+	Aggregates []AggregateInstall `json:"aggregates"`
+	// Stretch and MuxRounds summarize the cycle for operator logging.
+	Stretch   float64 `json:"stretch"`
+	MuxRounds int     `json:"mux_rounds"`
+}
+
+// Error is a terminal protocol error.
+type Error struct {
+	Reason string `json:"reason"`
+}
+
+// WriteFrame marshals env and writes one length-prefixed frame.
+func WriteFrame(w io.Writer, env *Envelope) error {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("ctrlplane: marshal %s: %w", env.Type, err)
+	}
+	if len(body) > MaxFrameBytes {
+		return fmt.Errorf("ctrlplane: %s frame of %d bytes exceeds cap", env.Type, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame and unmarshals it.
+func ReadFrame(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF on clean close
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrameBytes {
+		return nil, fmt.Errorf("ctrlplane: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("ctrlplane: truncated frame: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return nil, fmt.Errorf("ctrlplane: bad frame: %w", err)
+	}
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	return &env, nil
+}
+
+// validate checks that the payload matches the declared type.
+func (e *Envelope) validate() error {
+	var want bool
+	switch e.Type {
+	case MsgHello:
+		want = e.Hello != nil
+	case MsgHelloOK:
+		want = true
+	case MsgReport:
+		want = e.Report != nil
+	case MsgInstall:
+		want = e.Install != nil
+	case MsgError:
+		want = e.Error != nil
+	default:
+		return fmt.Errorf("ctrlplane: unknown message type %q", e.Type)
+	}
+	if !want {
+		return fmt.Errorf("ctrlplane: %s frame missing payload", e.Type)
+	}
+	return nil
+}

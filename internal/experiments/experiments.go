@@ -1,0 +1,204 @@
+// Package experiments reproduces every results figure of the paper. Each
+// FigN function regenerates the data series behind the corresponding
+// figure and renders them as a plain-text table; the figure inventory and
+// expected shapes are indexed in DESIGN.md and EXPERIMENTS.md.
+//
+// All experiments are deterministic for a given Config and run on the
+// synthetic topology zoo (the reproduction's substitute for the Internet
+// Topology Zoo; see DESIGN.md for the substitution argument).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lowlat/internal/graph"
+	"lowlat/internal/metrics"
+	"lowlat/internal/routing"
+	"lowlat/internal/tm"
+	"lowlat/internal/tmgen"
+	"lowlat/internal/topo"
+)
+
+// Config scales the experiment suite. The zero value gives a "quick"
+// configuration that preserves every qualitative shape; raise
+// TMsPerTopology toward the paper's 100 for smoother percentiles.
+type Config struct {
+	// TMsPerTopology is the number of independent traffic matrices per
+	// network (default 3; paper: 100).
+	TMsPerTopology int
+	// Seed offsets all random generation.
+	Seed int64
+	// MaxNetworks caps how many zoo networks are used (0 = all 116).
+	// Networks are kept in zoo order, so a cap keeps the class mix.
+	MaxNetworks int
+	// TargetMaxUtil is the scaled load level (default 0.77: the paper's
+	// "traffic can increase by 30%" calibration).
+	TargetMaxUtil float64
+	// Locality is the traffic-locality parameter ℓ (default 1).
+	Locality float64
+	// MaxNodes skips networks larger than this many nodes (0 = no
+	// limit); the heavyweight LP experiments use it.
+	MaxNodes int
+	// NetworkFilter, when non-nil, keeps only matching networks. Tests
+	// and benches use it to pick a class-balanced subset.
+	NetworkFilter func(Network) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.TMsPerTopology <= 0 {
+		c.TMsPerTopology = 3
+	}
+	if c.TargetMaxUtil <= 0 {
+		c.TargetMaxUtil = 1 / 1.3
+	}
+	if c.Locality == 0 {
+		c.Locality = 1
+	}
+	return c
+}
+
+// Network is a zoo entry with its built graph and measured LLPD.
+type Network struct {
+	Name  string
+	Class topo.Class
+	Graph *graph.Graph
+	LLPD  float64
+}
+
+var (
+	zooOnce sync.Once
+	zooNets []Network
+)
+
+// LoadZoo builds every zoo network and computes its LLPD once per process.
+func LoadZoo() []Network {
+	zooOnce.Do(func() {
+		entries := topo.Zoo()
+		zooNets = make([]Network, len(entries))
+		for i, e := range entries {
+			g := e.Build()
+			zooNets[i] = Network{
+				Name:  e.Name,
+				Class: e.Class,
+				Graph: g,
+				LLPD:  metrics.LLPD(g, metrics.APAConfig{}),
+			}
+		}
+	})
+	return zooNets
+}
+
+// networks returns the zoo filtered by the config's caps.
+func (c Config) networks() []Network {
+	all := LoadZoo()
+	var out []Network
+	for _, n := range all {
+		if c.MaxNodes > 0 && n.Graph.NumNodes() > c.MaxNodes {
+			continue
+		}
+		if c.NetworkFilter != nil && !c.NetworkFilter(n) {
+			continue
+		}
+		out = append(out, n)
+		if c.MaxNetworks > 0 && len(out) >= c.MaxNetworks {
+			break
+		}
+	}
+	return out
+}
+
+// matrixCache memoizes generated traffic matrices across figure drivers:
+// calibrating a matrix to a target load costs several MinMax solves, and
+// most figures evaluate several schemes on identical matrices.
+var matrixCache sync.Map // matrixKey -> []*tm.Matrix
+
+type matrixKey struct {
+	name     string
+	seed     int64
+	count    int
+	locality float64
+	load     float64
+}
+
+// matrices generates (or recalls) the config's traffic matrices for one
+// network.
+func (c Config) matrices(n Network) ([]*tm.Matrix, error) {
+	key := matrixKey{
+		name:     n.Name,
+		seed:     c.Seed,
+		count:    c.TMsPerTopology,
+		locality: c.Locality,
+		load:     c.TargetMaxUtil,
+	}
+	if v, ok := matrixCache.Load(key); ok {
+		return v.([]*tm.Matrix), nil
+	}
+	cfg := tmgen.Config{
+		Seed:          c.Seed + int64(hashName(n.Name)),
+		Locality:      c.Locality,
+		NoLocality:    c.Locality == 0,
+		TargetMaxUtil: c.TargetMaxUtil,
+	}
+	ms, err := tmgen.GenerateSet(n.Graph, cfg, c.TMsPerTopology)
+	if err != nil {
+		return nil, err
+	}
+	matrixCache.Store(key, ms)
+	return ms, nil
+}
+
+func hashName(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h % 100000
+}
+
+// schemeRun is one (network, matrix, scheme) outcome.
+type schemeRun struct {
+	network   Network
+	congested float64
+	stretch   float64
+	maxStret  float64
+	fits      bool
+}
+
+// runScheme evaluates a scheme across all matrices of all networks,
+// returning results grouped by network index.
+func runScheme(nets []Network, cfg Config, scheme routing.Scheme) ([][]schemeRun, error) {
+	out := make([][]schemeRun, len(nets))
+	for i, n := range nets {
+		ms, err := cfg.matrices(n)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", n.Name, err)
+		}
+		for _, m := range ms {
+			p, err := scheme.Place(n.Graph, m)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", n.Name, scheme.Name(), err)
+			}
+			out[i] = append(out[i], schemeRun{
+				network:   n,
+				congested: p.CongestedPairFraction(),
+				stretch:   p.LatencyStretch(),
+				maxStret:  p.MaxStretch(),
+				fits:      p.Fits(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// sortByLLPD orders network indices by ascending LLPD (the x-axis of
+// Figures 3, 4, 8 and 19).
+func sortByLLPD(nets []Network) []int {
+	idx := make([]int, len(nets))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return nets[idx[a]].LLPD < nets[idx[b]].LLPD })
+	return idx
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"sort"
+
+	"lowlat/internal/graph"
+	"lowlat/internal/metrics"
+	"lowlat/internal/routing"
+	"lowlat/internal/stats"
+	"lowlat/internal/tm"
+	"lowlat/internal/topo"
+)
+
+// Fig20Row is one (network, scheme) outcome of the growth experiment.
+type Fig20Row struct {
+	Network        string
+	Scheme         string
+	BeforeMedian   float64
+	AfterMedian    float64
+	BeforeP90      float64
+	AfterP90       float64
+	LLPDBefore     float64
+	LLPDAfter      float64
+	AddedBiLinks   int
+	ImprovedMed    bool
+	ImprovedP90    bool
+	DegradedEither bool
+}
+
+// Fig20Result reproduces Figure 20: latency stretch before and after
+// adding 5% more links chosen greedily for LLPD gain, on the networks that
+// are hardest to route with low latency (excluding cliques).
+type Fig20Result struct {
+	Rows []Fig20Row
+}
+
+// Fig20 selects the hard networks, grows them, and re-evaluates the four
+// schemes.
+func Fig20(cfg Config) (*Fig20Result, error) {
+	cfg = cfg.withDefaults()
+
+	// Rank candidate networks by latency-optimal median stretch (the
+	// paper's "difficult to route with low latency, even with optimal
+	// traffic placement"), excluding cliques and oversized networks.
+	type cand struct {
+		net     Network
+		stretch float64
+	}
+	var cands []cand
+	for _, n := range cfg.networks() {
+		if n.Class == topo.ClassClique || n.Graph.NumNodes() > 24 {
+			continue
+		}
+		ms, err := cfg.matrices(n)
+		if err != nil {
+			return nil, err
+		}
+		var stretches []float64
+		for _, m := range ms {
+			p, err := (routing.LatencyOpt{}).Place(n.Graph, m)
+			if err != nil {
+				return nil, err
+			}
+			stretches = append(stretches, p.LatencyStretch())
+		}
+		cands = append(cands, cand{n, stats.Median(stretches)})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].stretch > cands[b].stretch })
+	if len(cands) > 4 {
+		cands = cands[:4]
+	}
+
+	schemes := stretchSchemes(0)
+	res := &Fig20Result{}
+	for _, c := range cands {
+		grown, added := topo.Grow(c.net.Graph, topo.GrowConfig{
+			Fraction: 0.05, Seed: cfg.Seed, CandidateSample: 16,
+		})
+		llpdAfter := metrics.LLPD(grown, metrics.APAConfig{})
+
+		// The same traffic is offered to both topologies: demands do not
+		// change when links are added (node IDs are preserved by Grow).
+		ms, err := cfg.matrices(c.net)
+		if err != nil {
+			return nil, err
+		}
+
+		for _, scheme := range schemes {
+			name := displayName(scheme)
+			before, err := stretchSamples(c.net.Graph, ms, scheme)
+			if err != nil {
+				return nil, err
+			}
+			after, err := stretchSamples(grown, ms, scheme)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig20Row{
+				Network:      c.net.Name,
+				Scheme:       name,
+				BeforeMedian: stats.Median(before),
+				AfterMedian:  stats.Median(after),
+				BeforeP90:    stats.Percentile(before, 90),
+				AfterP90:     stats.Percentile(after, 90),
+				LLPDBefore:   c.net.LLPD,
+				LLPDAfter:    llpdAfter,
+				AddedBiLinks: len(added),
+			}
+			row.ImprovedMed = row.AfterMedian <= row.BeforeMedian+1e-9
+			row.ImprovedP90 = row.AfterP90 <= row.BeforeP90+1e-9
+			row.DegradedEither = !row.ImprovedMed || !row.ImprovedP90
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// stretchSamples collects latency stretch for the given matrices on the
+// given topology.
+func stretchSamples(g *graph.Graph, ms []*tm.Matrix, scheme routing.Scheme) ([]float64, error) {
+	var out []float64
+	for _, m := range ms {
+		p, err := scheme.Place(g, m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p.LatencyStretch())
+	}
+	return out, nil
+}
+
+// Table renders the before/after comparison.
+func (r *Fig20Result) Table() *Table {
+	t := &Table{
+		Title: "Figure 20: latency stretch before/after +5% LLPD-guided links",
+		Header: []string{"network", "scheme", "med before", "med after",
+			"p90 before", "p90 after", "LLPD before", "LLPD after"},
+		Notes: []string{
+			"LDR exploits new links fully; MinMax can get worse (it load-balances wider)",
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Network, row.Scheme, f3(row.BeforeMedian), f3(row.AfterMedian),
+			f3(row.BeforeP90), f3(row.AfterP90), f3(row.LLPDBefore), f3(row.LLPDAfter),
+		})
+	}
+	return t
+}

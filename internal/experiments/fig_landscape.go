@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lowlat/internal/metrics"
+	"lowlat/internal/routing"
+	"lowlat/internal/stats"
+	"lowlat/internal/topo"
+)
+
+// Fig1Result reproduces Figure 1: one APA CDF per network (stretch limit
+// 1.4). Each row summarizes a curve by the fraction of PoP pairs whose APA
+// reaches common thresholds, plus the network's LLPD.
+type Fig1Result struct {
+	Rows []Fig1Row
+}
+
+// Fig1Row is one network's APA curve summary.
+type Fig1Row struct {
+	Name      string
+	Class     topo.Class
+	Pairs     int
+	FracAPA30 float64 // fraction of pairs with APA >= 0.3
+	FracAPA50 float64
+	FracAPA70 float64 // == LLPD by definition
+	FracAPA90 float64
+	LLPD      float64
+}
+
+// Fig1 computes APA distributions for every network in the configured zoo.
+func Fig1(cfg Config) (*Fig1Result, error) {
+	cfg = cfg.withDefaults()
+	nets := cfg.networks()
+	res := &Fig1Result{}
+	for _, n := range nets {
+		dist := metrics.APADistribution(n.Graph, metrics.APAConfig{})
+		row := Fig1Row{Name: n.Name, Class: n.Class, Pairs: len(dist), LLPD: n.LLPD}
+		for _, apa := range dist {
+			if apa >= 0.3 {
+				row.FracAPA30++
+			}
+			if apa >= 0.5 {
+				row.FracAPA50++
+			}
+			if apa >= 0.7 {
+				row.FracAPA70++
+			}
+			if apa >= 0.9 {
+				row.FracAPA90++
+			}
+		}
+		if len(dist) > 0 {
+			f := float64(len(dist))
+			row.FracAPA30 /= f
+			row.FracAPA50 /= f
+			row.FracAPA70 /= f
+			row.FracAPA90 /= f
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig1Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 1: APA distribution per network (stretch limit 1.4)",
+		Header: []string{"network", "class", "pairs", ">=0.3", ">=0.5", ">=0.7", ">=0.9", "LLPD"},
+		Notes: []string{
+			"fraction of PoP pairs whose APA meets each threshold; >=0.7 is LLPD",
+			"clique rows have single-step (horizontal) CDFs: APA is 0 or 1 per pair",
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Name, string(row.Class), fmt.Sprint(row.Pairs),
+			f3(row.FracAPA30), f3(row.FracAPA50), f3(row.FracAPA70), f3(row.FracAPA90),
+			f3(row.LLPD),
+		})
+	}
+	return t
+}
+
+// CongestionRow is one network's congestion outcome under one scheme.
+type CongestionRow struct {
+	Name            string
+	LLPD            float64
+	MedianCongested float64
+	P90Congested    float64
+	MedianStretch   float64
+	P90Stretch      float64
+}
+
+// Fig3Result reproduces Figure 3: shortest-path routing congestion versus
+// LLPD (median and 90th percentile across traffic matrices).
+type Fig3Result struct {
+	Rows []CongestionRow
+}
+
+// Fig3 runs delay-proportional shortest-path routing over the zoo.
+func Fig3(cfg Config) (*Fig3Result, error) {
+	cfg = cfg.withDefaults()
+	nets := cfg.networks()
+	rows, err := congestionRows(nets, cfg, routing.SP{})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Result{Rows: rows}, nil
+}
+
+func congestionRows(nets []Network, cfg Config, scheme routing.Scheme) ([]CongestionRow, error) {
+	runs, err := runScheme(nets, cfg, scheme)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CongestionRow
+	for _, i := range sortByLLPD(nets) {
+		var cong, stretch []float64
+		for _, r := range runs[i] {
+			cong = append(cong, r.congested)
+			stretch = append(stretch, r.stretch)
+		}
+		rows = append(rows, CongestionRow{
+			Name:            nets[i].Name,
+			LLPD:            nets[i].LLPD,
+			MedianCongested: stats.Median(cong),
+			P90Congested:    stats.Percentile(cong, 90),
+			MedianStretch:   stats.Median(stretch),
+			P90Stretch:      stats.Percentile(stretch, 90),
+		})
+	}
+	return rows, nil
+}
+
+// Table renders the result.
+func (r *Fig3Result) Table() *Table {
+	return congestionTable("Figure 3: SP routing congestion vs LLPD", r.Rows,
+		"networks sorted by LLPD; high-LLPD networks concentrate traffic under SP")
+}
+
+func congestionTable(title string, rows []CongestionRow, note string) *Table {
+	t := &Table{
+		Title: title,
+		Header: []string{"network", "LLPD", "med-congested", "p90-congested",
+			"med-stretch", "p90-stretch"},
+		Notes: []string{note},
+	}
+	for _, row := range rows {
+		t.Rows = append(t.Rows, []string{
+			row.Name, f3(row.LLPD), f3(row.MedianCongested), f3(row.P90Congested),
+			f3(row.MedianStretch), f3(row.P90Stretch),
+		})
+	}
+	return t
+}
+
+// Fig4Result reproduces Figure 4: congestion and latency stretch for the
+// four active schemes across the zoo.
+type Fig4Result struct {
+	// Schemes maps scheme name to per-network rows sorted by LLPD.
+	Schemes map[string][]CongestionRow
+	Order   []string
+}
+
+// Fig4 evaluates latency-optimal, B4, MinMax and MinMax-K10 placements.
+func Fig4(cfg Config) (*Fig4Result, error) {
+	cfg = cfg.withDefaults()
+	nets := cfg.networks()
+	schemes := []routing.Scheme{
+		routing.LatencyOpt{},
+		routing.B4{},
+		routing.MinMax{},
+		routing.MinMax{K: 10},
+	}
+	res := &Fig4Result{Schemes: make(map[string][]CongestionRow)}
+	for _, s := range schemes {
+		rows, err := congestionRows(nets, cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		res.Schemes[s.Name()] = rows
+		res.Order = append(res.Order, s.Name())
+	}
+	return res, nil
+}
+
+// Tables renders one table per sub-figure.
+func (r *Fig4Result) Tables() []*Table {
+	notes := map[string]string{
+		"latopt":     "4(a): optimal can always fit; stretch stays low even at high LLPD",
+		"b4":         "4(b): greedy local minima congest high-LLPD networks (GTS, Cogent)",
+		"minmax":     "4(c): never congests, but pays latency for utilization",
+		"minmax-k10": "4(d): k=10 restores some latency but congests high-LLPD networks",
+	}
+	var out []*Table
+	for _, name := range r.Order {
+		out = append(out, congestionTable(
+			fmt.Sprintf("Figure 4 (%s): congestion and stretch vs LLPD", name),
+			r.Schemes[name], notes[name]))
+	}
+	return out
+}
+
+// Fig19Result reproduces Figure 19: the Figure 3 data with a Google-like
+// network added.
+type Fig19Result struct {
+	Rows      []CongestionRow
+	GoogleRow CongestionRow
+}
+
+// Fig19 runs SP routing with the Google-like topology appended.
+func Fig19(cfg Config) (*Fig19Result, error) {
+	cfg = cfg.withDefaults()
+	base, err := Fig3(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := topo.GoogleLike()
+	google := Network{
+		Name:  "google-like",
+		Class: topo.ClassIntercontinental,
+		Graph: g,
+		LLPD:  metrics.LLPD(g, metrics.APAConfig{}),
+	}
+	rows, err := congestionRows([]Network{google}, cfg, routing.SP{})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig19Result{Rows: base.Rows, GoogleRow: rows[0]}, nil
+}
+
+// Table renders the result.
+func (r *Fig19Result) Table() *Table {
+	t := congestionTable("Figure 19: SP congestion vs LLPD, with Google-like network",
+		append(append([]CongestionRow{}, r.Rows...), r.GoogleRow),
+		"the Google-like network has the highest LLPD of all and cannot be SP-routed")
+	return t
+}

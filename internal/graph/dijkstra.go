@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+const infDelay = math.MaxFloat64
+
+// pqItem is one entry of the Dijkstra priority queue.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPathTree runs Dijkstra from src with delay weights, honoring the
+// optional excluded-link and excluded-node masks. It returns the distance
+// to every node (infDelay when unreachable) and, for each node, the link
+// over which it is reached (-1 for src and unreachable nodes).
+//
+// The node mask excludes nodes from being traversed; src itself is never
+// excluded from being the starting point.
+func (g *Graph) ShortestPathTree(src NodeID, linkMask, nodeMask *Mask) ([]float64, []LinkID) {
+	dist := make([]float64, g.NumNodes())
+	prev := make([]LinkID, g.NumNodes())
+	for i := range dist {
+		dist[i] = infDelay
+		prev[i] = -1
+	}
+	dist[src] = 0
+
+	q := make(pq, 0, g.NumNodes())
+	heap.Push(&q, pqItem{node: src, dist: 0})
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		for _, lid := range g.out[it.node] {
+			if linkMask.Has(int32(lid)) {
+				continue
+			}
+			l := g.links[lid]
+			if nodeMask.Has(int32(l.To)) {
+				continue
+			}
+			nd := it.dist + l.Delay
+			if nd < dist[l.To] {
+				dist[l.To] = nd
+				prev[l.To] = lid
+				heap.Push(&q, pqItem{node: l.To, dist: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// ShortestPath returns the minimum-delay path src -> dst under the optional
+// masks, and whether one exists.
+func (g *Graph) ShortestPath(src, dst NodeID, linkMask, nodeMask *Mask) (Path, bool) {
+	if src == dst {
+		return Path{}, true
+	}
+	dist, prev := g.ShortestPathTree(src, linkMask, nodeMask)
+	if dist[dst] == infDelay {
+		return Path{}, false
+	}
+	return extractPath(g, prev, src, dst, dist[dst]), true
+}
+
+// extractPath walks prev links backwards from dst to src.
+func extractPath(g *Graph, prev []LinkID, src, dst NodeID, delay float64) Path {
+	var rev []LinkID
+	for at := dst; at != src; {
+		lid := prev[at]
+		rev = append(rev, lid)
+		at = g.links[lid].From
+	}
+	links := make([]LinkID, len(rev))
+	for i, lid := range rev {
+		links[len(rev)-1-i] = lid
+	}
+	return Path{Links: links, Delay: delay}
+}
+
+// AllShortestPaths returns the shortest path for every ordered node pair
+// (src != dst) as a map keyed by src then dst. Unreachable pairs are absent.
+func (g *Graph) AllShortestPaths() map[NodeID]map[NodeID]Path {
+	out := make(map[NodeID]map[NodeID]Path, g.NumNodes())
+	for s := 0; s < g.NumNodes(); s++ {
+		src := NodeID(s)
+		dist, prev := g.ShortestPathTree(src, nil, nil)
+		m := make(map[NodeID]Path)
+		for d := 0; d < g.NumNodes(); d++ {
+			dst := NodeID(d)
+			if dst == src || dist[dst] == infDelay {
+				continue
+			}
+			m[dst] = extractPath(g, prev, src, dst, dist[dst])
+		}
+		out[src] = m
+	}
+	return out
+}

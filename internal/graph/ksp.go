@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// KSP incrementally enumerates the k shortest loop-free paths between one
+// node pair in increasing delay order (Yen's algorithm). Paths are computed
+// lazily: asking for path i only does the work needed to reach i. This
+// matches the paper's observation that the k-shortest-paths computation is
+// LDR's bottleneck and its results "can be readily cached" — see KSPCache.
+type KSP struct {
+	g        *Graph
+	src, dst NodeID
+	baseMask *Mask
+
+	found     []Path
+	cand      candHeap
+	seen      map[string]bool
+	exhausted bool
+}
+
+// NewKSP returns a lazy k-shortest-path enumerator for src -> dst. The
+// optional baseMask excludes links from all generated paths.
+func NewKSP(g *Graph, src, dst NodeID, baseMask *Mask) *KSP {
+	return &KSP{
+		g: g, src: src, dst: dst,
+		baseMask: baseMask,
+		seen:     make(map[string]bool),
+	}
+}
+
+type candHeap []Path
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].Delay < h[j].Delay }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(Path)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}
+
+// At returns the i-th shortest path (0-based) if it exists.
+func (k *KSP) At(i int) (Path, bool) {
+	for len(k.found) <= i && !k.exhausted {
+		k.generateNext()
+	}
+	if i < len(k.found) {
+		return k.found[i], true
+	}
+	return Path{}, false
+}
+
+// First returns up to n of the shortest paths.
+func (k *KSP) First(n int) []Path {
+	for len(k.found) < n && !k.exhausted {
+		k.generateNext()
+	}
+	if n > len(k.found) {
+		n = len(k.found)
+	}
+	return k.found[:n:n]
+}
+
+// Generated returns the number of paths produced so far.
+func (k *KSP) Generated() int { return len(k.found) }
+
+func (k *KSP) generateNext() {
+	if k.exhausted {
+		return
+	}
+	if len(k.found) == 0 {
+		sp, ok := k.g.ShortestPath(k.src, k.dst, k.baseMask, nil)
+		if !ok || sp.Empty() {
+			k.exhausted = true
+			return
+		}
+		k.found = append(k.found, sp)
+		k.seen[sp.Key()] = true
+		return
+	}
+
+	prev := k.found[len(k.found)-1]
+	rootDelay := 0.0
+	for i := 0; i < len(prev.Links); i++ {
+		spurNode := k.src
+		if i > 0 {
+			spurNode = k.g.Link(prev.Links[i-1]).To
+		}
+		rootLinks := prev.Links[:i]
+
+		linkMask := k.baseMask.Clone()
+		for _, p := range k.found {
+			if hasPrefix(p.Links, rootLinks) && len(p.Links) > i {
+				linkMask.Set(int32(p.Links[i]))
+			}
+		}
+		nodeMask := NewMask(k.g.NumNodes())
+		at := k.src
+		for _, lid := range rootLinks {
+			nodeMask.Set(int32(at))
+			at = k.g.Link(lid).To
+		}
+
+		if spur, ok := k.g.ShortestPath(spurNode, k.dst, linkMask, nodeMask); ok && !spur.Empty() {
+			links := make([]LinkID, 0, len(rootLinks)+len(spur.Links))
+			links = append(links, rootLinks...)
+			links = append(links, spur.Links...)
+			cand := Path{Links: links, Delay: rootDelay + spur.Delay}
+			if key := cand.Key(); !k.seen[key] {
+				k.seen[key] = true
+				heap.Push(&k.cand, cand)
+			}
+		}
+		rootDelay += k.g.Link(prev.Links[i]).Delay
+	}
+
+	if k.cand.Len() == 0 {
+		k.exhausted = true
+		return
+	}
+	k.found = append(k.found, heap.Pop(&k.cand).(Path))
+}
+
+func hasPrefix(links, prefix []LinkID) bool {
+	if len(links) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if links[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// KSPCache memoizes KSP enumerators per node pair, preserving work across
+// repeated LP iterations and across successive optimization rounds. This is
+// the cache whose effect Figure 15's "cold cache" curve isolates.
+type KSPCache struct {
+	mu sync.Mutex
+	g  *Graph
+	m  map[[2]NodeID]*KSP
+}
+
+// NewKSPCache returns an empty cache bound to g.
+func NewKSPCache(g *Graph) *KSPCache {
+	return &KSPCache{g: g, m: make(map[[2]NodeID]*KSP)}
+}
+
+// Paths returns up to k of the shortest paths between src and dst, reusing
+// previously generated paths.
+func (c *KSPCache) Paths(src, dst NodeID, k int) []Path {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := [2]NodeID{src, dst}
+	ksp, ok := c.m[key]
+	if !ok {
+		ksp = NewKSP(c.g, src, dst, nil)
+		c.m[key] = ksp
+	}
+	return ksp.First(k)
+}
+
+// Generated returns how many paths are cached for the pair (for tests and
+// runtime accounting).
+func (c *KSPCache) Generated(src, dst NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ksp, ok := c.m[[2]NodeID{src, dst}]; ok {
+		return ksp.Generated()
+	}
+	return 0
+}

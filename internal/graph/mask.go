@@ -1,0 +1,64 @@
+package graph
+
+// Mask is a bitset over link or node IDs used to exclude elements from
+// shortest-path and max-flow computations without copying the graph.
+// The zero value excludes nothing; a nil *Mask is likewise empty.
+type Mask struct {
+	bits []uint64
+}
+
+// NewMask returns a Mask able to hold n elements.
+func NewMask(n int) *Mask {
+	return &Mask{bits: make([]uint64, (n+63)/64)}
+}
+
+// Set marks element i as excluded.
+func (m *Mask) Set(i int32) {
+	w := int(i) >> 6
+	for w >= len(m.bits) {
+		m.bits = append(m.bits, 0)
+	}
+	m.bits[w] |= 1 << (uint(i) & 63)
+}
+
+// Clear unmarks element i.
+func (m *Mask) Clear(i int32) {
+	w := int(i) >> 6
+	if w < len(m.bits) {
+		m.bits[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Has reports whether element i is excluded. Safe on nil masks.
+func (m *Mask) Has(i int32) bool {
+	if m == nil {
+		return false
+	}
+	w := int(i) >> 6
+	if w >= len(m.bits) {
+		return false
+	}
+	return m.bits[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Clone returns a copy of the mask. Clone of nil is an empty mask.
+func (m *Mask) Clone() *Mask {
+	if m == nil {
+		return &Mask{}
+	}
+	return &Mask{bits: append([]uint64(nil), m.bits...)}
+}
+
+// Count returns the number of excluded elements.
+func (m *Mask) Count() int {
+	if m == nil {
+		return 0
+	}
+	total := 0
+	for _, w := range m.bits {
+		for ; w != 0; w &= w - 1 {
+			total++
+		}
+	}
+	return total
+}

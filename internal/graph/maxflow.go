@@ -1,0 +1,121 @@
+package graph
+
+// FlowNetwork is a Dinic max-flow solver over a subset of a Graph's links.
+// The APA metric uses it to compute the min-cut of the union of candidate
+// alternate paths, and the traffic-matrix generator uses it for capacity
+// sanity checks.
+type FlowNetwork struct {
+	n     int
+	arcs  []arc
+	first [][]int32 // arc indices per node (including residuals)
+}
+
+type arc struct {
+	to  NodeID
+	cap float64
+	rev int32 // index of the reverse arc
+}
+
+// NewFlowNetwork builds a flow network from every link of g for which
+// include returns true (nil includes all links).
+func NewFlowNetwork(g *Graph, include func(Link) bool) *FlowNetwork {
+	f := &FlowNetwork{
+		n:     g.NumNodes(),
+		first: make([][]int32, g.NumNodes()),
+	}
+	for _, l := range g.Links() {
+		if include != nil && !include(l) {
+			continue
+		}
+		f.addArc(l.From, l.To, l.Capacity)
+	}
+	return f
+}
+
+func (f *FlowNetwork) addArc(from, to NodeID, capacity float64) {
+	fwd := int32(len(f.arcs))
+	f.arcs = append(f.arcs, arc{to: to, cap: capacity, rev: fwd + 1})
+	f.arcs = append(f.arcs, arc{to: from, cap: 0, rev: fwd})
+	f.first[from] = append(f.first[from], fwd)
+	f.first[to] = append(f.first[to], fwd+1)
+}
+
+// MaxFlow returns the maximum flow value from src to dst. The solver
+// mutates residual capacities; call once per network or rebuild.
+func (f *FlowNetwork) MaxFlow(src, dst NodeID) float64 {
+	if src == dst {
+		return 0
+	}
+	const eps = 1e-9
+	total := 0.0
+	level := make([]int32, f.n)
+	iter := make([]int, f.n)
+	queue := make([]NodeID, 0, f.n)
+
+	for {
+		// BFS to build level graph.
+		for i := range level {
+			level[i] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, src)
+		level[src] = 0
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, ai := range f.first[u] {
+				a := &f.arcs[ai]
+				if a.cap > eps && level[a.to] < 0 {
+					level[a.to] = level[u] + 1
+					queue = append(queue, a.to)
+				}
+			}
+		}
+		if level[dst] < 0 {
+			return total
+		}
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := f.dfs(src, dst, 1e30, level, iter)
+			if pushed <= eps {
+				break
+			}
+			total += pushed
+		}
+	}
+}
+
+func (f *FlowNetwork) dfs(u, dst NodeID, limit float64, level []int32, iter []int) float64 {
+	const eps = 1e-9
+	if u == dst {
+		return limit
+	}
+	for ; iter[u] < len(f.first[u]); iter[u]++ {
+		ai := f.first[u][iter[u]]
+		a := &f.arcs[ai]
+		if a.cap <= eps || level[a.to] != level[u]+1 {
+			continue
+		}
+		d := f.dfs(a.to, dst, minf(limit, a.cap), level, iter)
+		if d > eps {
+			a.cap -= d
+			f.arcs[a.rev].cap += d
+			return d
+		}
+	}
+	return 0
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MinCut returns the min-cut value (== max flow) between src and dst over
+// the links of g selected by include (nil selects all).
+func MinCut(g *Graph, src, dst NodeID, include func(Link) bool) float64 {
+	return NewFlowNetwork(g, include).MaxFlow(src, dst)
+}

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lowlat/internal/geo"
+)
+
+func TestMaxFlowSingleLink(t *testing.T) {
+	b := NewBuilder("single")
+	x := b.AddNode("x", geo.Point{})
+	y := b.AddNode("y", geo.Point{})
+	b.AddLink(x, y, 7e9, 1)
+	g := b.MustBuild()
+	if f := MinCut(g, x, y, nil); math.Abs(f-7e9) > 1 {
+		t.Fatalf("flow = %v, want 7e9", f)
+	}
+	if f := MinCut(g, y, x, nil); f != 0 {
+		t.Fatalf("reverse flow = %v, want 0", f)
+	}
+}
+
+func TestMaxFlowDiamond(t *testing.T) {
+	g := diamond(t)
+	a := nid(t, g, "a")
+	d := nid(t, g, "d")
+	// Three disjoint routes: via b (10G), via c (5G), direct (1G).
+	if f := MinCut(g, a, d, nil); math.Abs(f-16e9) > 1 {
+		t.Fatalf("flow = %v, want 16e9", f)
+	}
+}
+
+func TestMaxFlowWithInclude(t *testing.T) {
+	g := diamond(t)
+	a := nid(t, g, "a")
+	d := nid(t, g, "d")
+	bNode := nid(t, g, "b")
+	// Exclude links touching b: only via-c (5G) and direct (1G) remain.
+	f := MinCut(g, a, d, func(l Link) bool {
+		return l.From != bNode && l.To != bNode
+	})
+	if math.Abs(f-6e9) > 1 {
+		t.Fatalf("flow = %v, want 6e9", f)
+	}
+}
+
+func TestMaxFlowSameNode(t *testing.T) {
+	g := diamond(t)
+	if f := MinCut(g, 0, 0, nil); f != 0 {
+		t.Fatalf("self flow = %v, want 0", f)
+	}
+}
+
+// TestMaxFlowMatchesBruteForceCut verifies max-flow == min-cut by
+// enumerating all 2^n s-t cuts on small random graphs.
+func TestMaxFlowMatchesBruteForceCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 5+rng.Intn(3), 0.4)
+		src, dst := NodeID(0), NodeID(g.NumNodes()-1)
+		flow := MinCut(g, src, dst, nil)
+
+		n := g.NumNodes()
+		best := math.Inf(1)
+		for bits := 0; bits < 1<<uint(n); bits++ {
+			if bits&1 == 0 || bits&(1<<uint(dst)) != 0 {
+				continue // src must be on the source side, dst on the sink side
+			}
+			cut := 0.0
+			for _, l := range g.Links() {
+				fromIn := bits&(1<<uint(l.From)) != 0
+				toIn := bits&(1<<uint(l.To)) != 0
+				if fromIn && !toIn {
+					cut += l.Capacity
+				}
+			}
+			if cut < best {
+				best = cut
+			}
+		}
+		if math.Abs(flow-best) > 1e-3 {
+			t.Fatalf("trial %d: maxflow %v != mincut %v", trial, flow, best)
+		}
+	}
+}
+
+func BenchmarkMaxFlow(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 40, 0.15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinCut(g, 0, NodeID(g.NumNodes()-1), nil)
+	}
+}

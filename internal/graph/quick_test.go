@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lowlat/internal/geo"
+)
+
+// graphFromSeed builds a small random connected graph deterministically.
+func graphFromSeed(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return randomGraph(rng, 5+rng.Intn(5), 0.3)
+}
+
+// TestQuickShortestPathIsOptimal: Dijkstra's result never exceeds the
+// delay of any brute-force simple path.
+func TestQuickShortestPathIsOptimal(t *testing.T) {
+	f := func(seed int64, srcRaw, dstRaw uint8) bool {
+		g := graphFromSeed(seed)
+		src := NodeID(int(srcRaw) % g.NumNodes())
+		dst := NodeID(int(dstRaw) % g.NumNodes())
+		if src == dst {
+			return true
+		}
+		sp, ok := g.ShortestPath(src, dst, nil, nil)
+		all := allSimplePaths(g, src, dst, nil)
+		if !ok {
+			return len(all) == 0
+		}
+		return len(all) > 0 && math.Abs(sp.Delay-all[0]) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPathsAreWellFormed: every KSP path connects the endpoints, is
+// loop-free, and its cached delay equals the sum of link delays.
+func TestQuickPathsAreWellFormed(t *testing.T) {
+	f := func(seed int64, srcRaw, dstRaw, kRaw uint8) bool {
+		g := graphFromSeed(seed)
+		src := NodeID(int(srcRaw) % g.NumNodes())
+		dst := NodeID(int(dstRaw) % g.NumNodes())
+		if src == dst {
+			return true
+		}
+		k := 1 + int(kRaw)%6
+		for _, p := range NewKSP(g, src, dst, nil).First(k) {
+			if p.Src(g) != src || p.Dst(g) != dst {
+				return false
+			}
+			sum := 0.0
+			seen := map[NodeID]bool{src: true}
+			at := src
+			for _, lid := range p.Links {
+				l := g.Link(lid)
+				if l.From != at || seen[l.To] {
+					return false
+				}
+				seen[l.To] = true
+				at = l.To
+				sum += l.Delay
+			}
+			if math.Abs(sum-p.Delay) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMaxFlowBounds: the max flow never exceeds the trivial cuts
+// around the source and sink, and removing links never increases it.
+func TestQuickMaxFlowBounds(t *testing.T) {
+	f := func(seed int64, dropRaw uint8) bool {
+		g := graphFromSeed(seed)
+		src, dst := NodeID(0), NodeID(g.NumNodes()-1)
+		full := MinCut(g, src, dst, nil)
+
+		outCap := 0.0
+		for _, lid := range g.Out(src) {
+			outCap += g.Link(lid).Capacity
+		}
+		inCap := 0.0
+		for _, lid := range g.In(dst) {
+			inCap += g.Link(lid).Capacity
+		}
+		if full > outCap+1e-6 || full > inCap+1e-6 {
+			return false
+		}
+
+		drop := LinkID(int(dropRaw) % g.NumLinks())
+		reduced := MinCut(g, src, dst, func(l Link) bool { return l.ID != drop })
+		return reduced <= full+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMaskRoundTrip: Set/Clear/Has behave like a map of booleans.
+func TestQuickMaskRoundTrip(t *testing.T) {
+	f := func(ops []int16) bool {
+		m := NewMask(8)
+		ref := map[int32]bool{}
+		for _, op := range ops {
+			idx := int32(op & 0x3ff)
+			if op < 0 {
+				m.Clear(idx)
+				delete(ref, idx)
+			} else {
+				m.Set(idx)
+				ref[idx] = true
+			}
+		}
+		if m.Count() != len(ref) {
+			return false
+		}
+		for idx := range ref {
+			if !m.Has(idx) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDiameterDominatesPairs: the diameter is an upper bound on any
+// pair's shortest-path delay.
+func TestQuickDiameterDominatesPairs(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw uint8) bool {
+		g := graphFromSeed(seed)
+		d := g.Diameter()
+		a := NodeID(int(aRaw) % g.NumNodes())
+		b := NodeID(int(bRaw) % g.NumNodes())
+		if a == b {
+			return true
+		}
+		sp, ok := g.ShortestPath(a, b, nil, nil)
+		return !ok || sp.Delay <= d+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGeoDelaysPositive: builder-produced geographic links always
+// carry positive, symmetric delays.
+func TestQuickGeoDelaysPositive(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		p1 := geo.Point{Lat: math.Mod(lat1, 80), Lon: math.Mod(lon1, 170)}
+		p2 := geo.Point{Lat: math.Mod(lat2, 80) + 1, Lon: math.Mod(lon2, 170) + 1}
+		b := NewBuilder("q")
+		n1 := b.AddNode("a", p1)
+		n2 := b.AddNode("b", p2)
+		f1, r1 := b.AddGeoBiLink(n1, n2, 1e9)
+		g := b.MustBuild()
+		fd, rd := g.Link(f1).Delay, g.Link(r1).Delay
+		return fd > 0 && math.Abs(fd-rd) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

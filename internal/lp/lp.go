@@ -1,0 +1,164 @@
+// Package lp implements a dense two-phase primal simplex solver with native
+// support for bounded variables (0-shifted lower bounds and upper-bound
+// flipping). It is the optimization engine behind every LP in the
+// reproduction: the Figure 12 path-based latency optimization, the MinMax
+// formulations, the link-based multi-commodity baseline, and the
+// traffic-locality transportation problem.
+//
+// The solver minimizes c·x subject to linear constraints and per-variable
+// bounds lo <= x <= hi. Lower bounds must be finite; upper bounds may be
+// +Inf. Maximization is expressed by negating the objective.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // <=
+	GE           // >=
+	EQ           // ==
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Term is one coefficient of a constraint: Coeff * x[Var].
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; call NewProblem.
+type Problem struct {
+	obj  []float64
+	lo   []float64
+	hi   []float64
+	rows []conRow
+}
+
+type conRow struct {
+	terms []Term
+	op    Op
+	rhs   float64
+}
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVar adds a variable with bounds [lo, hi] and objective coefficient
+// obj, returning its index. lo must be finite; hi may be +Inf.
+func (p *Problem) AddVar(lo, hi, obj float64) int {
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	p.obj = append(p.obj, obj)
+	return len(p.obj) - 1
+}
+
+// SetObj overwrites the objective coefficient of variable v.
+func (p *Problem) SetObj(v int, c float64) { p.obj[v] = c }
+
+// AddObj adds c to the objective coefficient of variable v.
+func (p *Problem) AddObj(v int, c float64) { p.obj[v] += c }
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumRows returns the number of constraints added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// AddConstraint adds the constraint Σ terms (op) rhs. Terms referencing the
+// same variable multiple times are summed.
+func (p *Problem) AddConstraint(op Op, rhs float64, terms ...Term) {
+	p.rows = append(p.rows, conRow{terms: append([]Term(nil), terms...), op: op, rhs: rhs})
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	// Iterations is the number of simplex pivots performed, for the
+	// runtime accounting in the Figure 15 experiment.
+	Iterations int
+}
+
+// Solve runs the two-phase simplex and returns the solution. An error is
+// returned only for malformed problems (invalid bounds, bad variable
+// indices) or if the iteration safety limit is hit; infeasibility and
+// unboundedness are reported via Solution.Status.
+func (p *Problem) Solve() (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	s := newSimplex(p)
+	return s.solve(p)
+}
+
+func (p *Problem) validate() error {
+	for j := range p.obj {
+		if math.IsInf(p.lo[j], 0) || math.IsNaN(p.lo[j]) {
+			return fmt.Errorf("lp: variable %d has non-finite lower bound %v", j, p.lo[j])
+		}
+		if math.IsNaN(p.hi[j]) || p.hi[j] < p.lo[j] {
+			return fmt.Errorf("lp: variable %d has invalid bounds [%v,%v]", j, p.lo[j], p.hi[j])
+		}
+	}
+	for i, r := range p.rows {
+		for _, t := range r.terms {
+			if t.Var < 0 || t.Var >= len(p.obj) {
+				return fmt.Errorf("lp: row %d references unknown variable %d", i, t.Var)
+			}
+			if math.IsNaN(t.Coeff) || math.IsInf(t.Coeff, 0) {
+				return fmt.Errorf("lp: row %d has non-finite coefficient", i)
+			}
+		}
+		if math.IsNaN(r.rhs) || math.IsInf(r.rhs, 0) {
+			return fmt.Errorf("lp: row %d has non-finite rhs", i)
+		}
+	}
+	return nil
+}
+
+// ErrIterationLimit is returned when the simplex exceeds its safety bound;
+// it indicates a bug or a pathologically scaled model rather than a normal
+// outcome.
+var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")

@@ -1,0 +1,189 @@
+package metrics_test
+
+import (
+	"math"
+	"testing"
+
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+	"lowlat/internal/metrics"
+	"lowlat/internal/topo"
+)
+
+func TestStarHasZeroLLPD(t *testing.T) {
+	g := topo.Star("s", 8, 600, topo.Cap10G)
+	if llpd := metrics.LLPD(g, metrics.APAConfig{}); llpd != 0 {
+		t.Fatalf("star LLPD = %v, want 0 (no link can be routed around)", llpd)
+	}
+	apa, ok := metrics.PairAPA(g, 1, 2, metrics.APAConfig{})
+	if !ok || apa != 0 {
+		t.Fatalf("leaf-leaf APA = %v %v, want 0", apa, ok)
+	}
+}
+
+func TestTreeHasZeroLLPD(t *testing.T) {
+	g := topo.Tree("t", 3, 3, 400, topo.Cap10G)
+	if llpd := metrics.LLPD(g, metrics.APAConfig{}); llpd != 0 {
+		t.Fatalf("tree LLPD = %v, want 0", llpd)
+	}
+}
+
+func TestGridBeatsRing(t *testing.T) {
+	ring := topo.Ring("r", 16, 1400, topo.Cap10G)
+	grid := topo.Grid("g", 5, 5, 650, topo.Cap10G)
+	lr := metrics.LLPD(ring, metrics.APAConfig{})
+	lg := metrics.LLPD(grid, metrics.APAConfig{})
+	if lr >= lg {
+		t.Fatalf("ring LLPD %v >= grid LLPD %v; grids must dominate (paper §2)", lr, lg)
+	}
+	if lg < 0.5 {
+		t.Fatalf("grid LLPD = %v, expected high (> 0.5)", lg)
+	}
+}
+
+func TestGoogleLikeHighestLLPD(t *testing.T) {
+	llpd := metrics.LLPD(topo.GoogleLike(), metrics.APAConfig{})
+	// Paper Figure 19: LLPD = 0.875. Our synthetic analog must land close.
+	if math.Abs(llpd-0.875) > 0.05 {
+		t.Fatalf("google-like LLPD = %v, want ~0.875", llpd)
+	}
+}
+
+func TestCliqueAPAIsFlat(t *testing.T) {
+	g := topo.Clique("c", 8, 1600, topo.Cap10G)
+	dist := metrics.APADistribution(g, metrics.APAConfig{})
+	if len(dist) != 28 {
+		t.Fatalf("pairs = %d, want 28", len(dist))
+	}
+	// Every pair's shortest path is a single direct link, so per-pair APA
+	// is exactly 0 or 1 — which is why Figure 1's clique curves are
+	// horizontal lines (the CDF has a single step at x in {0,1}).
+	for _, v := range dist {
+		if v != 0 && v != 1 {
+			t.Fatalf("clique APA must be 0 or 1, got %v", v)
+		}
+	}
+}
+
+func TestAPAStretchLimitMatters(t *testing.T) {
+	// Diamond where the alternate path is 2.0x the shortest: routable
+	// under limit 2.5, not under the default 1.4.
+	b := graph.NewBuilder("d")
+	a := b.AddNode("a", geo.Point{})
+	m1 := b.AddNode("m1", geo.Point{})
+	m2 := b.AddNode("m2", geo.Point{})
+	z := b.AddNode("z", geo.Point{})
+	b.AddBiLink(a, m1, 1e9, 0.005)
+	b.AddBiLink(m1, z, 1e9, 0.005)
+	b.AddBiLink(a, m2, 1e9, 0.010)
+	b.AddBiLink(m2, z, 1e9, 0.010)
+	g := b.MustBuild()
+
+	strict, _ := metrics.PairAPA(g, a, z, metrics.APAConfig{StretchLimit: 1.4})
+	if strict != 0 {
+		t.Fatalf("APA with limit 1.4 = %v, want 0", strict)
+	}
+	loose, _ := metrics.PairAPA(g, a, z, metrics.APAConfig{StretchLimit: 2.5})
+	if loose != 1 {
+		t.Fatalf("APA with limit 2.5 = %v, want 1", loose)
+	}
+}
+
+func TestAPACapacityViability(t *testing.T) {
+	// Alternate path exists and is short, but its bottleneck is a tenth
+	// of the shortest path's: not a viable alternate on its own. A second
+	// alternate lifts the min-cut over the bar (progressive accumulation).
+	mk := func(altCaps ...float64) *graph.Graph {
+		b := graph.NewBuilder("v")
+		a := b.AddNode("a", geo.Point{})
+		z := b.AddNode("z", geo.Point{})
+		b.AddBiLink(a, z, 10e9, 0.010) // shortest path, 10G
+		for i, c := range altCaps {
+			m := b.AddNode(string(rune('m'+i)), geo.Point{})
+			b.AddBiLink(a, m, c, 0.006)
+			b.AddBiLink(m, z, c, 0.006)
+		}
+		return b.MustBuild()
+	}
+
+	weak, _ := metrics.PairAPA(mk(1e9), 0, 1, metrics.APAConfig{})
+	if weak != 0 {
+		t.Fatalf("undersized alternate should not count, APA = %v", weak)
+	}
+	strong, _ := metrics.PairAPA(mk(10e9), 0, 1, metrics.APAConfig{})
+	if strong != 1 {
+		t.Fatalf("full-capacity alternate should count, APA = %v", strong)
+	}
+	combined, _ := metrics.PairAPA(mk(5e9, 5e9), 0, 1, metrics.APAConfig{})
+	if combined != 1 {
+		t.Fatalf("two 5G alternates should combine to cover 10G, APA = %v", combined)
+	}
+	insufficient, _ := metrics.PairAPA(mk(5e9, 4e9), 0, 1, metrics.APAConfig{})
+	if insufficient != 0 {
+		t.Fatalf("9G of alternates cannot cover 10G, APA = %v", insufficient)
+	}
+}
+
+func TestAPADisconnectedPair(t *testing.T) {
+	b := graph.NewBuilder("disc")
+	b.AddNode("a", geo.Point{})
+	b.AddNode("b", geo.Point{})
+	g := b.MustBuild()
+	if _, ok := metrics.PairAPA(g, 0, 1, metrics.APAConfig{}); ok {
+		t.Fatal("disconnected pair should report !ok")
+	}
+}
+
+func TestLLPDThresholdSensitivity(t *testing.T) {
+	g := topo.Grid("g", 4, 4, 650, topo.Cap10G)
+	strict := metrics.LLPD(g, metrics.APAConfig{APAThreshold: 0.9})
+	loose := metrics.LLPD(g, metrics.APAConfig{APAThreshold: 0.5})
+	if strict > loose {
+		t.Fatalf("LLPD must be monotone in threshold: %v > %v", strict, loose)
+	}
+}
+
+func TestStretchHelper(t *testing.T) {
+	g := topo.Ring("r", 6, 1000, topo.Cap10G)
+	sp, _ := g.ShortestPath(0, 1, nil, nil)
+	if s := metrics.Stretch(g, 0, 1, sp.Delay*1.2); math.Abs(s-1.2) > 1e-9 {
+		t.Fatalf("stretch = %v, want 1.2", s)
+	}
+	b := graph.NewBuilder("disc")
+	b.AddNode("a", geo.Point{})
+	b.AddNode("b", geo.Point{})
+	dg := b.MustBuild()
+	if !math.IsInf(metrics.Stretch(dg, 0, 1, 1), 1) {
+		t.Fatal("disconnected stretch should be +Inf")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	g := topo.Ring("r", 10, 1200, topo.Cap10G)
+	before := metrics.LLPD(g, metrics.APAConfig{})
+	grown, added := topo.Grow(g, topo.GrowConfig{Fraction: 0.2, CandidateSample: 10, Seed: 1})
+	if len(added) == 0 {
+		t.Fatal("no links added")
+	}
+	if grown.NumLinks() <= g.NumLinks() {
+		t.Fatal("grown graph has no extra links")
+	}
+	after := metrics.LLPD(grown, metrics.APAConfig{})
+	if after < before {
+		t.Fatalf("LLPD-guided growth decreased LLPD: %v -> %v", before, after)
+	}
+	// Additions are recorded with their post-add LLPD, nondecreasing.
+	for i := 1; i < len(added); i++ {
+		if added[i].LLPD < added[i-1].LLPD-1e-9 {
+			t.Fatalf("greedy growth should not reduce LLPD between rounds: %v", added)
+		}
+	}
+}
+
+func BenchmarkLLPDGTS(b *testing.B) {
+	g := topo.GTSLike()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.LLPD(g, metrics.APAConfig{})
+	}
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+)
+
+func qcfg(n int) *quick.Config {
+	return &quick.Config{MaxCount: n, Rand: rand.New(rand.NewSource(7))}
+}
+
+func randomNet(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + rng.Intn(10)
+	b := graph.NewBuilder(fmt.Sprintf("mnet-%d", n))
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = b.AddNode(fmt.Sprintf("n%d", i), geo.Point{
+			Lat: 40 + rng.Float64()*10, Lon: rng.Float64() * 10,
+		})
+	}
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		b.AddGeoBiLink(ids[i], ids[j], 10e9)
+	}
+	for e := 0; e < n; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j && !b.HasLink(ids[i], ids[j]) {
+			b.AddGeoBiLink(ids[i], ids[j], 10e9)
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestQuickMetricsInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomNet(seed)
+		llpd := LLPD(g, APAConfig{})
+		if llpd < 0 || llpd > 1 {
+			return false
+		}
+		for _, apa := range APADistribution(g, APAConfig{}) {
+			if apa < 0 || apa > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg(30)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStricterStretchNeverRaisesAPA(t *testing.T) {
+	// Tightening the stretch budget can only remove viable alternates,
+	// so every pair's APA is non-increasing in the limit.
+	f := func(seed int64) bool {
+		g := randomNet(seed)
+		loose := APADistribution(g, APAConfig{StretchLimit: 2.0})
+		tight := APADistribution(g, APAConfig{StretchLimit: 1.2})
+		if len(loose) != len(tight) {
+			return false
+		}
+		for i := range loose {
+			if tight[i] > loose[i]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg(25)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHigherAPAThresholdNeverRaisesLLPD(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomNet(seed)
+		lo := LLPD(g, APAConfig{APAThreshold: 0.5})
+		hi := LLPD(g, APAConfig{APAThreshold: 0.9})
+		return hi <= lo+1e-12
+	}
+	if err := quick.Check(f, qcfg(25)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package mux
+
+import "math"
+
+// fft performs an in-place iterative radix-2 Cooley-Tukey transform.
+// len(a) must be a power of two. invert=true computes the inverse
+// transform including the 1/n scaling.
+func fft(a []complex128, invert bool) {
+	n := len(a)
+	if n&(n-1) != 0 {
+		panic("mux: fft length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if invert {
+			ang = -ang
+		}
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length >> 1
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	if invert {
+		inv := complex(1/float64(n), 0)
+		for i := range a {
+			a[i] *= inv
+		}
+	}
+}

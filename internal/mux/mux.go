@@ -1,0 +1,158 @@
+// Package mux implements the statistical-multiplexing appraisal at the
+// heart of LDR's headroom computation (§5, Figure 14): given per-aggregate
+// short-timescale (100 ms) bandwidth measurements, decide whether a set of
+// aggregates can share a link without building queues beyond a bound.
+//
+// Two tests mirror the paper's design:
+//
+//   - a temporal-correlation test (B): sum the aggregates' synchronized
+//     100 ms series, carry queued excess over to the next period, and
+//     reject if the worst-case transient queue exceeds the bound;
+//   - an uncorrelated multiplexing test (C): treat each aggregate's
+//     measurements as a PMF, convolve the PMFs of co-located aggregates
+//     via FFT, and reject if the probability that the convolved load
+//     exceeds link capacity is above maxQueue/measurement-interval
+//     (10 ms / 60 s = 0.00016 in the paper).
+//
+// A peak-sum prefilter skips both tests when the aggregates cannot
+// possibly exceed the link even if all peak simultaneously.
+package mux
+
+// CheckConfig parameterizes the multiplexing tests. Zero values take the
+// paper's defaults.
+type CheckConfig struct {
+	// MaxQueueSec is the largest tolerable transient queueing delay
+	// (paper: 10 ms).
+	MaxQueueSec float64
+	// BinSec is the duration of one measurement bin (paper: 100 ms).
+	BinSec float64
+	// IntervalSec is the span the measurements cover (paper: 60 s);
+	// the exceedance threshold is MaxQueueSec / IntervalSec.
+	IntervalSec float64
+	// Levels is the PMF quantization (paper: 1024).
+	Levels int
+	// NaiveConvolution switches the O(N^2) direct convolution in place
+	// of the FFT, for the ablation benchmark.
+	NaiveConvolution bool
+	// DisablePeakPrefilter turns off the peak-sum shortcut, for the
+	// ablation benchmark.
+	DisablePeakPrefilter bool
+}
+
+func (c CheckConfig) withDefaults() CheckConfig {
+	if c.MaxQueueSec <= 0 {
+		c.MaxQueueSec = 0.010
+	}
+	if c.BinSec <= 0 {
+		c.BinSec = 0.100
+	}
+	if c.IntervalSec <= 0 {
+		c.IntervalSec = 60
+	}
+	if c.Levels <= 0 {
+		c.Levels = 1024
+	}
+	return c
+}
+
+// Threshold returns the exceedance-probability bound maxQueue/interval.
+func (c CheckConfig) Threshold() float64 {
+	c = c.withDefaults()
+	return c.MaxQueueSec / c.IntervalSec
+}
+
+// Verdict is the outcome of CheckLink.
+type Verdict struct {
+	Pass bool
+	// SkippedByPeakSum is true when the peak-sum prefilter proved the
+	// link safe without running either test.
+	SkippedByPeakSum bool
+	// MaxQueueSec is the worst transient queueing delay found by the
+	// temporal-correlation test (0 when skipped).
+	MaxQueueSec float64
+	// ExceedProb is P(convolved load > capacity) from the PMF test
+	// (0 when skipped).
+	ExceedProb float64
+	// FailedTemporal / FailedConvolution identify which test rejected.
+	FailedTemporal    bool
+	FailedConvolution bool
+}
+
+// CheckLink appraises whether the given aggregates multiplex acceptably on
+// a link of the given capacity (bits/sec). series[i] holds aggregate i's
+// measured bitrate (bits/sec) per 100 ms bin; all series must be the same
+// length and time-aligned.
+func CheckLink(series [][]float64, capacity float64, cfg CheckConfig) Verdict {
+	cfg = cfg.withDefaults()
+	if len(series) == 0 {
+		return Verdict{Pass: true, SkippedByPeakSum: true}
+	}
+
+	// Peak-sum prefilter: if even simultaneous peaks fit, both tests
+	// pass by construction.
+	if !cfg.DisablePeakPrefilter {
+		peakSum := 0.0
+		for _, s := range series {
+			peak := 0.0
+			for _, v := range s {
+				if v > peak {
+					peak = v
+				}
+			}
+			peakSum += peak
+		}
+		if peakSum <= capacity {
+			return Verdict{Pass: true, SkippedByPeakSum: true}
+		}
+	}
+
+	v := Verdict{}
+	v.MaxQueueSec = MaxQueueDelay(series, capacity, cfg.BinSec)
+	if v.MaxQueueSec > cfg.MaxQueueSec {
+		v.FailedTemporal = true
+		return v
+	}
+
+	pmfs := make([]PMF, len(series))
+	binWidth := capacity / float64(cfg.Levels)
+	for i, s := range series {
+		pmfs[i] = FromSamples(s, binWidth, cfg.Levels)
+	}
+	combined := ConvolveAll(pmfs, cfg.Levels, cfg.NaiveConvolution)
+	v.ExceedProb = combined.TailMass()
+	if v.ExceedProb > cfg.Threshold() {
+		v.FailedConvolution = true
+		return v
+	}
+	v.Pass = true
+	return v
+}
+
+// MaxQueueDelay runs the temporal-correlation test: it sums the aligned
+// series per bin, carries excess over capacity into the next bin as queued
+// bytes, and returns the maximum queueing delay in seconds.
+func MaxQueueDelay(series [][]float64, capacity float64, binSec float64) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	n := len(series[0])
+	queueBits := 0.0
+	maxDelay := 0.0
+	for t := 0; t < n; t++ {
+		load := 0.0
+		for _, s := range series {
+			if t < len(s) {
+				load += s[t]
+			}
+		}
+		// Arrivals this bin plus backlog, drained at link rate.
+		queueBits += (load - capacity) * binSec
+		if queueBits < 0 {
+			queueBits = 0
+		}
+		if d := queueBits / capacity; d > maxDelay {
+			maxDelay = d
+		}
+	}
+	return maxDelay
+}

@@ -1,0 +1,143 @@
+package mux
+
+// PMF is a discrete probability mass function over bitrate. Bin i covers
+// [i*BinWidth, (i+1)*BinWidth); the final bin is an overflow bucket that
+// accumulates all mass at or beyond the link capacity, so TailMass is the
+// probability of exceeding the link.
+type PMF struct {
+	BinWidth float64
+	P        []float64 // length Levels+1; P[Levels] is the overflow bucket
+}
+
+// FromSamples quantizes bitrate samples into a PMF with the given bin
+// width and number of in-range levels.
+func FromSamples(samples []float64, binWidth float64, levels int) PMF {
+	p := PMF{BinWidth: binWidth, P: make([]float64, levels+1)}
+	if len(samples) == 0 {
+		p.P[0] = 1
+		return p
+	}
+	w := 1 / float64(len(samples))
+	for _, v := range samples {
+		idx := int(v / binWidth)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > levels {
+			idx = levels
+		}
+		p.P[idx] += w
+	}
+	return p
+}
+
+// TailMass returns the probability in the overflow bucket: the chance the
+// quantity meets or exceeds levels*BinWidth (the link capacity in
+// CheckLink's usage).
+func (p PMF) TailMass() float64 {
+	if len(p.P) == 0 {
+		return 0
+	}
+	return p.P[len(p.P)-1]
+}
+
+// Mean returns the expected value, attributing each bin its lower edge and
+// the overflow bucket the capacity bound.
+func (p PMF) Mean() float64 {
+	m := 0.0
+	for i, pi := range p.P {
+		m += pi * float64(i) * p.BinWidth
+	}
+	return m
+}
+
+// Convolve returns the distribution of the sum of two independent
+// quantities, clamped into the same levels+overflow layout. useNaive
+// selects the O(N^2) direct method instead of the FFT.
+func Convolve(a, b PMF, levels int, useNaive bool) PMF {
+	if useNaive {
+		return convolveNaive(a, b, levels)
+	}
+	return convolveFFT(a, b, levels)
+}
+
+// ConvolveAll folds a list of PMFs into the distribution of their sum.
+func ConvolveAll(pmfs []PMF, levels int, useNaive bool) PMF {
+	if len(pmfs) == 0 {
+		return PMF{BinWidth: 1, P: []float64{1}}
+	}
+	acc := pmfs[0]
+	for _, p := range pmfs[1:] {
+		acc = Convolve(acc, p, levels, useNaive)
+	}
+	return acc
+}
+
+func convolveNaive(a, b PMF, levels int) PMF {
+	out := PMF{BinWidth: a.BinWidth, P: make([]float64, levels+1)}
+	for i, pa := range a.P {
+		if pa == 0 {
+			continue
+		}
+		aOver := i >= levels
+		for j, pb := range b.P {
+			if pb == 0 {
+				continue
+			}
+			idx := i + j
+			if aOver || j >= levels || idx >= levels {
+				idx = levels
+			}
+			out.P[idx] += pa * pb
+		}
+	}
+	return out
+}
+
+func convolveFFT(a, b PMF, levels int) PMF {
+	n := 1
+	for n < len(a.P)+len(b.P)-1 {
+		n <<= 1
+	}
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	for i, v := range a.P {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b.P {
+		fb[i] = complex(v, 0)
+	}
+	fft(fa, false)
+	fft(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	fft(fa, true)
+
+	out := PMF{BinWidth: a.BinWidth, P: make([]float64, levels+1)}
+	for i := 0; i < n; i++ {
+		v := real(fa[i])
+		if v <= 0 {
+			continue // FFT round-off can go slightly negative
+		}
+		idx := i
+		if idx > levels {
+			idx = levels
+		}
+		out.P[idx] += v
+	}
+	// Mass that combined two overflow buckets landed at index
+	// len(a.P)-1 + len(b.P)-1 and was clamped above; nothing further
+	// needed. Renormalize away FFT round-off.
+	sum := 0.0
+	for _, v := range out.P {
+		sum += v
+	}
+	if sum > 0 {
+		inv := 1 / sum
+		for i := range out.P {
+			out.P[i] *= inv
+		}
+	}
+	return out
+}

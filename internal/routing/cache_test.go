@@ -1,0 +1,74 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lowlat/internal/graph"
+)
+
+// TestWarmCacheSameResult: sharing a KSP cache across runs is purely a
+// performance optimization — the placement must be bit-identical to a
+// cold-cache run.
+func TestWarmCacheSameResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 5; trial++ {
+		g := randomTopology(rng, 10, 0.3)
+		m := randomMatrix(rng, g, 15, 4)
+
+		cold, err := (LatencyOpt{}).Place(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := graph.NewKSPCache(g)
+		if _, err := (LatencyOpt{Cache: cache}).Place(g, m); err != nil {
+			t.Fatal(err)
+		}
+		warm, err := (LatencyOpt{Cache: cache}).Place(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if math.Abs(cold.LatencyStretch()-warm.LatencyStretch()) > 1e-9 {
+			t.Fatalf("trial %d: stretch differs cold %v vs warm %v",
+				trial, cold.LatencyStretch(), warm.LatencyStretch())
+		}
+		cu, wu := cold.Utilizations(), warm.Utilizations()
+		for i := range cu {
+			if math.Abs(cu[i]-wu[i]) > 1e-9 {
+				t.Fatalf("trial %d: link %d utilization differs: %v vs %v",
+					trial, i, cu[i], wu[i])
+			}
+		}
+	}
+}
+
+// TestDeterministicPlacements: the same inputs always produce the same
+// placement (all tie-breaks are deterministic).
+func TestDeterministicPlacements(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := randomTopology(rng, 12, 0.25)
+	m := randomMatrix(rng, g, 20, 4)
+	for _, s := range []Scheme{SP{}, B4{}, LatencyOpt{}, MinMax{}, MinMax{K: 5}} {
+		a, err := s.Place(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Place(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Allocs {
+			if len(a.Allocs[i]) != len(b.Allocs[i]) {
+				t.Fatalf("%s: aggregate %d alloc count differs", s.Name(), i)
+			}
+			for j := range a.Allocs[i] {
+				if !a.Allocs[i][j].Path.Equal(b.Allocs[i][j].Path) ||
+					math.Abs(a.Allocs[i][j].Fraction-b.Allocs[i][j].Fraction) > 1e-12 {
+					t.Fatalf("%s: aggregate %d alloc %d differs", s.Name(), i, j)
+				}
+			}
+		}
+	}
+}

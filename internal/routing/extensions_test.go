@@ -1,0 +1,138 @@
+package routing
+
+import (
+	"testing"
+
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+	"lowlat/internal/tm"
+)
+
+// TestPriorityClassesKeepShortPath exercises the §8 extension: when two
+// aggregates compete for a bottleneck and one is marked latency-sensitive
+// (higher Weight), the optimizer moves the best-effort one to the detour.
+func TestPriorityClassesKeepShortPath(t *testing.T) {
+	// Two sources share a 10G bottleneck toward z; a 10G detour exists.
+	b := graph.NewBuilder("prio")
+	s1 := b.AddNode("s1", geo.Point{})
+	s2 := b.AddNode("s2", geo.Point{})
+	h := b.AddNode("h", geo.Point{})
+	x := b.AddNode("x", geo.Point{})
+	z := b.AddNode("z", geo.Point{})
+	b.AddBiLink(s1, h, 100e9, 0.001)
+	b.AddBiLink(s2, h, 100e9, 0.001)
+	b.AddBiLink(h, z, 10e9, 0.010)
+	b.AddBiLink(h, x, 10e9, 0.008)
+	b.AddBiLink(x, z, 10e9, 0.008)
+	g := b.MustBuild()
+
+	place := func(w1, w2 float64) (frac1Short, frac2Short float64) {
+		m := tm.New([]tm.Aggregate{
+			{Src: s1, Dst: z, Volume: 7e9, Flows: 100, Weight: w1},
+			{Src: s2, Dst: z, Volume: 7e9, Flows: 100, Weight: w2},
+		})
+		p, err := (LatencyOpt{Exact: true}).Place(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		short := func(allocs []PathAlloc) float64 {
+			f := 0.0
+			for _, a := range allocs {
+				if a.Path.Contains(4) || a.Path.Contains(5) { // h<->z direct links
+					f += a.Fraction
+				}
+			}
+			return f
+		}
+		return short(p.Allocs[0]), short(p.Allocs[1])
+	}
+
+	// Symmetric weights: the bottleneck is shared somehow (10G for 14G
+	// of demand -> 10/14 total on the direct path).
+	f1, f2 := place(1, 1)
+	if f1+f2 < 10.0/7-1e-3 || f1+f2 > 10.0/7+1e-3 {
+		t.Fatalf("symmetric split should fill the direct link: %v + %v", f1, f2)
+	}
+
+	// Aggregate 1 latency-sensitive: it must keep the whole short path.
+	f1, f2 = place(10, 1)
+	if f1 < 1-1e-6 {
+		t.Fatalf("priority aggregate pushed off the short path: %v", f1)
+	}
+	if f2 > (10.0-7)/7+1e-3 {
+		t.Fatalf("best-effort aggregate took too much of the short path: %v", f2)
+	}
+
+	// And symmetrically the other way.
+	f1, f2 = place(1, 10)
+	if f2 < 1-1e-6 {
+		t.Fatalf("priority aggregate 2 pushed off the short path: %v", f2)
+	}
+	_ = f1
+}
+
+// TestMinMaxStretchBound exercises the other §8 suggestion: growing the
+// MinMax path set subject to a delay-stretch bound keeps it off absurd
+// detours while still spreading load.
+func TestMinMaxStretchBound(t *testing.T) {
+	// Direct 20ms route plus detours of 28ms (1.4x) and 100ms (5x).
+	b := graph.NewBuilder("bound")
+	a := b.AddNode("a", geo.Point{})
+	m1 := b.AddNode("m1", geo.Point{})
+	m2 := b.AddNode("m2", geo.Point{})
+	z := b.AddNode("z", geo.Point{})
+	b.AddBiLink(a, z, 10e9, 0.010)
+	b.AddBiLink(a, m1, 10e9, 0.007)
+	b.AddBiLink(m1, z, 10e9, 0.007)
+	b.AddBiLink(a, m2, 10e9, 0.050)
+	b.AddBiLink(m2, z, 10e9, 0.050)
+	g := b.MustBuild()
+	m := tm.New([]tm.Aggregate{{Src: 0, Dst: 3, Volume: 6e9, Flows: 100}})
+
+	unbounded, ub, err := MinMax{}.PlaceWithStats(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, bb, err := MinMax{StretchBound: 2}.PlaceWithStats(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unbounded MinMax drops peak to 0.2 by using the 100ms detour;
+	// bounded must stay off it and accept peak 0.3.
+	if ub.MaxOverload > 0.2+1e-3 {
+		t.Fatalf("unbounded peak = %v", ub.MaxOverload)
+	}
+	if bb.MaxOverload > 0.3+1e-3 || bb.MaxOverload < 0.3-1e-3 {
+		t.Fatalf("bounded peak = %v, want 0.3 (two-way split)", bb.MaxOverload)
+	}
+	for _, al := range bounded.Allocs[0] {
+		if al.Fraction > 1e-6 && al.Path.Delay > 2*0.010+1e-9 {
+			t.Fatalf("bounded MinMax used an over-budget path: %+v", al)
+		}
+	}
+	if unbounded.MaxStretch() <= bounded.MaxStretch() {
+		t.Fatalf("unbounded should stretch further: %v vs %v",
+			unbounded.MaxStretch(), bounded.MaxStretch())
+	}
+	// The bound must not break validity.
+	if err := bounded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinMaxStretchBoundInfeasibleFallback: when the only way to fit the
+// traffic needs paths beyond the bound, the bounded solver still routes
+// everything (on the allowed paths) and reports the overload honestly.
+func TestMinMaxStretchBoundOverload(t *testing.T) {
+	g := twoPath(t, 10e9, 10e9) // direct 10ms, detour 14ms (stretch 1.4)
+	m := tm.New([]tm.Aggregate{agg(0, 2, 15)})
+	_, stats, err := MinMax{StretchBound: 1.2}.PlaceWithStats(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the direct path is within budget: 15G on 10G -> overload 1.5.
+	if stats.MaxOverload < 1.5-1e-6 {
+		t.Fatalf("overload = %v, want 1.5 (detour excluded by bound)", stats.MaxOverload)
+	}
+}

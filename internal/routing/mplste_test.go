@@ -1,0 +1,207 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+	"lowlat/internal/tm"
+)
+
+func TestMPLSTESingleLSPOnShortest(t *testing.T) {
+	g := twoPath(t, 10e9, 10e9)
+	m := tm.New([]tm.Aggregate{agg(0, 2, 5)})
+	p, err := MPLSTE{}.Place(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Allocs[0]) != 1 {
+		t.Fatalf("want one LSP, got %d allocs", len(p.Allocs[0]))
+	}
+	if len(p.Allocs[0][0].Path.Links) != 1 {
+		t.Fatalf("a fitting LSP must take the direct path: %+v", p.Allocs[0])
+	}
+}
+
+func TestMPLSTECSPFAvoidsFullLink(t *testing.T) {
+	g := twoPath(t, 10e9, 10e9)
+	// First LSP fills the direct link; the second must detour via m.
+	m := tm.New([]tm.Aggregate{agg(0, 2, 9), agg(0, 2, 5)})
+	p, err := MPLSTE{Order: TEOrderVolumeDesc}.Place(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Allocs[0][0].Path.Links) != 1 {
+		t.Fatalf("big LSP should win the direct path: %+v", p.Allocs[0])
+	}
+	if len(p.Allocs[1][0].Path.Links) != 2 {
+		t.Fatalf("small LSP should detour via m: %+v", p.Allocs[1])
+	}
+	if p.MaxUtilization() > 1 {
+		t.Fatalf("CSPF admission must not overload: %v", p.MaxUtilization())
+	}
+}
+
+func TestMPLSTEUnsplittableCongests(t *testing.T) {
+	// A 15G aggregate cannot fit either 10G route whole. The LSP falls
+	// back to the IGP shortest path and congests — unlike B4, which can
+	// split the aggregate across both routes.
+	g := twoPath(t, 10e9, 10e9)
+	m := tm.New([]tm.Aggregate{agg(0, 2, 15)})
+	p, err := MPLSTE{}.Place(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CongestedPairFraction(); got != 1 {
+		t.Fatalf("congested fraction = %v, want 1", got)
+	}
+	if len(p.Allocs[0][0].Path.Links) != 1 {
+		t.Fatalf("fallback must be the shortest path: %+v", p.Allocs[0])
+	}
+
+	b4, err := B4{}.Place(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b4.CongestedPairFraction() != 0 {
+		t.Fatalf("B4 splits and fits here; got congestion %v", b4.CongestedPairFraction())
+	}
+}
+
+// vgGraph reproduces the Figure 5 situation: V has exactly two links out
+// (to G and to E). Red traffic fills V->E, blue fills V->G, and green V->G
+// traffic then has no uncongested route at all, although an optimal
+// placement fits everything by splitting.
+func vgGraph(t testing.TB) (*graph.Graph, []graph.NodeID) {
+	t.Helper()
+	b := graph.NewBuilder("fig5")
+	v := b.AddNode("V", geo.Point{})
+	gy := b.AddNode("G", geo.Point{})
+	e := b.AddNode("E", geo.Point{})
+	b.AddBiLink(v, gy, 10e9, 0.002) // link 1: V<->G direct
+	b.AddBiLink(v, e, 10e9, 0.004)  // link 2: V<->E
+	b.AddBiLink(gy, e, 10e9, 0.003) // G<->E
+	return b.MustBuild(), []graph.NodeID{v, gy, e}
+}
+
+func TestMPLSTEOrderSensitivity(t *testing.T) {
+	// One-at-a-time placement makes the outcome depend on signaling
+	// order: big-first admits {6 direct, 5+5 detour}; small-first packs
+	// both 5G LSPs onto the direct link and detours the 6G one. Both
+	// fit, but the total delay differs.
+	g := twoPath(t, 10e9, 10e9)
+	m := tm.New([]tm.Aggregate{agg(0, 2, 5), agg(0, 2, 5), agg(0, 2, 6)})
+
+	desc, err := MPLSTE{Order: TEOrderVolumeDesc}.Place(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asc, err := MPLSTE{Order: TEOrderVolumeAsc}.Place(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.MaxUtilization() == asc.MaxUtilization() &&
+		desc.LatencyStretch() == asc.LatencyStretch() {
+		t.Fatalf("orders should differ on this load: desc util %v asc util %v",
+			desc.MaxUtilization(), asc.MaxUtilization())
+	}
+}
+
+func TestMPLSTESharesB4Pathology(t *testing.T) {
+	// §3: "the same observations also hold for MPLS-TE". Build the
+	// Figure 5 trap: red fills V->E, blue fills V->G, then green V->G
+	// traffic has no uncongested route at all.
+	g, ids := vgGraph(t)
+	v, gy, e := ids[0], ids[1], ids[2]
+	m := tm.New([]tm.Aggregate{
+		agg(v, e, 8),  // red: nearly fills V->E direct
+		agg(v, gy, 8), // blue: nearly fills V->G direct (link 1)
+		agg(v, gy, 3), // green: no single remaining route fits it whole
+	})
+	p, err := MPLSTE{Order: TEOrderVolumeDesc}.Place(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CongestedPairFraction() == 0 {
+		t.Fatal("greedy one-at-a-time placement should congest here")
+	}
+
+	// The latency-optimal LP fits the same traffic by splitting.
+	opt, err := LatencyOpt{}.Place(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Fits() {
+		t.Fatalf("optimal placement must fit (max util %v)", opt.MaxUtilization())
+	}
+}
+
+func TestMPLSTEHeadroom(t *testing.T) {
+	g := twoPath(t, 10e9, 20e9)
+	// With 20% headroom the 9G LSP cannot be admitted on the 10G direct
+	// link (8G usable) and must detour onto the fatter alternate; with
+	// no headroom it fits directly.
+	m := tm.New([]tm.Aggregate{agg(0, 2, 9)})
+
+	plain, err := MPLSTE{}.Place(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Allocs[0][0].Path.Links) != 1 {
+		t.Fatalf("without headroom the LSP fits directly: %+v", plain.Allocs[0])
+	}
+
+	hr, err := MPLSTE{Headroom: 0.2}.Place(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hr.Allocs[0][0].Path.Links) != 2 {
+		t.Fatalf("with 20%% headroom the LSP must detour: %+v", hr.Allocs[0])
+	}
+}
+
+func TestMPLSTEName(t *testing.T) {
+	if (MPLSTE{}).Name() != "mplste" {
+		t.Fatal("name")
+	}
+	if (MPLSTE{Headroom: 0.1}).Name() != "mplste+hr" {
+		t.Fatal("headroom name")
+	}
+}
+
+func TestMPLSTEVolumeConservation(t *testing.T) {
+	g, ids := vgGraph(t)
+	m := tm.New([]tm.Aggregate{
+		agg(ids[0], ids[2], 3), agg(ids[1], ids[2], 4), agg(ids[2], ids[0], 2),
+	})
+	p, err := MPLSTE{}.Place(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, loads := range p.LinkLoads() {
+		total += loads
+	}
+	// Each aggregate's volume appears once per traversed link; at
+	// minimum the sum of volumes (all paths have >= 1 link).
+	min := 0.0
+	for _, a := range m.Aggregates {
+		min += a.Volume
+	}
+	if total < min-1e-6 {
+		t.Fatalf("link loads %v < total volume %v: traffic vanished", total, min)
+	}
+	for i := range p.Allocs {
+		frac := 0.0
+		for _, al := range p.Allocs[i] {
+			frac += al.Fraction
+		}
+		if math.Abs(frac-1) > 1e-9 {
+			t.Fatalf("aggregate %d fractions sum to %v", i, frac)
+		}
+	}
+}

@@ -1,0 +1,429 @@
+package routing
+
+import (
+	"math"
+	"sort"
+
+	"lowlat/internal/graph"
+	"lowlat/internal/lp"
+	"lowlat/internal/tm"
+)
+
+// The Figure 12 objective uses three scale constants. With the delay term
+// normalized to ~1 (we divide by the all-shortest-paths baseline):
+// bigM2 makes congestion avoidance dominate everything; bigM3 makes total
+// overload spreading dominate delay once congestion is unavoidable; tinyM1
+// is the RTT-aware tie-break ("move the aggregate whose RTT is already
+// larger").
+const (
+	bigM2  = 1e6
+	bigM3  = 100.0
+	tinyM1 = 1e-4
+)
+
+// pathSolveKind selects the LP objective.
+type pathSolveKind int
+
+const (
+	kindLatency pathSolveKind = iota // Figure 12: avoid congestion, then minimize delay
+	kindMinMax                       // minimize max utilization, latency as tie-break
+)
+
+// pathSolver runs the iterative path-based optimization of Figure 13: per-
+// aggregate path lists grow around overloaded (or maximally utilized)
+// links until the objective stops improving.
+type pathSolver struct {
+	kind     pathSolveKind
+	headroom float64
+	fixedK   int     // >0: fixed path budget per aggregate, no growth (MinMaxK10)
+	polish   bool    // keep optimizing around saturated links once feasible
+	bound    float64 // >0: never consider paths longer than bound x shortest
+	maxPaths int
+	cache    *graph.KSPCache
+
+	// stats
+	lpRuns     int
+	lpPivots   int
+	growRounds int
+}
+
+type pathSolveResult struct {
+	placement *Placement
+	// maxOverload is the final max(load/capacity') across links, using
+	// headroom-scaled capacities (1.0 means exactly full).
+	maxOverload float64
+}
+
+func (s *pathSolver) solve(g *graph.Graph, m *tm.Matrix) (*pathSolveResult, error) {
+	if s.maxPaths <= 0 {
+		s.maxPaths = 64
+	}
+	if s.cache == nil {
+		s.cache = graph.NewKSPCache(g)
+	}
+	sps, err := shortestDelays(g, m)
+	if err != nil {
+		return nil, err
+	}
+
+	capScale := 1 - s.headroom
+	caps := make([]float64, g.NumLinks())
+	for i, l := range g.Links() {
+		caps[i] = l.Capacity * capScale
+	}
+
+	// norm makes the delay term O(1): the volume-weighted all-shortest-
+	// path delay baseline.
+	norm := 0.0
+	minS := math.Inf(1)
+	for i, a := range m.Aggregates {
+		norm += float64(a.Flows) * a.EffectiveWeight() * sps[i].Delay
+		if sps[i].Delay < minS {
+			minS = sps[i].Delay
+		}
+	}
+	if norm <= 0 {
+		norm = 1
+	}
+
+	kCount := make([]int, m.Len())
+	for i := range kCount {
+		kCount[i] = 1
+		if s.fixedK > 0 {
+			kCount[i] = s.fixedK
+		}
+	}
+	pathSets := make([][]graph.Path, m.Len())
+	capped := make([]bool, m.Len())
+	loadPaths := func() {
+		for i, a := range m.Aggregates {
+			ps := s.cache.Paths(a.Src, a.Dst, kCount[i])
+			if s.bound > 0 {
+				// The §8 extension: grow MinMax path sets subject to a
+				// delay-stretch bound, so detours stay proportionate.
+				maxDelay := s.bound * sps[i].Delay
+				cut := len(ps)
+				for cut > 1 && ps[cut-1].Delay > maxDelay {
+					cut--
+				}
+				if cut < len(ps) {
+					capped[i] = true // longer candidates are all over budget
+					ps = ps[:cut]
+				}
+			}
+			pathSets[i] = ps
+		}
+	}
+	loadPaths()
+
+	maxRounds := 60
+	polishRounds := 8
+	patience := 2
+	noImprove := 0
+	bestObj := math.Inf(1)
+	var best *pathSolveResult
+	polishing := false
+
+	for round := 0; round < maxRounds; round++ {
+		s.growRounds = round
+		placement, err := s.solveOnce(g, m, sps, pathSets, caps, norm, minS)
+		if err != nil {
+			return nil, err
+		}
+		overloads := linkOverloads(placement, caps)
+		maxOv := 0.0
+		for _, ov := range overloads {
+			if ov > maxOv {
+				maxOv = ov
+			}
+		}
+		res := &pathSolveResult{placement: placement, maxOverload: maxOv}
+
+		// Score this round: for the latency objective congestion
+		// dominates; for MinMax the max overload itself is the goal.
+		var score float64
+		switch s.kind {
+		case kindLatency:
+			score = bigM2*math.Max(maxOv, 1) + placement.LatencyStretch()
+		case kindMinMax:
+			score = bigM2*maxOv + placement.LatencyStretch()
+		}
+		if score < bestObj-1e-9 {
+			bestObj = score
+			best = res
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+
+		if s.fixedK > 0 {
+			return best, nil // single shot: path sets are fixed
+		}
+		if s.kind == kindLatency && maxOv <= 1+1e-7 && !polishing {
+			if !s.polish {
+				// The Figure 13 termination: no overloaded links.
+				return best, nil
+			}
+			// Exact mode: keep polishing around *saturated* links so
+			// that aggregates pinned to a single path by a full (but
+			// not overloaded) link can still be traded against others
+			// — this closes the gap to the true LP optimum.
+			polishing = true
+			noImprove = 0
+			maxRounds = round + 1 + polishRounds
+		}
+		// While links remain overloaded, growth must continue even
+		// through score plateaus (a useful alternate may only appear
+		// several k's deeper): the paper iterates "until we find paths
+		// with no overloaded links". Patience only cuts off refinement
+		// once the traffic fits.
+		if noImprove >= patience && maxOv <= 1+1e-7 {
+			return best, nil
+		}
+		threshold := maxOv
+		if polishing {
+			threshold = 1 - 1e-6
+		}
+		if !s.growAround(m, pathSets, kCount, capped, overloads, threshold) {
+			return best, nil // nothing left to grow
+		}
+		loadPaths()
+	}
+	return best, nil
+}
+
+// growAround extends the path list of every aggregate crossing a link at or
+// above the overload threshold (Figure 13). Returns false when no list
+// could grow.
+func (s *pathSolver) growAround(m *tm.Matrix, pathSets [][]graph.Path,
+	kCount []int, capped []bool, overloads []float64, threshold float64) bool {
+	hot := make(map[graph.LinkID]bool)
+	for lid, ov := range overloads {
+		if ov >= threshold-1e-9 && ov > 0 {
+			hot[graph.LinkID(lid)] = true
+		}
+	}
+	grew := false
+	for i := range m.Aggregates {
+		if kCount[i] >= s.maxPaths || capped[i] {
+			continue
+		}
+		crosses := false
+	scan:
+		for _, p := range pathSets[i] {
+			for _, lid := range p.Links {
+				if hot[lid] {
+					crosses = true
+					break scan
+				}
+			}
+		}
+		if crosses {
+			kCount[i]++
+			grew = true
+		}
+	}
+	return grew
+}
+
+// solveOnce formulates and solves the Figure 12 LP over the current path
+// sets. Aggregates with a single candidate path contribute fixed load;
+// only multi-path aggregates get variables, which is what keeps the LP
+// small (the paper's central scalability observation in §5).
+//
+// The model substitutes the shortest path's fraction out (x_p0 = 1 - sum
+// of the moved fractions), so no equality rows are needed and, whenever no
+// link's fixed load already exceeds capacity, every row is a <= with
+// nonnegative rhs: the all-shortest-paths point is a slack-only feasible
+// basis and the simplex skips phase 1 entirely.
+func (s *pathSolver) solveOnce(g *graph.Graph, m *tm.Matrix, sps []graph.Path,
+	pathSets [][]graph.Path, caps []float64, norm, minS float64) (*Placement, error) {
+	placement := NewPlacement(g, m)
+
+	// Fixed load per link: single-path aggregates plus every multi-path
+	// aggregate's shortest path at full fraction (the substitution
+	// baseline).
+	fixed := make([]float64, g.NumLinks())
+	var multi []int
+	for i, ps := range pathSets {
+		if len(ps) <= 1 {
+			placement.Allocs[i] = []PathAlloc{{Path: ps[0], Fraction: 1}}
+		} else {
+			multi = append(multi, i)
+		}
+		for _, lid := range ps[0].Links {
+			fixed[lid] += m.Aggregates[i].Volume
+		}
+	}
+	if len(multi) == 0 {
+		return placement, nil
+	}
+
+	// buildModel assembles the whole LP: y_ap variables (p >= 1, the
+	// fraction moved OFF the shortest path onto path p, with the
+	// Figure 12 delay cost n_a * (d_p - d_p0) * (1 + M1 * minS/S_a)),
+	// per-aggregate budget rows, and capacity rows in utilization units.
+	// O_l is modeled as 1 + o_l with o_l >= 0; only links whose fixed
+	// load already exceeds capacity yield a negative rhs (and hence a
+	// phase-1 artificial).
+	type varRef struct{ agg, path int }
+	buildModel := func(withOmax bool) (*lp.Problem, map[varRef]int, []int) {
+		prob := lp.NewProblem()
+		varOf := make(map[varRef]int)
+		linkCoeff := make(map[graph.LinkID]map[int]float64) // link -> var -> volume delta
+		addCoeff := func(lid graph.LinkID, v int, c float64) {
+			mm := linkCoeff[lid]
+			if mm == nil {
+				mm = make(map[int]float64)
+				linkCoeff[lid] = mm
+			}
+			mm[v] += c
+		}
+		for _, i := range multi {
+			a := m.Aggregates[i]
+			tieBreak := 1 + tinyM1*minS/sps[i].Delay
+			p0 := pathSets[i][0]
+			rowTerms := make([]lp.Term, 0, len(pathSets[i])-1)
+			for pi := 1; pi < len(pathSets[i]); pi++ {
+				p := pathSets[i][pi]
+				coeff := float64(a.Flows) * a.EffectiveWeight() * (p.Delay - p0.Delay) * tieBreak / norm
+				if coeff < 0 {
+					coeff = 0 // paths are delay-sorted; guard rounding
+				}
+				v := prob.AddVar(0, 1, coeff)
+				varOf[varRef{i, pi}] = v
+				for _, lid := range p.Links {
+					addCoeff(lid, v, a.Volume)
+				}
+				for _, lid := range p0.Links {
+					addCoeff(lid, v, -a.Volume)
+				}
+				rowTerms = append(rowTerms, lp.Term{Var: v, Coeff: 1})
+			}
+			// Moved fractions cannot exceed the whole aggregate.
+			prob.AddConstraint(lp.LE, 1, rowTerms...)
+		}
+
+		var activeLinks []graph.LinkID
+		for lid := range linkCoeff {
+			activeLinks = append(activeLinks, lid)
+		}
+		sort.Slice(activeLinks, func(a, b int) bool { return activeLinks[a] < activeLinks[b] })
+
+		var ols []int
+		switch s.kind {
+		case kindLatency:
+			oMax := -1
+			if withOmax {
+				oMax = prob.AddVar(0, math.Inf(1), bigM2)
+			}
+			for _, lid := range activeLinks {
+				ol := prob.AddVar(0, math.Inf(1), bigM3)
+				ols = append(ols, ol)
+				terms := capacityRow(linkCoeff[lid], caps[lid], ol)
+				prob.AddConstraint(lp.LE, 1-fixed[lid]/caps[lid], terms...)
+				if withOmax {
+					prob.AddConstraint(lp.LE, 0, lp.Term{Var: ol, Coeff: 1}, lp.Term{Var: oMax, Coeff: -1})
+				}
+			}
+		case kindMinMax:
+			u := prob.AddVar(0, math.Inf(1), bigM2)
+			for _, lid := range activeLinks {
+				terms := capacityRow(linkCoeff[lid], caps[lid], u)
+				prob.AddConstraint(lp.LE, -fixed[lid]/caps[lid], terms...)
+			}
+		}
+		return prob, varOf, ols
+	}
+
+	solveModel := func(withOmax bool) (*lp.Solution, map[varRef]int, []int, error) {
+		prob, varOf, ols := buildModel(withOmax)
+		sol, err := prob.Solve()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if sol.Status != lp.Optimal {
+			return nil, nil, nil, &solveStatusError{status: sol.Status.String()}
+		}
+		s.lpRuns++
+		s.lpPivots += sol.Iterations
+		return sol, varOf, ols, nil
+	}
+
+	// First pass without the Omax machinery: when the traffic fits, all
+	// o_l are zero and Omax would be too, so the optimum is identical at
+	// half the rows. Only when overload remains do we re-solve with the
+	// full Figure 12 objective (minimize the maximum overload first).
+	sol, varOf, ols, err := solveModel(false)
+	if err != nil {
+		return nil, err
+	}
+	if s.kind == kindLatency {
+		for _, ol := range ols {
+			if sol.X[ol] > 1e-9 {
+				sol, varOf, _, err = solveModel(true)
+				if err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+	}
+
+	for _, i := range multi {
+		var allocs []PathAlloc
+		moved := 0.0
+		for pi := 1; pi < len(pathSets[i]); pi++ {
+			f := sol.X[varOf[varRef{i, pi}]]
+			if f > fracEps {
+				allocs = append(allocs, PathAlloc{Path: pathSets[i][pi], Fraction: f})
+				moved += f
+			}
+		}
+		if rem := 1 - moved; rem > fracEps {
+			allocs = append(allocs, PathAlloc{Path: pathSets[i][0], Fraction: rem})
+		} else {
+			// Renormalize tiny overshoot from LP tolerances.
+			for j := range allocs {
+				allocs[j].Fraction /= moved
+			}
+		}
+		sortAllocsByDelay(allocs)
+		placement.Allocs[i] = allocs
+	}
+	return placement, nil
+}
+
+// capacityRow converts a link's per-variable volume deltas into
+// utilization-unit LP terms plus the overload variable.
+func capacityRow(coeffs map[int]float64, capacity float64, overloadVar int) []lp.Term {
+	terms := make([]lp.Term, 0, len(coeffs)+1)
+	vars := make([]int, 0, len(coeffs))
+	for v := range coeffs {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	for _, v := range vars {
+		if c := coeffs[v]; c != 0 {
+			terms = append(terms, lp.Term{Var: v, Coeff: c / capacity})
+		}
+	}
+	terms = append(terms, lp.Term{Var: overloadVar, Coeff: -1})
+	return terms
+}
+
+type solveStatusError struct{ status string }
+
+func (e *solveStatusError) Error() string {
+	return "routing: path LP returned status " + e.status
+}
+
+// linkOverloads returns per-link load / scaled-capacity ratios.
+func linkOverloads(p *Placement, caps []float64) []float64 {
+	loads := p.LinkLoads()
+	out := make([]float64, len(loads))
+	for i, ld := range loads {
+		out[i] = ld / caps[i]
+	}
+	return out
+}

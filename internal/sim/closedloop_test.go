@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"lowlat/internal/routing"
+	"lowlat/internal/tmgen"
+	"lowlat/internal/topo"
+)
+
+func TestClosedLoopLDRKeepsQueuesBoundedWhenConverged(t *testing.T) {
+	// At a load LDR can actually appraise clean (min-cut at 50%), every
+	// minute must converge and live-traffic queues must stay within a
+	// small multiple of the 10 ms budget (live traffic is a fresh draw,
+	// not the measured minute the appraisal certified).
+	g := topo.Grid("grid-4x4", 4, 4, 300, topo.Cap10G)
+	res, err := tmgen.Generate(g, tmgen.Config{Seed: 5, TargetMaxUtil: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := SpecsFromMatrix(res.Matrix, 5)
+
+	out, err := RunClosedLoop(g, specs, ClosedLoopConfig{Minutes: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Minutes) != 5 {
+		t.Fatalf("got %d minutes", len(out.Minutes))
+	}
+	for _, ms := range out.Minutes {
+		if ms.LatencyStretch < 1-1e-9 {
+			t.Fatalf("minute %d: stretch %v < 1", ms.Minute, ms.LatencyStretch)
+		}
+		if ms.Unresolved != 0 {
+			t.Fatalf("minute %d: appraisal left %d links unresolved at 50%% load",
+				ms.Minute, ms.Unresolved)
+		}
+	}
+	if out.WorstQueueSec > 3*out.QueueBoundSec {
+		t.Fatalf("LDR worst queue %v s far exceeds bound %v s", out.WorstQueueSec, out.QueueBoundSec)
+	}
+}
+
+func TestClosedLoopLDRFlagsUnboundableLoad(t *testing.T) {
+	// At the paper's 0.77 min-cut load with aggregates this bursty, no
+	// placement can pass the multiplexing test: the controller must say
+	// so (unresolved links) rather than silently accept queueing — the
+	// paper's "reject any solution yielding transient queuing delays
+	// that exceed a maximum allowed value".
+	g := topo.Grid("grid-4x4", 4, 4, 300, topo.Cap10G)
+	res, err := tmgen.Generate(g, tmgen.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := SpecsFromMatrix(res.Matrix, 5)
+
+	out, err := RunClosedLoop(g, specs, ClosedLoopConfig{Minutes: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := 0
+	for _, ms := range out.Minutes {
+		if ms.Unresolved > 0 {
+			flagged++
+		}
+	}
+	if flagged == 0 && out.WorstQueueSec > out.QueueBoundSec {
+		t.Fatal("queues exceeded the bound without the controller flagging any link")
+	}
+}
+
+func TestClosedLoopLDRBeatsZeroHeadroomOnQueues(t *testing.T) {
+	g := topo.Grid("grid-4x4", 4, 4, 300, topo.Cap10G)
+	// Load the network harder so headroom actually matters.
+	res, err := tmgen.Generate(g, tmgen.Config{Seed: 7, TargetMaxUtil: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := SpecsFromMatrix(res.Matrix, 7)
+	cfg := ClosedLoopConfig{Minutes: 5, Seed: 7}
+
+	ldr, err := RunClosedLoop(g, specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	edge := cfg
+	edge.Scheme = routing.LatencyOpt{} // zero headroom, no appraisal
+	raw, err := RunClosedLoop(g, specs, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ldr.WorstQueueSec > raw.WorstQueueSec {
+		t.Fatalf("LDR queues (%v s) must not exceed zero-headroom queues (%v s)",
+			ldr.WorstQueueSec, raw.WorstQueueSec)
+	}
+	// Headroom costs latency: LDR's placements may stretch more.
+	if ldr.MeanStretch < 1-1e-9 || raw.MeanStretch < 1-1e-9 {
+		t.Fatalf("stretches must be >= 1: %v %v", ldr.MeanStretch, raw.MeanStretch)
+	}
+}
+
+func TestClosedLoopStaticSchemes(t *testing.T) {
+	g := topo.Grid("grid-3x3", 3, 3, 300, topo.Cap10G)
+	res, err := tmgen.Generate(g, tmgen.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := SpecsFromMatrix(res.Matrix, 11)
+
+	for _, scheme := range []routing.Scheme{routing.SP{}, routing.B4{}, routing.MinMax{}} {
+		out, err := RunClosedLoop(g, specs, ClosedLoopConfig{Minutes: 3, Seed: 11, Scheme: scheme})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme.Name(), err)
+		}
+		if len(out.Minutes) != 3 {
+			t.Fatalf("%s: got %d minutes", scheme.Name(), len(out.Minutes))
+		}
+		for _, ms := range out.Minutes {
+			if ms.MuxRounds != 0 {
+				t.Fatalf("%s: static schemes have no appraisal rounds", scheme.Name())
+			}
+		}
+	}
+}
+
+func TestClosedLoopDeterminism(t *testing.T) {
+	g := topo.Grid("grid-3x3", 3, 3, 300, topo.Cap10G)
+	res, err := tmgen.Generate(g, tmgen.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := SpecsFromMatrix(res.Matrix, 3)
+	cfg := ClosedLoopConfig{Minutes: 3, Seed: 3, Scheme: routing.SP{}}
+
+	a, err := RunClosedLoop(g, specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunClosedLoop(g, specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must reproduce the identical run")
+	}
+}
+
+func TestClosedLoopValidation(t *testing.T) {
+	g := topo.Grid("grid-3x3", 3, 3, 300, topo.Cap10G)
+	if _, err := RunClosedLoop(g, nil, ClosedLoopConfig{}); err == nil {
+		t.Fatal("no specs must error")
+	}
+	bad := []AggregateSpec{{Src: 0, Dst: 1, MeanBps: 0}}
+	if _, err := RunClosedLoop(g, bad, ClosedLoopConfig{}); err == nil {
+		t.Fatal("non-positive mean must error")
+	}
+}
+
+func TestSpecsFromMatrix(t *testing.T) {
+	g := topo.Grid("grid-3x3", 3, 3, 300, topo.Cap10G)
+	res, err := tmgen.Generate(g, tmgen.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := SpecsFromMatrix(res.Matrix, 1)
+	if len(specs) != res.Matrix.Len() {
+		t.Fatalf("got %d specs for %d aggregates", len(specs), res.Matrix.Len())
+	}
+	for i, s := range specs {
+		a := res.Matrix.Aggregates[i]
+		if s.Src != a.Src || s.Dst != a.Dst || s.MeanBps != a.Volume {
+			t.Fatalf("spec %d does not mirror aggregate: %+v vs %+v", i, s, a)
+		}
+		if s.BurstStd < 0.05 || s.BurstStd > 0.40 {
+			t.Fatalf("spec %d burst std %v out of range", i, s.BurstStd)
+		}
+	}
+	// Deterministic for a fixed seed.
+	again := SpecsFromMatrix(res.Matrix, 1)
+	if !reflect.DeepEqual(specs, again) {
+		t.Fatal("SpecsFromMatrix must be deterministic")
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lowlat/internal/routing"
+	"lowlat/internal/tmgen"
+	"lowlat/internal/topo"
+)
+
+// randomRun builds a random placement and traffic on a small grid and
+// simulates it.
+func randomRun(seed int64, scale float64) (*routing.Placement, [][]float64, *Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g := topo.Grid("qgrid", 3, 3, 200, topo.Cap10G)
+	res, err := tmgen.Generate(g, tmgen.Config{Seed: seed})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m := res.Matrix.Scale(scale)
+	p, err := routing.LatencyOpt{}.Place(g, m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bins := 20 + rng.Intn(30)
+	traffic := make([][]float64, m.Len())
+	for i, a := range m.Aggregates {
+		traffic[i] = make([]float64, bins)
+		for b := range traffic[i] {
+			traffic[i][b] = a.Volume * (0.5 + rng.Float64())
+		}
+	}
+	out, err := Run(p, traffic, Config{BinSec: 0.1})
+	return p, traffic, out, err
+}
+
+func TestQuickSimConservesOfferedVolume(t *testing.T) {
+	f := func(seed int64) bool {
+		p, traffic, out, err := randomRun(seed, 0.8)
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		// OfferedBits must equal traffic x fraction x bin, summed over
+		// every link each path crosses.
+		want := 0.0
+		for i, allocs := range p.Allocs {
+			sumRate := 0.0
+			for _, r := range traffic[i] {
+				sumRate += r
+			}
+			for _, al := range allocs {
+				want += sumRate * 0.1 * al.Fraction * float64(len(al.Path.Links))
+			}
+		}
+		return math.Abs(out.OfferedBits-want) <= 1e-6*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSimQueueMonotoneInLoad(t *testing.T) {
+	f := func(seed int64) bool {
+		p, traffic, base, err := randomRun(seed, 0.9)
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		doubled := make([][]float64, len(traffic))
+		for i, s := range traffic {
+			doubled[i] = make([]float64, len(s))
+			for b, v := range s {
+				doubled[i][b] = 2 * v
+			}
+		}
+		more, err := Run(p, doubled, Config{BinSec: 0.1})
+		if err != nil {
+			t.Logf("run2: %v", err)
+			return false
+		}
+		// Doubling every rate cannot shrink any queue.
+		for lid := range base.Links {
+			if more.Links[lid].MaxQueueSec < base.Links[lid].MaxQueueSec-1e-12 {
+				return false
+			}
+		}
+		return more.MaxQueueSec >= base.MaxQueueSec-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSimUnboundedBufferNeverDrops(t *testing.T) {
+	f := func(seed int64) bool {
+		_, _, out, err := randomRun(seed, 1.2)
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		return out.DroppedBits == 0 && out.DropFraction() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSimStatsFinite(t *testing.T) {
+	f := func(seed int64) bool {
+		_, _, out, err := randomRun(seed, 1.0)
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		for _, ls := range out.Links {
+			if math.IsNaN(ls.MaxQueueSec) || math.IsInf(ls.MaxQueueSec, 0) ||
+				ls.MaxQueueSec < 0 || ls.MeanUtil < 0 || ls.PeakUtil < 0 {
+				return false
+			}
+		}
+		for _, q := range out.AggregateQueueSec {
+			if q < 0 || math.IsNaN(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

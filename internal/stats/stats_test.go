@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 4, 5})
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.At(3); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("At(3) = %v, want 0.6", got)
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Fatalf("At(0.5) = %v, want 0", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Fatalf("At(10) = %v, want 1", got)
+	}
+	if got := c.Quantile(0.5); got != 3 {
+		t.Fatalf("median = %v, want 3", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v, want 1", got)
+	}
+	if got := c.Quantile(1); got != 5 {
+		t.Fatalf("q1 = %v, want 5", got)
+	}
+	if got := c.Mean(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("mean = %v, want 3", got)
+	}
+	if c.Min() != 1 || c.Max() != 5 {
+		t.Fatalf("min/max = %v/%v", c.Min(), c.Max())
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Mean()) {
+		t.Fatal("empty CDF should yield NaN")
+	}
+	if c.At(1) != 0 {
+		t.Fatal("empty CDF At should be 0")
+	}
+	if c.Points(5) != nil {
+		t.Fatal("empty CDF Points should be nil")
+	}
+}
+
+func TestCDFIncrementalAdd(t *testing.T) {
+	var c CDF
+	c.Add(5)
+	c.Add(1)
+	if got := c.Quantile(0.5); got != 1 {
+		t.Fatalf("median of {1,5} = %v, want 1 (nearest rank)", got)
+	}
+	c.AddAll([]float64{2, 3, 4})
+	if got := c.Quantile(0.5); got != 3 {
+		t.Fatalf("median = %v, want 3", got)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].X != 1 || pts[len(pts)-1].X != 10 {
+		t.Fatalf("endpoints wrong: %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Fatal("CDF points must be nondecreasing in Y")
+		}
+	}
+	if got := c.Points(100); len(got) != 10 {
+		t.Fatalf("Points capped at sample count, got %d", len(got))
+	}
+}
+
+func TestQuantileIsOrderStatistic(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		c := NewCDF(vals)
+		med := c.Quantile(0.5)
+		sort.Float64s(vals)
+		// Nearest-rank median must be an element of the sample.
+		idx := sort.SearchFloat64s(vals, med)
+		return idx < len(vals) && vals[idx] == med
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || s.Median != 5 || s.P90 != 9 || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summarize = %+v", z)
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	if got := Median([]float64{5, 1, 9}); got != 5 {
+		t.Fatalf("Median = %v", got)
+	}
+	if got := Percentile([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 90); got != 9 {
+		t.Fatalf("P90 = %v", got)
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(5, 1.0)
+	if len(w) != 5 {
+		t.Fatalf("len = %d", len(w))
+	}
+	sum := 0.0
+	for i, v := range w {
+		sum += v
+		if i > 0 && v > w[i-1] {
+			t.Fatal("Zipf weights must be non-increasing")
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("sum = %v, want 1", sum)
+	}
+	if math.Abs(w[0]/w[1]-2) > 1e-9 {
+		t.Fatalf("s=1 ratio w0/w1 = %v, want 2", w[0]/w[1])
+	}
+	if ZipfWeights(0, 1) != nil {
+		t.Fatal("n=0 should be nil")
+	}
+}
+
+func TestShuffledZipfWeights(t *testing.T) {
+	rng := Rng(1)
+	w := ShuffledZipfWeights(50, 1.2, rng)
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sum = %v", sum)
+	}
+	// Deterministic for a fixed seed.
+	w2 := ShuffledZipfWeights(50, 1.2, Rng(1))
+	for i := range w {
+		if w[i] != w2[i] {
+			t.Fatal("shuffle must be deterministic per seed")
+		}
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Correlation(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Correlation(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", got)
+	}
+	if !math.IsNaN(Correlation(xs, []float64{1})) {
+		t.Fatal("mismatched lengths should be NaN")
+	}
+	if !math.IsNaN(Correlation([]float64{1, 1}, []float64{2, 3})) {
+		t.Fatal("zero-variance input should be NaN")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(mean-5) > 1e-12 || math.Abs(std-2) > 1e-12 {
+		t.Fatalf("mean/std = %v/%v, want 5/2", mean, std)
+	}
+	m, s := MeanStd(nil)
+	if !math.IsNaN(m) || !math.IsNaN(s) {
+		t.Fatal("empty input should be NaN")
+	}
+}
+
+func TestRngDeterminism(t *testing.T) {
+	a, b := Rng(42), Rng(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package tm
+
+import (
+	"strings"
+	"testing"
+
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+)
+
+func serNet(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder("sernet")
+	a := b.AddNode("alpha", geo.Point{})
+	z := b.AddNode("zeta", geo.Point{})
+	c := b.AddNode("gamma", geo.Point{})
+	b.AddBiLink(a, z, 10e9, 0.001)
+	b.AddBiLink(z, c, 10e9, 0.001)
+	return b.MustBuild()
+}
+
+func TestTMSerializeRoundTrip(t *testing.T) {
+	g := serNet(t)
+	a, _ := g.NodeByName("alpha")
+	z, _ := g.NodeByName("zeta")
+	c, _ := g.NodeByName("gamma")
+	m := New([]Aggregate{
+		{Src: a.ID, Dst: z.ID, Volume: 1.5e9, Flows: 1500},
+		{Src: z.ID, Dst: c.ID, Volume: 2e9, Flows: 2000, Weight: 4},
+		{Src: c.ID, Dst: a.ID, Volume: 0.5e9, Flows: 500},
+	})
+	back, err := Unmarshal(g, Marshal(g, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != m.Len() {
+		t.Fatalf("len %d, want %d", back.Len(), m.Len())
+	}
+	for i := range m.Aggregates {
+		if m.Aggregates[i] != back.Aggregates[i] {
+			t.Fatalf("aggregate %d: %+v != %+v", i, m.Aggregates[i], back.Aggregates[i])
+		}
+	}
+}
+
+func TestTMUnmarshalErrors(t *testing.T) {
+	g := serNet(t)
+	cases := map[string]string{
+		"no header":        "agg alpha zeta 1e9 100\n",
+		"double header":    "tm x\ntm y\n",
+		"unknown src":      "tm x\nagg nope zeta 1e9 100\n",
+		"unknown dst":      "tm x\nagg alpha nope 1e9 100\n",
+		"bad volume":       "tm x\nagg alpha zeta abc 100\n",
+		"negative volume":  "tm x\nagg alpha zeta -5 100\n",
+		"bad flows":        "tm x\nagg alpha zeta 1e9 ten\n",
+		"bad weight":       "tm x\nagg alpha zeta 1e9 100 -2\n",
+		"too many fields":  "tm x\nagg alpha zeta 1e9 100 2 7\n",
+		"unknown keyword":  "tm x\nfoo bar\n",
+		"empty everything": "",
+	}
+	for name, src := range cases {
+		if _, err := Unmarshal(g, []byte(src)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestTMUnmarshalSkipsCommentsAndBlanks(t *testing.T) {
+	g := serNet(t)
+	src := "# traffic for sernet\n\ntm sernet\n# one aggregate\nagg alpha zeta 1e9 100\n\n"
+	m, err := Unmarshal(g, []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d, want 1", m.Len())
+	}
+}
+
+func TestTMMarshalOmitsDefaultWeight(t *testing.T) {
+	g := serNet(t)
+	a, _ := g.NodeByName("alpha")
+	z, _ := g.NodeByName("zeta")
+	out := string(Marshal(g, New([]Aggregate{{Src: a.ID, Dst: z.ID, Volume: 1e9, Flows: 10, Weight: 1}})))
+	if strings.Contains(strings.TrimSpace(strings.Split(out, "\n")[1]), " 1\n") {
+		t.Fatalf("default weight must be omitted: %q", out)
+	}
+	fields := strings.Fields(strings.Split(out, "\n")[1])
+	if len(fields) != 5 {
+		t.Fatalf("want 5 fields for default weight, got %d: %q", len(fields), out)
+	}
+}

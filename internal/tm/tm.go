@@ -1,0 +1,100 @@
+// Package tm defines traffic matrices: sets of traffic aggregates between
+// PoP pairs. An aggregate is the unit the paper's routing schemes place
+// onto paths (the "a" of the Figure 12 LP), carrying a mean volume B_a and
+// a flow count n_a.
+package tm
+
+import (
+	"fmt"
+	"sort"
+
+	"lowlat/internal/graph"
+)
+
+// Aggregate is the traffic demand between one ordered PoP pair.
+type Aggregate struct {
+	Src    graph.NodeID
+	Dst    graph.NodeID
+	Volume float64 // mean demand in bits per second (B_a)
+	Flows  int     // approximate number of flows (n_a)
+	// Weight prioritizes the aggregate's delay in the latency
+	// optimization (§8, "Extension to differentiated traffic classes"):
+	// delay-sensitive classes get Weight > 1, best-effort 1. Zero means
+	// the default weight of 1.
+	Weight float64
+}
+
+// EffectiveWeight returns the priority weight, defaulting to 1.
+func (a Aggregate) EffectiveWeight() float64 {
+	if a.Weight <= 0 {
+		return 1
+	}
+	return a.Weight
+}
+
+// Matrix is a set of aggregates, at most one per ordered pair.
+type Matrix struct {
+	Aggregates []Aggregate
+}
+
+// New returns a Matrix over a copy of the aggregates, dropping zero-volume
+// entries and sorting by (src, dst) for determinism.
+func New(aggs []Aggregate) *Matrix {
+	out := make([]Aggregate, 0, len(aggs))
+	for _, a := range aggs {
+		if a.Volume > 0 {
+			if a.Flows <= 0 {
+				a.Flows = 1
+			}
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return &Matrix{Aggregates: out}
+}
+
+// Scale returns a new Matrix with every volume multiplied by f.
+func (m *Matrix) Scale(f float64) *Matrix {
+	out := make([]Aggregate, len(m.Aggregates))
+	copy(out, m.Aggregates)
+	for i := range out {
+		out[i].Volume *= f
+	}
+	return &Matrix{Aggregates: out}
+}
+
+// TotalVolume returns the sum of all aggregate volumes in bits per second.
+func (m *Matrix) TotalVolume() float64 {
+	sum := 0.0
+	for _, a := range m.Aggregates {
+		sum += a.Volume
+	}
+	return sum
+}
+
+// Len returns the number of aggregates.
+func (m *Matrix) Len() int { return len(m.Aggregates) }
+
+// Validate checks that all endpoints exist in g and pairs are unique.
+func (m *Matrix) Validate(g *graph.Graph) error {
+	seen := make(map[[2]graph.NodeID]bool, len(m.Aggregates))
+	for i, a := range m.Aggregates {
+		if int(a.Src) >= g.NumNodes() || int(a.Dst) >= g.NumNodes() || a.Src < 0 || a.Dst < 0 {
+			return fmt.Errorf("tm: aggregate %d references unknown node", i)
+		}
+		if a.Src == a.Dst {
+			return fmt.Errorf("tm: aggregate %d is a self-loop", i)
+		}
+		key := [2]graph.NodeID{a.Src, a.Dst}
+		if seen[key] {
+			return fmt.Errorf("tm: duplicate aggregate %d -> %d", a.Src, a.Dst)
+		}
+		seen[key] = true
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package tm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+)
+
+func pairGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder("g")
+	a := b.AddNode("a", geo.Point{})
+	c := b.AddNode("b", geo.Point{})
+	b.AddBiLink(a, c, 1e9, 1)
+	return b.MustBuild()
+}
+
+func TestNewSortsAndFilters(t *testing.T) {
+	m := New([]Aggregate{
+		{Src: 1, Dst: 0, Volume: 2e9},
+		{Src: 0, Dst: 1, Volume: 1e9},
+		{Src: 0, Dst: 1, Volume: 0}, // dropped: zero volume
+	})
+	if m.Len() != 2 {
+		t.Fatalf("len = %d, want 2", m.Len())
+	}
+	if m.Aggregates[0].Src != 0 || m.Aggregates[1].Src != 1 {
+		t.Fatalf("not sorted: %+v", m.Aggregates)
+	}
+	if m.Aggregates[0].Flows != 1 {
+		t.Fatal("flows should default to 1")
+	}
+}
+
+func TestScaleAndTotal(t *testing.T) {
+	m := New([]Aggregate{
+		{Src: 0, Dst: 1, Volume: 1e9, Flows: 5},
+		{Src: 1, Dst: 0, Volume: 3e9, Flows: 2},
+	})
+	if got := m.TotalVolume(); math.Abs(got-4e9) > 1 {
+		t.Fatalf("total = %v", got)
+	}
+	s := m.Scale(2.5)
+	if got := s.TotalVolume(); math.Abs(got-10e9) > 1 {
+		t.Fatalf("scaled total = %v", got)
+	}
+	// Original untouched; flows preserved.
+	if m.TotalVolume() != 4e9 || s.Aggregates[0].Flows != 5 {
+		t.Fatal("Scale must not mutate or drop metadata")
+	}
+}
+
+func TestScaleLinearityProperty(t *testing.T) {
+	f := func(rawVols []float64, factor float64) bool {
+		if len(rawVols) == 0 {
+			return true
+		}
+		factor = math.Mod(math.Abs(factor), 10) + 0.1
+		var aggs []Aggregate
+		for i, v := range rawVols {
+			v = math.Mod(math.Abs(v), 1e9) + 1
+			aggs = append(aggs, Aggregate{
+				Src: graph.NodeID(i % 7), Dst: graph.NodeID(i%7 + 1), Volume: v,
+			})
+		}
+		// Duplicate pairs are fine for this pure-volume property.
+		m := &Matrix{Aggregates: aggs}
+		want := m.TotalVolume() * factor
+		got := m.Scale(factor).TotalVolume()
+		return math.Abs(got-want) < 1e-6*want+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := pairGraph(t)
+	ok := New([]Aggregate{{Src: 0, Dst: 1, Volume: 1e9}})
+	if err := ok.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Matrix{Aggregates: []Aggregate{{Src: 0, Dst: 9, Volume: 1}}}
+	if err := bad.Validate(g); err == nil {
+		t.Fatal("unknown node should fail")
+	}
+	self := &Matrix{Aggregates: []Aggregate{{Src: 0, Dst: 0, Volume: 1}}}
+	if err := self.Validate(g); err == nil {
+		t.Fatal("self loop should fail")
+	}
+	dup := &Matrix{Aggregates: []Aggregate{
+		{Src: 0, Dst: 1, Volume: 1}, {Src: 0, Dst: 1, Volume: 2},
+	}}
+	if err := dup.Validate(g); err == nil {
+		t.Fatal("duplicate pair should fail")
+	}
+}
+
+func TestEffectiveWeight(t *testing.T) {
+	if (Aggregate{}).EffectiveWeight() != 1 {
+		t.Fatal("default weight must be 1")
+	}
+	if (Aggregate{Weight: -3}).EffectiveWeight() != 1 {
+		t.Fatal("negative weight must fall back to 1")
+	}
+	if (Aggregate{Weight: 4}).EffectiveWeight() != 4 {
+		t.Fatal("explicit weight must pass through")
+	}
+}

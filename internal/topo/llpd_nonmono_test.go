@@ -1,0 +1,85 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+	"lowlat/internal/metrics"
+)
+
+func TestLLPDIsNotMonotoneUnderLinkAddition(t *testing.T) {
+	// The paper's §8 caveat: adding a link can *reduce* LLPD (a new
+	// shortest path with no low-latency alternate drags pairs below the
+	// APA threshold). Exhibit both directions on concrete topologies.
+
+	// Direction 1: adding a chord to a ring raises LLPD.
+	ring := Ring("r8", 8, 800, Cap10G)
+	before := metrics.LLPD(ring, metrics.APAConfig{})
+	grown, added := Grow(ring, GrowConfig{Fraction: 0.10})
+	if len(added) == 0 {
+		t.Fatal("growth must add a link")
+	}
+	if after := metrics.LLPD(grown, metrics.APAConfig{}); after <= before {
+		t.Fatalf("LLPD-guided growth must raise LLPD: %v -> %v", before, after)
+	}
+
+	// Direction 2: the paper's §8 example, literally: "an Asia-centered
+	// network ... Europe in the West and the US in the East. Adding a
+	// single non-redundant transatlantic link would reduce latency for
+	// some Europe<->US traffic, but may actually reduce LLPD, as there
+	// is no low-latency alternate path available." Three polar-ish
+	// regional grids in a line with redundant E-A and A-U crossings; the
+	// new direct E-U polar link is the fastest E<->U route but its only
+	// alternate (back through Asia) is ~2x the delay — every E<->U
+	// pair's APA collapses and nobody else gains an alternate.
+	build := func(withShortcut bool) *graph.Graph {
+		b := graph.NewBuilder("eu-asia-us")
+		mesh := func(prefix string, lonBase float64) []graph.NodeID {
+			var ids []graph.NodeID
+			for r := 0; r < 3; r++ { // lat 70..78
+				for c := 0; c < 3; c++ {
+					ids = append(ids, b.AddNode(fmt.Sprintf("%s%d%d", prefix, r, c), geo.Point{
+						Lat: 70 + float64(r)*4,
+						Lon: lonBase + float64(c)*5,
+					}))
+				}
+			}
+			for r := 0; r < 3; r++ {
+				for c := 0; c < 3; c++ {
+					i := r*3 + c
+					if c+1 < 3 {
+						b.AddGeoBiLink(ids[i], ids[i+1], Cap10G)
+					}
+					if r+1 < 3 {
+						b.AddGeoBiLink(ids[i], ids[i+3], Cap10G)
+					}
+					if r+1 < 3 && c+1 < 3 {
+						b.AddGeoBiLink(ids[i], ids[i+4], Cap10G)
+					}
+				}
+			}
+			return ids
+		}
+		eu := mesh("e", 0)
+		as := mesh("a", 90)
+		us := mesh("u", 180)
+		// Redundant crossings: two E-A links, two A-U links.
+		b.AddGeoBiLink(eu[1*3+2], as[1*3+0], Cap40G)
+		b.AddGeoBiLink(eu[2*3+2], as[2*3+0], Cap40G)
+		b.AddGeoBiLink(as[1*3+2], us[1*3+0], Cap40G)
+		b.AddGeoBiLink(as[2*3+2], us[2*3+0], Cap40G)
+		if withShortcut {
+			// One direct E<->U link over the pole: non-redundant.
+			b.AddGeoBiLink(eu[2*3+1], us[2*3+1], Cap40G)
+		}
+		return b.MustBuild()
+	}
+
+	base := metrics.LLPD(build(false), metrics.APAConfig{})
+	cut := metrics.LLPD(build(true), metrics.APAConfig{})
+	if cut >= base {
+		t.Fatalf("a non-redundant shortcut should reduce LLPD here: %v -> %v", base, cut)
+	}
+}

@@ -1,0 +1,177 @@
+package topo
+
+import (
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+)
+
+// city is a named location used by the hand-built networks.
+type city struct {
+	name     string
+	lat, lon float64
+}
+
+func buildCities(name string, cities []city, edges [][2]string, capacity, slack float64) *graph.Graph {
+	b := graph.NewBuilder(name)
+	for _, c := range cities {
+		b.AddNode(c.name, geo.Point{Lat: c.lat, Lon: c.lon})
+	}
+	for _, e := range edges {
+		a, ok := b.NodeID(e[0])
+		if !ok {
+			panic("topo: unknown city " + e[0])
+		}
+		z, ok := b.NodeID(e[1])
+		if !ok {
+			panic("topo: unknown city " + e[1])
+		}
+		delay := geo.PropagationDelay(geo.Point{Lat: cities[a].lat, Lon: cities[a].lon},
+			geo.Point{Lat: cities[z].lat, Lon: cities[z].lon}, slack)
+		b.AddBiLink(a, z, capacity, delay)
+	}
+	return b.MustBuild()
+}
+
+// GTSLike returns a central-European grid-like network in the image of
+// GTS's backbone (paper Figure 2): ~30 PoPs at real city locations with
+// mesh connectivity. Veszprem and Gyor are present with exactly the
+// connectivity the paper's Figure 5 pathology example relies on (Veszprem
+// reaches the rest of the network only via Gyor and Budapest).
+func GTSLike() *graph.Graph {
+	cities := []city{
+		{"Prague", 50.08, 14.44}, {"Brno", 49.19, 16.61}, {"Ostrava", 49.82, 18.26},
+		{"Bratislava", 48.15, 17.11}, {"Vienna", 48.21, 16.37}, {"Budapest", 47.50, 19.04},
+		{"Gyor", 47.68, 17.63}, {"Veszprem", 47.09, 17.91}, {"Szeged", 46.25, 20.15},
+		{"Debrecen", 47.53, 21.62}, {"Krakow", 50.06, 19.94}, {"Katowice", 50.26, 19.02},
+		{"Wroclaw", 51.11, 17.03}, {"Warsaw", 52.23, 21.01}, {"Lodz", 51.76, 19.46},
+		{"Poznan", 52.41, 16.93}, {"Berlin", 52.52, 13.40}, {"Dresden", 51.05, 13.74},
+		{"Leipzig", 51.34, 12.37}, {"Munich", 48.14, 11.58}, {"Nuremberg", 49.45, 11.08},
+		{"Salzburg", 47.81, 13.04}, {"Linz", 48.31, 14.29}, {"Graz", 47.07, 15.44},
+		{"Zagreb", 45.81, 15.98}, {"Ljubljana", 46.06, 14.51}, {"Kosice", 48.72, 21.26},
+		{"Zilina", 49.22, 18.74}, {"Szczecin", 53.43, 14.55}, {"Gdansk", 54.35, 18.65},
+	}
+	edges := [][2]string{
+		{"Berlin", "Szczecin"}, {"Berlin", "Poznan"}, {"Berlin", "Dresden"}, {"Berlin", "Leipzig"},
+		{"Szczecin", "Gdansk"}, {"Szczecin", "Poznan"}, {"Gdansk", "Warsaw"},
+		{"Poznan", "Lodz"}, {"Poznan", "Wroclaw"}, {"Warsaw", "Lodz"}, {"Warsaw", "Krakow"},
+		{"Lodz", "Katowice"}, {"Wroclaw", "Katowice"}, {"Wroclaw", "Dresden"},
+		{"Katowice", "Krakow"}, {"Krakow", "Kosice"}, {"Ostrava", "Katowice"},
+		{"Ostrava", "Zilina"}, {"Ostrava", "Brno"}, {"Zilina", "Kosice"}, {"Zilina", "Krakow"},
+		{"Kosice", "Debrecen"}, {"Debrecen", "Budapest"}, {"Budapest", "Szeged"},
+		{"Szeged", "Debrecen"}, {"Szeged", "Zagreb"}, {"Budapest", "Bratislava"},
+		{"Budapest", "Gyor"}, {"Gyor", "Bratislava"}, {"Gyor", "Vienna"},
+		{"Bratislava", "Vienna"}, {"Vienna", "Brno"}, {"Brno", "Prague"},
+		{"Prague", "Dresden"}, {"Prague", "Nuremberg"}, {"Leipzig", "Dresden"},
+		{"Leipzig", "Nuremberg"}, {"Nuremberg", "Munich"}, {"Munich", "Salzburg"},
+		{"Salzburg", "Linz"}, {"Linz", "Vienna"}, {"Linz", "Munich"}, {"Graz", "Vienna"},
+		{"Graz", "Ljubljana"}, {"Ljubljana", "Zagreb"}, {"Zagreb", "Budapest"},
+		{"Ljubljana", "Salzburg"}, {"Zagreb", "Graz"}, {"Veszprem", "Gyor"},
+		{"Veszprem", "Budapest"}, {"Prague", "Ostrava"}, {"Warsaw", "Poznan"},
+	}
+	return buildCities("gts-like", cities, edges, Cap10G, 2.2)
+}
+
+// CogentLike returns a two-continent network in the image of Cogent: a
+// North-American mesh and a European mesh joined by a few transatlantic
+// links. Long-haul links get 100G, regional links 40G; the long baseline
+// between continents plus good in-region connectivity is what gives this
+// class high LLPD.
+func CogentLike() *graph.Graph {
+	cities := []city{
+		// North America.
+		{"NewYork", 40.71, -74.01}, {"Boston", 42.36, -71.06}, {"Washington", 38.91, -77.04},
+		{"Chicago", 41.88, -87.63}, {"Atlanta", 33.75, -84.39}, {"Miami", 25.76, -80.19},
+		{"Dallas", 32.78, -96.80}, {"Denver", 39.74, -104.99}, {"LosAngeles", 34.05, -118.24},
+		{"SanFrancisco", 37.77, -122.42}, {"Seattle", 47.61, -122.33}, {"Toronto", 43.65, -79.38},
+		// Europe.
+		{"London", 51.51, -0.13}, {"Paris", 48.86, 2.35}, {"Amsterdam", 52.37, 4.90},
+		{"Frankfurt", 50.11, 8.68}, {"Madrid", 40.42, -3.70}, {"Milan", 45.46, 9.19},
+		{"Zurich", 47.37, 8.54}, {"Brussels", 50.85, 4.35}, {"Hamburg", 53.55, 9.99},
+		{"Stockholm", 59.33, 18.07},
+	}
+	regional := [][2]string{
+		{"NewYork", "Boston"}, {"NewYork", "Washington"}, {"NewYork", "Chicago"},
+		{"NewYork", "Toronto"}, {"NewYork", "Atlanta"}, {"Toronto", "Chicago"},
+		{"Washington", "Atlanta"}, {"Washington", "Chicago"}, {"Atlanta", "Miami"},
+		{"Atlanta", "Dallas"}, {"Miami", "Dallas"}, {"Dallas", "LosAngeles"},
+		{"Dallas", "Denver"}, {"Denver", "Chicago"}, {"Denver", "SanFrancisco"},
+		{"Denver", "Seattle"}, {"LosAngeles", "SanFrancisco"}, {"SanFrancisco", "Seattle"},
+		{"LosAngeles", "Denver"}, {"Boston", "Toronto"},
+		{"London", "Paris"}, {"London", "Amsterdam"}, {"London", "Brussels"},
+		{"Paris", "Brussels"}, {"Paris", "Frankfurt"}, {"Paris", "Madrid"},
+		{"Paris", "Milan"}, {"Brussels", "Amsterdam"}, {"Amsterdam", "Frankfurt"},
+		{"Amsterdam", "Hamburg"}, {"Frankfurt", "Hamburg"}, {"Frankfurt", "Zurich"},
+		{"Zurich", "Milan"}, {"Milan", "Madrid"}, {"Hamburg", "Stockholm"},
+		{"Frankfurt", "Milan"}, {"London", "Madrid"},
+	}
+	transatlantic := [][2]string{
+		{"NewYork", "London"}, {"Boston", "Amsterdam"}, {"Washington", "Paris"},
+		{"Toronto", "London"},
+	}
+	b := graph.NewBuilder("cogent-like")
+	for _, c := range cities {
+		b.AddNode(c.name, geo.Point{Lat: c.lat, Lon: c.lon})
+	}
+	add := func(edges [][2]string, capacity float64) {
+		for _, e := range edges {
+			a, _ := b.NodeID(e[0])
+			z, _ := b.NodeID(e[1])
+			b.AddGeoBiLink(a, z, capacity)
+		}
+	}
+	add(regional, Cap40G)
+	add(transatlantic, Cap100G)
+	return b.MustBuild()
+}
+
+// GoogleLike returns a global-scale, very dense network in the image of
+// Google's B4/SNet (paper Figure 19, LLPD = 0.875): every region is a
+// near-clique and every adjacent region pair is joined by several disjoint
+// long-haul links, so almost any link can be routed around cheaply
+// relative to the long global baselines.
+func GoogleLike() *graph.Graph {
+	cities := []city{
+		// North America.
+		{"Oregon", 45.60, -121.18}, {"Iowa", 41.26, -95.86}, {"SouthCarolina", 33.07, -80.04},
+		{"Virginia", 39.04, -77.49}, {"Texas", 32.78, -96.80}, {"California", 34.05, -118.24},
+		// Europe.
+		{"Dublin", 53.35, -6.26}, {"London2", 51.51, -0.13}, {"Belgium", 50.47, 3.87},
+		{"Frankfurt2", 50.11, 8.68}, {"Finland", 60.57, 27.19},
+		// Asia.
+		{"Tokyo", 35.68, 139.69}, {"Osaka", 34.69, 135.50}, {"Taiwan", 24.05, 120.52},
+		{"Singapore", 1.35, 103.82}, {"HongKong", 22.32, 114.17}, {"Mumbai", 19.08, 72.88},
+		// Oceania / South America.
+		{"Sydney", -33.87, 151.21}, {"SaoPaulo", -23.55, -46.63}, {"Chile", -33.45, -70.67},
+	}
+	edges := [][2]string{
+		// NA near-clique.
+		{"Oregon", "Iowa"}, {"Oregon", "California"}, {"Oregon", "Texas"},
+		{"Iowa", "Virginia"}, {"Iowa", "Texas"}, {"Iowa", "SouthCarolina"},
+		{"Iowa", "California"}, {"Virginia", "SouthCarolina"}, {"Virginia", "Texas"},
+		{"SouthCarolina", "Texas"}, {"Texas", "California"}, {"California", "Iowa"},
+		{"Oregon", "Virginia"},
+		// EU near-clique.
+		{"Dublin", "London2"}, {"Dublin", "Belgium"}, {"London2", "Belgium"},
+		{"London2", "Frankfurt2"}, {"Belgium", "Frankfurt2"}, {"Frankfurt2", "Finland"},
+		{"Belgium", "Finland"}, {"Dublin", "Frankfurt2"}, {"London2", "Finland"},
+		// Asia mesh.
+		{"Tokyo", "Osaka"}, {"Tokyo", "Taiwan"}, {"Osaka", "Taiwan"},
+		{"Taiwan", "HongKong"}, {"HongKong", "Singapore"}, {"Singapore", "Mumbai"},
+		{"Taiwan", "Singapore"}, {"Tokyo", "HongKong"}, {"Osaka", "HongKong"},
+		{"Mumbai", "HongKong"},
+		// Transatlantic x4.
+		{"Virginia", "Dublin"}, {"Virginia", "London2"}, {"SouthCarolina", "Belgium"},
+		{"Iowa", "Frankfurt2"},
+		// Transpacific x4.
+		{"Oregon", "Tokyo"}, {"Oregon", "Osaka"}, {"California", "Tokyo"},
+		{"California", "Taiwan"},
+		// EU-Asia x2.
+		{"Finland", "Mumbai"}, {"Frankfurt2", "Mumbai"},
+		// Oceania x3.
+		{"Sydney", "Singapore"}, {"Sydney", "California"}, {"Sydney", "Taiwan"},
+		// South America x3.
+		{"SaoPaulo", "Virginia"}, {"SaoPaulo", "SouthCarolina"}, {"Chile", "SaoPaulo"},
+		{"Chile", "California"},
+	}
+	return buildCities("google-like", cities, edges, Cap100G, 1.0)
+}

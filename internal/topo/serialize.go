@@ -1,0 +1,97 @@
+package topo
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+)
+
+// Marshal renders a topology in the repository's plain-text format:
+//
+//	topology <name>
+//	node <name> <lat> <lon>
+//	link <from> <to> <capacity-bps> <delay-sec>
+//
+// Links are directed; one line per direction.
+func Marshal(g *graph.Graph) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "topology %s\n", g.Name())
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(&buf, "node %s %.6f %.6f\n", n.Name, n.Loc.Lat, n.Loc.Lon)
+	}
+	for _, l := range g.Links() {
+		fmt.Fprintf(&buf, "link %s %s %g %.9g\n",
+			g.Node(l.From).Name, g.Node(l.To).Name, l.Capacity, l.Delay)
+	}
+	return buf.Bytes()
+}
+
+// Unmarshal parses the text format produced by Marshal.
+func Unmarshal(data []byte) (*graph.Graph, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	var b *graph.Builder
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "topology":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("topo: line %d: topology needs a name", lineNo)
+			}
+			if b != nil {
+				return nil, fmt.Errorf("topo: line %d: duplicate topology header", lineNo)
+			}
+			b = graph.NewBuilder(fields[1])
+		case "node":
+			if b == nil {
+				return nil, fmt.Errorf("topo: line %d: node before topology header", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("topo: line %d: node needs name lat lon", lineNo)
+			}
+			lat, err1 := strconv.ParseFloat(fields[2], 64)
+			lon, err2 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("topo: line %d: bad coordinates", lineNo)
+			}
+			b.AddNode(fields[1], geo.Point{Lat: lat, Lon: lon})
+		case "link":
+			if b == nil {
+				return nil, fmt.Errorf("topo: line %d: link before topology header", lineNo)
+			}
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("topo: line %d: link needs from to capacity delay", lineNo)
+			}
+			from, ok1 := b.NodeID(fields[1])
+			to, ok2 := b.NodeID(fields[2])
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("topo: line %d: link references unknown node", lineNo)
+			}
+			capacity, err1 := strconv.ParseFloat(fields[3], 64)
+			delay, err2 := strconv.ParseFloat(fields[4], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("topo: line %d: bad capacity/delay", lineNo)
+			}
+			b.AddLink(from, to, capacity, delay)
+		default:
+			return nil, fmt.Errorf("topo: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("topo: empty input")
+	}
+	return b.Build()
+}

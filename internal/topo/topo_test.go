@@ -1,0 +1,240 @@
+package topo
+
+import (
+	"testing"
+
+	"lowlat/internal/graph"
+)
+
+func TestZooSizeAndDeterminism(t *testing.T) {
+	zoo := Zoo()
+	if len(zoo) != ZooSize {
+		t.Fatalf("zoo has %d entries, want %d", len(zoo), ZooSize)
+	}
+	names := map[string]bool{}
+	for _, e := range zoo {
+		if names[e.Name] {
+			t.Fatalf("duplicate zoo name %q", e.Name)
+		}
+		names[e.Name] = true
+	}
+	// Building the same entry twice must yield identical topologies.
+	e, _ := ByName("mesh-24-dense")
+	g1, g2 := e.Build(), e.Build()
+	if g1.NumNodes() != g2.NumNodes() || g1.NumLinks() != g2.NumLinks() {
+		t.Fatal("zoo builds are not deterministic")
+	}
+	for i := 0; i < g1.NumLinks(); i++ {
+		l1, l2 := g1.Link(graph.LinkID(i)), g2.Link(graph.LinkID(i))
+		if l1 != l2 {
+			t.Fatalf("link %d differs between builds: %v vs %v", i, l1, l2)
+		}
+	}
+}
+
+func TestZooAllConnected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds all 116 networks")
+	}
+	for _, e := range Zoo() {
+		g := e.Build()
+		if !g.Connected() {
+			t.Errorf("%s is not connected", e.Name)
+		}
+		if g.NumNodes() < 4 {
+			t.Errorf("%s has only %d nodes", e.Name, g.NumNodes())
+		}
+		for _, l := range g.Links() {
+			if l.Delay <= 0 {
+				t.Errorf("%s link %d has non-positive delay", e.Name, l.ID)
+				break
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("gts-like"); !ok {
+		t.Fatal("gts-like missing from zoo")
+	}
+	if _, ok := ByName("google-like"); !ok {
+		t.Fatal("google-like must be resolvable even though outside the zoo")
+	}
+	if _, ok := ByName("no-such-network"); ok {
+		t.Fatal("bogus name resolved")
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	star := Star("s", 8, 500, Cap10G)
+	if star.NumNodes() != 9 || star.NumLinks() != 16 {
+		t.Fatalf("star: %d nodes %d links", star.NumNodes(), star.NumLinks())
+	}
+	tree := Tree("t", 2, 3, 300, Cap10G)
+	if tree.NumNodes() != 15 || tree.NumLinks() != 28 {
+		t.Fatalf("tree: %d nodes %d links", tree.NumNodes(), tree.NumLinks())
+	}
+	ring := Ring("r", 10, 800, Cap10G)
+	if ring.NumNodes() != 10 || ring.NumLinks() != 20 {
+		t.Fatalf("ring: %d nodes %d links", ring.NumNodes(), ring.NumLinks())
+	}
+	grid := Grid("g", 4, 5, 400, Cap10G)
+	if grid.NumNodes() != 20 || grid.NumLinks() != 2*(4*4+3*5) {
+		t.Fatalf("grid: %d nodes %d links", grid.NumNodes(), grid.NumLinks())
+	}
+	clique := Clique("c", 6, 700, Cap10G)
+	if clique.NumNodes() != 6 || clique.NumLinks() != 30 {
+		t.Fatalf("clique: %d nodes %d links", clique.NumNodes(), clique.NumLinks())
+	}
+	ladder := Ladder("l", 5, 300, Cap10G)
+	if ladder.NumNodes() != 10 || ladder.NumLinks() != 2*(5+2*4) {
+		t.Fatalf("ladder: %d nodes %d links", ladder.NumNodes(), ladder.NumLinks())
+	}
+	wheel := Wheel("w", 6, 500, Cap10G)
+	if wheel.NumNodes() != 7 || wheel.NumLinks() != 24 {
+		t.Fatalf("wheel: %d nodes %d links", wheel.NumNodes(), wheel.NumLinks())
+	}
+	dr := DoubleRing("d", 6, 900, Cap10G)
+	if dr.NumNodes() != 12 || dr.NumLinks() != 36 {
+		t.Fatalf("double ring: %d nodes %d links", dr.NumNodes(), dr.NumLinks())
+	}
+	if !star.Connected() || !tree.Connected() || !grid.Connected() || !dr.Connected() {
+		t.Fatal("generator output disconnected")
+	}
+}
+
+func TestRandomGeoConnectedAndSeeded(t *testing.T) {
+	a := RandomGeo("m", 30, 2000, 1500, 0.4, 0.3, Cap10G, 7)
+	bg := RandomGeo("m", 30, 2000, 1500, 0.4, 0.3, Cap10G, 7)
+	if !a.Connected() {
+		t.Fatal("random geo must be connected")
+	}
+	if a.NumLinks() != bg.NumLinks() {
+		t.Fatal("same seed must give same network")
+	}
+	c := RandomGeo("m", 30, 2000, 1500, 0.4, 0.3, Cap10G, 8)
+	if c.NumLinks() == a.NumLinks() {
+		t.Log("different seeds gave same link count (possible but unlikely)")
+	}
+}
+
+func TestMultiRegionStructure(t *testing.T) {
+	g := MultiRegion("mr", 3, 8, 1000, 4000, 2, Cap40G, Cap100G, 3)
+	if g.NumNodes() != 24 {
+		t.Fatalf("nodes = %d, want 24", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Fatal("multi-region must be connected")
+	}
+	// Long-haul links must have the long-haul capacity tier.
+	found100 := false
+	for _, l := range g.Links() {
+		if l.Capacity == Cap100G {
+			found100 = true
+			break
+		}
+	}
+	if !found100 {
+		t.Fatal("no long-haul links found")
+	}
+}
+
+func TestGTSLikeStructure(t *testing.T) {
+	g := GTSLike()
+	if !g.Connected() {
+		t.Fatal("gts-like disconnected")
+	}
+	// The Figure 5 pathology requires Veszprem to have exactly two
+	// neighbors: Gyor and Budapest.
+	v, ok := g.NodeByName("Veszprem")
+	if !ok {
+		t.Fatal("Veszprem missing")
+	}
+	out := g.Out(v.ID)
+	if len(out) != 2 {
+		t.Fatalf("Veszprem has %d outgoing links, want 2", len(out))
+	}
+	neighbors := map[string]bool{}
+	for _, lid := range out {
+		neighbors[g.Node(g.Link(lid).To).Name] = true
+	}
+	if !neighbors["Gyor"] || !neighbors["Budapest"] {
+		t.Fatalf("Veszprem neighbors = %v, want Gyor and Budapest", neighbors)
+	}
+	if d := g.Diameter(); d < 0.010 {
+		t.Fatalf("gts-like diameter %.1fms, want > 10ms like the paper's dataset", d*1000)
+	}
+}
+
+func TestCogentLikeTiers(t *testing.T) {
+	g := CogentLike()
+	if !g.Connected() {
+		t.Fatal("cogent-like disconnected")
+	}
+	ny, _ := g.NodeByName("NewYork")
+	lon, _ := g.NodeByName("London")
+	l, ok := g.FindLink(ny.ID, lon.ID)
+	if !ok {
+		t.Fatal("transatlantic NewYork-London link missing")
+	}
+	if l.Capacity != Cap100G {
+		t.Fatalf("transatlantic capacity = %v, want 100G", l.Capacity)
+	}
+	if l.Delay < 0.025 {
+		t.Fatalf("transatlantic delay = %.1fms, implausibly low", l.Delay*1000)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	g := GTSLike()
+	data := Marshal(g)
+	h, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if h.Name() != g.Name() || h.NumNodes() != g.NumNodes() || h.NumLinks() != g.NumLinks() {
+		t.Fatalf("roundtrip mismatch: %s %d/%d vs %s %d/%d",
+			h.Name(), h.NumNodes(), h.NumLinks(), g.Name(), g.NumNodes(), g.NumLinks())
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		a, b := g.Link(graph.LinkID(i)), h.Link(graph.LinkID(i))
+		if a.From != b.From || a.To != b.To || a.Capacity != b.Capacity {
+			t.Fatalf("link %d mismatch", i)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"node x 1 2",
+		"topology t\nnode x 1",
+		"topology t\nnode x a b",
+		"topology t\nlink a b 1 1",
+		"topology t\nnode a 1 1\nnode b 2 2\nlink a b xx 1",
+		"topology t\nbogus directive",
+		"topology t\ntopology t2",
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal([]byte(c)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, c)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# comment\ntopology t\n\nnode a 1 1\nnode b 2 2\nlink a b 1e9 0.001\n"
+	g, err := Unmarshal([]byte(ok))
+	if err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	if g.NumLinks() != 1 {
+		t.Fatalf("links = %d, want 1", g.NumLinks())
+	}
+}
+
+func TestMedianLinkCapacity(t *testing.T) {
+	g := CogentLike()
+	m := MedianLinkCapacity(g)
+	if m != Cap40G {
+		t.Fatalf("median capacity = %v, want 40G (regional tier dominates)", m)
+	}
+}

@@ -1,0 +1,141 @@
+package topoio
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+)
+
+// randomSymmetric builds a random connected topology with symmetric link
+// pairs, the shape both exporters assume.
+func randomSymmetric(rng *rand.Rand) *graph.Graph {
+	n := 2 + rng.Intn(18)
+	b := graph.NewBuilder(fmt.Sprintf("rand-%d", n))
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = b.AddNode(fmt.Sprintf("n%d", i), geo.Point{
+			Lat: rng.Float64()*160 - 80,
+			Lon: rng.Float64()*340 - 170,
+		})
+	}
+	link := func(a, z graph.NodeID) {
+		if a == z || b.HasLink(a, z) {
+			return
+		}
+		capacity := (1 + rng.Float64()*99) * 1e9 // 1-100 Gb/s
+		delay := (0.1 + rng.Float64()*50) * 1e-3 // 0.1-50 ms
+		b.AddLink(a, z, capacity, delay)
+		b.AddLink(z, a, capacity, delay)
+	}
+	// Random spanning tree keeps it connected.
+	for i := 1; i < n; i++ {
+		link(ids[i], ids[rng.Intn(i)])
+	}
+	extra := rng.Intn(2 * n)
+	for e := 0; e < extra; e++ {
+		link(ids[rng.Intn(n)], ids[rng.Intn(n)])
+	}
+	return b.MustBuild()
+}
+
+func TestQuickGraphMLRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomSymmetric(rng)
+		var buf bytes.Buffer
+		if err := WriteGraphML(&buf, g); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		back, err := ReadGraphML(bytes.NewReader(buf.Bytes()), GraphMLOptions{})
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		return sameTopology(g, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRepetitaRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomSymmetric(rng)
+		var buf bytes.Buffer
+		if err := WriteRepetita(&buf, g); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		back, err := ReadRepetita(bytes.NewReader(buf.Bytes()), RepetitaOptions{Name: g.Name()})
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		return sameTopology(g, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDetectNeverPanicsAndReadFailsCleanly(t *testing.T) {
+	f := func(junk []byte) bool {
+		format := Detect(junk)
+		g, err := ReadBytes(junk, ReadOptions{})
+		// Arbitrary bytes must either parse into a non-nil graph or
+		// produce an error — never both nil, never a panic.
+		if err == nil && g == nil {
+			return false
+		}
+		_ = format
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sameTopology is the boolean form of assertSameTopology for quick.Check.
+func sameTopology(a, z *graph.Graph) bool {
+	if a.NumNodes() != z.NumNodes() || a.NumLinks() != z.NumLinks() {
+		return false
+	}
+	for _, n := range a.Nodes() {
+		zn, ok := z.NodeByName(n.Name)
+		if !ok {
+			return false
+		}
+		if abs(n.Loc.Lat-zn.Loc.Lat) > 1e-4 || abs(n.Loc.Lon-zn.Loc.Lon) > 1e-4 {
+			return false
+		}
+	}
+	for _, l := range a.Links() {
+		zf, ok1 := z.NodeByName(a.Node(l.From).Name)
+		zt, ok2 := z.NodeByName(a.Node(l.To).Name)
+		if !ok1 || !ok2 {
+			return false
+		}
+		zl, ok := z.FindLink(zf.ID, zt.ID)
+		if !ok {
+			return false
+		}
+		if abs(zl.Capacity-l.Capacity)/l.Capacity > 1e-6 || abs(zl.Delay-l.Delay) > 1e-6 {
+			return false
+		}
+	}
+	return true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,216 @@
+package topoio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+)
+
+// The REPETITA dataset [16] stores one topology per .graph file:
+//
+//	NODES <n>
+//	label x y
+//	<n lines: name, abstract coordinates>
+//
+//	EDGES <m>
+//	label src dest weight bw delay
+//	<m lines: name, endpoint indices, IGP weight, bandwidth in Kbps,
+//	 delay in microseconds>
+//
+// Edges are directed; zoo-derived REPETITA files list both directions.
+// The paper uses REPETITA's computed link latencies to augment the
+// Topology Zoo, so the delay column is authoritative here (no geographic
+// derivation).
+
+// RepetitaOptions controls REPETITA parsing.
+type RepetitaOptions struct {
+	// Name overrides the graph name (REPETITA files carry none; the
+	// conventional name is the file basename).
+	Name string
+	// DefaultCapacity substitutes for zero/missing bandwidth (bits/sec,
+	// default 10 Gb/s).
+	DefaultCapacity float64
+	// DefaultDelay substitutes for zero delay entries (seconds, default
+	// 1 ms): a zero-propagation link breaks delay-proportional routing.
+	DefaultDelay float64
+}
+
+func (o RepetitaOptions) withDefaults() RepetitaOptions {
+	if o.Name == "" {
+		o.Name = "repetita"
+	}
+	if o.DefaultCapacity <= 0 {
+		o.DefaultCapacity = 10e9
+	}
+	if o.DefaultDelay <= 0 {
+		o.DefaultDelay = 0.001
+	}
+	return o
+}
+
+// ReadRepetita parses a REPETITA .graph file.
+func ReadRepetita(r io.Reader, opts RepetitaOptions) (*graph.Graph, error) {
+	opts = opts.withDefaults()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	line, lineNo, err := nextLine(sc, 0)
+	if err != nil {
+		return nil, errf(FormatRepetita, "header", "missing NODES header: %v", err)
+	}
+	var nNodes int
+	if _, err := fmt.Sscanf(line, "NODES %d", &nNodes); err != nil || nNodes <= 0 {
+		return nil, errf(FormatRepetita, "header", "line %d: want \"NODES <n>\", got %q", lineNo, line)
+	}
+
+	b := graph.NewBuilder(opts.Name)
+	ids := make([]graph.NodeID, 0, nNodes)
+	// Skip the per-section column legend if present ("label x y").
+	peeked, peekedNo, err := nextLine(sc, lineNo)
+	if err != nil {
+		return nil, errf(FormatRepetita, "nodes", "truncated after header: %v", err)
+	}
+	if !strings.HasPrefix(peeked, "label") {
+		id, err := parseRepetitaNode(b, peeked, peekedNo)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	} else {
+		lineNo = peekedNo
+	}
+	for len(ids) < nNodes {
+		line, n, err := nextLine(sc, lineNo)
+		if err != nil {
+			return nil, errf(FormatRepetita, "nodes", "want %d nodes, got %d: %v", nNodes, len(ids), err)
+		}
+		lineNo = n
+		id, err := parseRepetitaNode(b, line, n)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+
+	line, lineNo, err = nextLine(sc, lineNo)
+	if err != nil {
+		return nil, errf(FormatRepetita, "header", "missing EDGES header: %v", err)
+	}
+	var nEdges int
+	if _, err := fmt.Sscanf(line, "EDGES %d", &nEdges); err != nil || nEdges < 0 {
+		return nil, errf(FormatRepetita, "header", "line %d: want \"EDGES <m>\", got %q", lineNo, line)
+	}
+
+	parsed := 0
+	for parsed < nEdges {
+		line, n, err := nextLine(sc, lineNo)
+		if err != nil {
+			return nil, errf(FormatRepetita, "edges", "want %d edges, got %d: %v", nEdges, parsed, err)
+		}
+		lineNo = n
+		if strings.HasPrefix(line, "label") {
+			continue // column legend
+		}
+		f := strings.Fields(line)
+		if len(f) != 6 {
+			return nil, errf(FormatRepetita, "edges", "line %d: want 6 fields, got %d (%q)", n, len(f), line)
+		}
+		src, err1 := strconv.Atoi(f[1])
+		dst, err2 := strconv.Atoi(f[2])
+		if err1 != nil || err2 != nil || src < 0 || src >= nNodes || dst < 0 || dst >= nNodes {
+			return nil, errf(FormatRepetita, "edges", "line %d: bad endpoints %q %q", n, f[1], f[2])
+		}
+		if src == dst {
+			parsed++
+			continue
+		}
+		bwKbps, err := strconv.ParseFloat(f[4], 64)
+		if err != nil {
+			return nil, errf(FormatRepetita, "edges", "line %d: bad bandwidth %q", n, f[4])
+		}
+		delayUs, err := strconv.ParseFloat(f[5], 64)
+		if err != nil {
+			return nil, errf(FormatRepetita, "edges", "line %d: bad delay %q", n, f[5])
+		}
+		capacity := bwKbps * 1e3
+		if capacity <= 0 {
+			capacity = opts.DefaultCapacity
+		}
+		delay := delayUs * 1e-6
+		if delay <= 0 {
+			delay = opts.DefaultDelay
+		}
+		if !b.HasLink(ids[src], ids[dst]) {
+			b.AddLink(ids[src], ids[dst], capacity, delay)
+		}
+		parsed++
+	}
+
+	return b.Build()
+}
+
+func parseRepetitaNode(b *graph.Builder, line string, lineNo int) (graph.NodeID, error) {
+	f := strings.Fields(line)
+	if len(f) != 3 {
+		return 0, errf(FormatRepetita, "nodes", "line %d: want \"label x y\", got %q", lineNo, line)
+	}
+	x, err1 := strconv.ParseFloat(f[1], 64)
+	y, err2 := strconv.ParseFloat(f[2], 64)
+	if err1 != nil || err2 != nil {
+		return 0, errf(FormatRepetita, "nodes", "line %d: bad coordinates %q", lineNo, line)
+	}
+	// REPETITA coordinates are abstract longitude/latitude-ish values;
+	// store them as (lat=y, lon=x) so exports preserve them.
+	return b.AddNode(f[0], geo.Point{Lat: y, Lon: x}), nil
+}
+
+func nextLine(sc *bufio.Scanner, lineNo int) (string, int, error) {
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, lineNo, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", lineNo, err
+	}
+	return "", lineNo, io.ErrUnexpectedEOF
+}
+
+// WriteRepetita renders g in REPETITA format: every directed link becomes
+// one edge line with bandwidth in Kbps and delay in microseconds. IGP
+// weights are delays in microseconds, matching the paper's
+// delay-proportional link costs.
+func WriteRepetita(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "NODES %d\nlabel x y\n", g.NumNodes())
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(bw, "%s %.6f %.6f\n", sanitizeLabel(n.Name), n.Loc.Lon, n.Loc.Lat)
+	}
+	fmt.Fprintf(bw, "\nEDGES %d\nlabel src dest weight bw delay\n", g.NumLinks())
+	for i, l := range g.Links() {
+		us := l.Delay * 1e6
+		fmt.Fprintf(bw, "edge_%d %d %d %.0f %.0f %.3f\n",
+			i, l.From, l.To, us, l.Capacity/1e3, us)
+	}
+	return bw.Flush()
+}
+
+// sanitizeLabel keeps node labels single-token (the format is
+// whitespace-separated).
+func sanitizeLabel(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t', '\n':
+			return '_'
+		}
+		return r
+	}, s)
+}

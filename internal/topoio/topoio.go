@@ -1,0 +1,75 @@
+// Package topoio reads and writes the on-disk topology formats the paper's
+// data pipeline consumes: Internet Topology Zoo GraphML [29] and the
+// REPETITA dataset format of Gay et al. [16], which the paper uses for its
+// computed link latencies.
+//
+// Both readers produce the library's immutable graph.Graph. Following the
+// paper's convention, when a format carries node coordinates but no link
+// delays (the Topology Zoo case), delays are derived from great-circle
+// distance at fiber propagation speed.
+package topoio
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Format identifies an on-disk topology format.
+type Format int
+
+const (
+	// FormatUnknown is returned by Detect for unrecognized input.
+	FormatUnknown Format = iota
+	// FormatGraphML is Internet Topology Zoo GraphML.
+	FormatGraphML
+	// FormatRepetita is the REPETITA .graph format.
+	FormatRepetita
+	// FormatNative is the library's plain-text format (topo.Marshal).
+	FormatNative
+)
+
+// String returns the format's conventional name.
+func (f Format) String() string {
+	switch f {
+	case FormatGraphML:
+		return "graphml"
+	case FormatRepetita:
+		return "repetita"
+	case FormatNative:
+		return "native"
+	default:
+		return "unknown"
+	}
+}
+
+// Detect sniffs the topology format of data. GraphML is XML containing a
+// <graphml> element; REPETITA files start with a "NODES <n>" header; the
+// native format starts with "topology <name>".
+func Detect(data []byte) Format {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	switch {
+	case bytes.HasPrefix(trimmed, []byte("<")) && bytes.Contains(data, []byte("<graphml")):
+		return FormatGraphML
+	case bytes.HasPrefix(trimmed, []byte("NODES ")):
+		return FormatRepetita
+	case bytes.HasPrefix(trimmed, []byte("topology ")):
+		return FormatNative
+	default:
+		return FormatUnknown
+	}
+}
+
+// parseError reports a position-annotated parse failure.
+type parseError struct {
+	format Format
+	what   string
+	detail string
+}
+
+func (e *parseError) Error() string {
+	return fmt.Sprintf("topoio: %s: %s: %s", e.format, e.what, e.detail)
+}
+
+func errf(format Format, what, detail string, args ...interface{}) error {
+	return &parseError{format: format, what: what, detail: fmt.Sprintf(detail, args...)}
+}

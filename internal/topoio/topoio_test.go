@@ -1,0 +1,377 @@
+package topoio
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+	"lowlat/internal/metrics"
+	"lowlat/internal/topo"
+)
+
+func readTestdata(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestDetect(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Format
+	}{
+		{"<?xml version=\"1.0\"?>\n<graphml>", FormatGraphML},
+		{"  \n<graphml xmlns=\"x\">", FormatGraphML},
+		{"NODES 3\nlabel x y\n", FormatRepetita},
+		{"topology foo\nnode a 0 0\n", FormatNative},
+		{"random text", FormatUnknown},
+		{"", FormatUnknown},
+		{"<svg></svg>", FormatUnknown},
+	}
+	for _, c := range cases {
+		if got := Detect([]byte(c.in)); got != c.want {
+			t.Errorf("Detect(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	for f, want := range map[Format]string{
+		FormatGraphML:  "graphml",
+		FormatRepetita: "repetita",
+		FormatNative:   "native",
+		FormatUnknown:  "unknown",
+	} {
+		if got := f.String(); got != want {
+			t.Errorf("Format(%d).String() = %q, want %q", f, got, want)
+		}
+	}
+}
+
+func TestReadGraphMLZooFile(t *testing.T) {
+	g, err := ReadGraphML(bytes.NewReader(readTestdata(t, "abilene-like.graphml")), GraphMLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "AbileneLike" {
+		t.Fatalf("name = %q, want AbileneLike", g.Name())
+	}
+	if g.NumNodes() != 11 {
+		t.Fatalf("nodes = %d, want 11", g.NumNodes())
+	}
+	// 14 undirected edges -> 28 directed links.
+	if g.NumLinks() != 28 {
+		t.Fatalf("links = %d, want 28", g.NumLinks())
+	}
+	if !g.Connected() {
+		t.Fatal("abilene-like must be connected")
+	}
+
+	// All capacities come from LinkSpeedRaw.
+	for _, l := range g.Links() {
+		if l.Capacity != 10e9 {
+			t.Fatalf("capacity = %v, want 10e9", l.Capacity)
+		}
+	}
+
+	// Delay must be geographic: NY<->Chicago is ~1145 km great circle,
+	// so ~5.7 ms at fiber speed.
+	ny, ok := g.NodeByName("New York")
+	if !ok {
+		t.Fatal("New York missing")
+	}
+	chi, ok := g.NodeByName("Chicago")
+	if !ok {
+		t.Fatal("Chicago missing")
+	}
+	l, ok := g.FindLink(ny.ID, chi.ID)
+	if !ok {
+		t.Fatal("NY-Chicago link missing")
+	}
+	if l.Delay < 0.004 || l.Delay > 0.008 {
+		t.Fatalf("NY-Chicago delay = %v s, want ~5.7ms", l.Delay)
+	}
+
+	// The loaded network should be analyzable like any zoo network.
+	llpd := metrics.LLPD(g, metrics.APAConfig{})
+	if llpd < 0 || llpd > 1 {
+		t.Fatalf("LLPD = %v out of range", llpd)
+	}
+}
+
+func TestReadGraphMLDuplicateLabels(t *testing.T) {
+	src := `<graphml>
+  <key attr.name="label" attr.type="string" for="node" id="k"/>
+  <graph edgedefault="undirected">
+    <node id="a"><data key="k">Springfield</data></node>
+    <node id="b"><data key="k">Springfield</data></node>
+    <edge source="a" target="b"/>
+  </graph>
+</graphml>`
+	g, err := ReadGraphML(strings.NewReader(src), GraphMLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("nodes = %d, want 2", g.NumNodes())
+	}
+	if g.Nodes()[0].Name == g.Nodes()[1].Name {
+		t.Fatal("duplicate labels must be disambiguated")
+	}
+}
+
+func TestReadGraphMLDefaults(t *testing.T) {
+	// No coordinates, no speeds: defaults apply.
+	src := `<graphml>
+  <graph edgedefault="undirected">
+    <node id="0"/><node id="1"/>
+    <edge source="0" target="1"/>
+  </graph>
+</graphml>`
+	g, err := ReadGraphML(strings.NewReader(src), GraphMLOptions{
+		DefaultCapacity: 42e9, DefaultDelay: 0.007,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := g.Links()[0]
+	if l.Capacity != 42e9 || l.Delay != 0.007 {
+		t.Fatalf("defaults not applied: %+v", l)
+	}
+	if g.Node(l.From).Name != "node-0" {
+		t.Fatalf("fallback label = %q", g.Node(l.From).Name)
+	}
+}
+
+func TestReadGraphMLLinkSpeedUnits(t *testing.T) {
+	src := `<graphml>
+  <key attr.name="LinkSpeed" attr.type="string" for="edge" id="s"/>
+  <key attr.name="LinkSpeedUnits" attr.type="string" for="edge" id="u"/>
+  <graph edgedefault="undirected">
+    <node id="0"/><node id="1"/><node id="2"/><node id="3"/>
+    <edge source="0" target="1"><data key="s">155</data><data key="u">M</data></edge>
+    <edge source="1" target="2"><data key="s">2.5</data><data key="u">G</data></edge>
+    <edge source="2" target="3"><data key="s">1</data><data key="u">T</data></edge>
+  </graph>
+</graphml>`
+	g, err := ReadGraphML(strings.NewReader(src), GraphMLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var caps []float64
+	for _, l := range g.Links() {
+		caps = append(caps, l.Capacity)
+	}
+	want := map[float64]bool{155e6: true, 2.5e9: true, 1e12: true}
+	for _, c := range caps {
+		if !want[c] {
+			t.Fatalf("unexpected capacity %v", c)
+		}
+	}
+}
+
+func TestReadGraphMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":                     "not xml at all",
+		"no graph":                    "<graphml></graphml>",
+		"bad edge ref":                `<graphml><graph><node id="0"/><edge source="0" target="9"/></graph></graphml>`,
+		"duplicate node id":           `<graphml><graph><node id="0"/><node id="0"/></graph></graphml>`,
+		"truncated element structure": "<graphml><graph><node",
+	}
+	for name, src := range cases {
+		if _, err := ReadGraphML(strings.NewReader(src), GraphMLOptions{}); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+}
+
+func TestReadGraphMLSelfLoopAndParallelEdges(t *testing.T) {
+	src := `<graphml>
+  <graph edgedefault="undirected">
+    <node id="0"/><node id="1"/>
+    <edge source="0" target="0"/>
+    <edge source="0" target="1"/>
+    <edge source="0" target="1"/>
+  </graph>
+</graphml>`
+	g, err := ReadGraphML(strings.NewReader(src), GraphMLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLinks() != 2 {
+		t.Fatalf("links = %d, want 2 (self-loop dropped, parallel deduped)", g.NumLinks())
+	}
+}
+
+func TestGraphMLRoundTrip(t *testing.T) {
+	orig := topo.GTSLike()
+	var buf bytes.Buffer
+	if err := WriteGraphML(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraphML(bytes.NewReader(buf.Bytes()), GraphMLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTopology(t, orig, back)
+}
+
+func TestWriteGraphMLRejectsAsymmetric(t *testing.T) {
+	b := graph.NewBuilder("asym")
+	a := b.AddNode("a", geo.Point{})
+	z := b.AddNode("z", geo.Point{})
+	b.AddLink(a, z, 1e9, 0.001) // one direction only
+	g := b.MustBuild()
+	if err := WriteGraphML(&bytes.Buffer{}, g); err == nil {
+		t.Fatal("want error for asymmetric graph")
+	}
+}
+
+func TestReadRepetitaSquare(t *testing.T) {
+	g, err := ReadRepetita(bytes.NewReader(readTestdata(t, "square.graph")), RepetitaOptions{Name: "square"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "square" {
+		t.Fatalf("name = %q", g.Name())
+	}
+	if g.NumNodes() != 4 || g.NumLinks() != 8 {
+		t.Fatalf("got %d nodes, %d links; want 4, 8", g.NumNodes(), g.NumLinks())
+	}
+	for _, l := range g.Links() {
+		if l.Capacity != 10e9 { // 10000000 Kbps
+			t.Fatalf("capacity = %v, want 10e9", l.Capacity)
+		}
+		if math.Abs(l.Delay-0.001) > 1e-12 { // 1000 us
+			t.Fatalf("delay = %v, want 1ms", l.Delay)
+		}
+	}
+}
+
+func TestReadRepetitaErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "NODES x\n",
+		"missing nodes":  "NODES 2\nlabel x y\nn0 0 0\n",
+		"missing edges":  "NODES 1\nlabel x y\nn0 0 0\nEDGES 1\nlabel src dest weight bw delay\n",
+		"bad edge field": "NODES 2\nlabel x y\nn0 0 0\nn1 1 1\nEDGES 1\nlabel src dest weight bw delay\nedge_0 0 1 1 xx 10\n",
+		"edge oob":       "NODES 2\nlabel x y\nn0 0 0\nn1 1 1\nEDGES 1\nlabel src dest weight bw delay\nedge_0 0 7 1 10 10\n",
+		"short edge":     "NODES 2\nlabel x y\nn0 0 0\nn1 1 1\nEDGES 1\nlabel src dest weight bw delay\nedge_0 0 1\n",
+		"bad node line":  "NODES 1\nlabel x y\nn0 zero zero\nEDGES 0\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadRepetita(strings.NewReader(src), RepetitaOptions{}); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+}
+
+func TestRepetitaDefaultsApplied(t *testing.T) {
+	src := "NODES 2\nlabel x y\nn0 0 0\nn1 1 1\nEDGES 1\nlabel src dest weight bw delay\nedge_0 0 1 1 0 0\n"
+	g, err := ReadRepetita(strings.NewReader(src), RepetitaOptions{DefaultCapacity: 5e9, DefaultDelay: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := g.Links()[0]
+	if l.Capacity != 5e9 || l.Delay != 0.002 {
+		t.Fatalf("defaults not applied: %+v", l)
+	}
+}
+
+func TestRepetitaRoundTrip(t *testing.T) {
+	orig := topo.GTSLike()
+	var buf bytes.Buffer
+	if err := WriteRepetita(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRepetita(bytes.NewReader(buf.Bytes()), RepetitaOptions{Name: orig.Name()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTopology(t, orig, back)
+}
+
+func TestReadBytesDispatch(t *testing.T) {
+	// GraphML.
+	if g, err := ReadBytes(readTestdata(t, "abilene-like.graphml"), ReadOptions{}); err != nil || g.NumNodes() != 11 {
+		t.Fatalf("graphml dispatch: g=%v err=%v", g, err)
+	}
+	// REPETITA.
+	if g, err := ReadBytes(readTestdata(t, "square.graph"), ReadOptions{Name: "sq"}); err != nil || g.Name() != "sq" {
+		t.Fatalf("repetita dispatch: err=%v", err)
+	}
+	// Native.
+	native := topo.Marshal(topo.GTSLike())
+	if g, err := ReadBytes(native, ReadOptions{}); err != nil || g.Name() != "gts-like" {
+		t.Fatalf("native dispatch: err=%v", err)
+	}
+	// Unknown.
+	if _, err := ReadBytes([]byte("?????"), ReadOptions{}); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mynet.graph")
+	var buf bytes.Buffer
+	if err := WriteRepetita(&buf, topo.GTSLike()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadFile(path, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "mynet" {
+		t.Fatalf("name from basename = %q, want mynet", g.Name())
+	}
+	if _, err := ReadFile(filepath.Join(dir, "absent.graph"), ReadOptions{}); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// assertSameTopology verifies node names, locations, and per-link
+// capacity/delay match between two graphs (up to formatting precision).
+func assertSameTopology(t *testing.T, a, z *graph.Graph) {
+	t.Helper()
+	if a.NumNodes() != z.NumNodes() || a.NumLinks() != z.NumLinks() {
+		t.Fatalf("size mismatch: %d/%d nodes, %d/%d links",
+			a.NumNodes(), z.NumNodes(), a.NumLinks(), z.NumLinks())
+	}
+	for _, n := range a.Nodes() {
+		zn, ok := z.NodeByName(n.Name)
+		if !ok {
+			t.Fatalf("node %q missing after round trip", n.Name)
+		}
+		if math.Abs(n.Loc.Lat-zn.Loc.Lat) > 1e-4 || math.Abs(n.Loc.Lon-zn.Loc.Lon) > 1e-4 {
+			t.Fatalf("node %q moved: %+v vs %+v", n.Name, n.Loc, zn.Loc)
+		}
+	}
+	for _, l := range a.Links() {
+		fromName := a.Node(l.From).Name
+		toName := a.Node(l.To).Name
+		zf, _ := z.NodeByName(fromName)
+		zt, _ := z.NodeByName(toName)
+		zl, ok := z.FindLink(zf.ID, zt.ID)
+		if !ok {
+			t.Fatalf("link %s->%s missing after round trip", fromName, toName)
+		}
+		if math.Abs(zl.Capacity-l.Capacity)/l.Capacity > 1e-6 {
+			t.Fatalf("link %s->%s capacity %v vs %v", fromName, toName, l.Capacity, zl.Capacity)
+		}
+		if math.Abs(zl.Delay-l.Delay) > 1e-6 {
+			t.Fatalf("link %s->%s delay %v vs %v", fromName, toName, l.Delay, zl.Delay)
+		}
+	}
+}

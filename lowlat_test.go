@@ -1,0 +1,35 @@
+package lowlat
+
+import (
+	"testing"
+
+	"lowlat/internal/experiments"
+	"lowlat/internal/topo"
+)
+
+// TestExperimentRegistryComplete pins the deliverable: one driver per
+// results figure in the paper.
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig3", "fig4", "fig7", "fig8", "fig9",
+		"fig10", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20"}
+	got := experiments.Names()
+	if len(got) != len(want) {
+		t.Fatalf("experiments = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("experiments[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestZooMatchesPaperScale pins the dataset: 116 networks like the paper's
+// Topology Zoo selection, plus the out-of-zoo Google-like network.
+func TestZooMatchesPaperScale(t *testing.T) {
+	if n := len(topo.Zoo()); n != 116 {
+		t.Fatalf("zoo size = %d, want 116", n)
+	}
+	if _, ok := topo.ByName("google-like"); !ok {
+		t.Fatal("google-like must resolve")
+	}
+}

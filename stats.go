@@ -1,0 +1,30 @@
+package lowlat
+
+import "lowlat/internal/stats"
+
+// Small statistical helpers exposed for consumers of experiment output:
+// the CDFs the paper plots and the correlation behind Figure 10.
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF = stats.CDF
+
+// CDFPoint is one (value, cumulative fraction) point of a sampled CDF.
+type CDFPoint = stats.Point
+
+// NewCDF builds an empirical CDF from samples.
+func NewCDF(samples []float64) *CDF { return stats.NewCDF(samples) }
+
+// Correlation returns the Pearson correlation coefficient of two
+// equal-length series.
+func Correlation(xs, ys []float64) float64 { return stats.Correlation(xs, ys) }
+
+// Link capacity tiers used throughout the synthetic zoo.
+const (
+	// Gbps is one gigabit per second in the library's bits/sec units.
+	Gbps = 1e9
+	// Cap10G, Cap40G and Cap100G are the backbone capacity tiers the
+	// synthetic zoo provisions links with.
+	Cap10G  = 10 * Gbps
+	Cap40G  = 40 * Gbps
+	Cap100G = 100 * Gbps
+)
