@@ -2,6 +2,7 @@ package lowlat_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -201,5 +202,54 @@ func TestFacadeMuxChecks(t *testing.T) {
 	}
 	if d := lowlat.MaxQueueDelay(steady, 1e9, 0.1); d <= 0 {
 		t.Fatalf("overloaded link must queue, got %v", d)
+	}
+}
+
+func TestFacadeScenarioEngine(t *testing.T) {
+	g := lowlat.Grid("facade-grid", 4, 4, 300, 10e9)
+	ms, err := lowlat.GenerateTrafficSet(g, lowlat.TrafficConfig{Seed: 9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scenarios []lowlat.Scenario
+	for _, scheme := range lowlat.Schemes() {
+		for _, m := range ms {
+			scenarios = append(scenarios, lowlat.Scenario{
+				Tag: "facade-grid/" + scheme.Name(), Graph: g, Matrix: m, Scheme: scheme,
+			})
+		}
+	}
+	seq, err := lowlat.RunScenarios(context.Background(), 1, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := lowlat.RunScenarios(context.Background(), 8, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(scenarios) || len(par) != len(scenarios) {
+		t.Fatalf("result counts %d/%d, want %d", len(seq), len(par), len(scenarios))
+	}
+	for i := range seq {
+		if seq[i].Index != i || par[i].Index != i {
+			t.Fatalf("results out of submission order at %d", i)
+		}
+		if seq[i].Placement.LatencyStretch() != par[i].Placement.LatencyStretch() {
+			t.Fatalf("scenario %d: parallel differs from sequential", i)
+		}
+	}
+
+	// A runner reused across submissions keeps its solver cache warm.
+	r := lowlat.NewScenarioRunner(4)
+	if _, err := r.Run(context.Background(), scenarios[:2]); err != nil {
+		t.Fatal(err)
+	}
+	pc := r.Cache().ForGraph(g)
+	warm := 0
+	for _, a := range ms[0].Aggregates {
+		warm += pc.Generated(a.Src, a.Dst)
+	}
+	if warm == 0 {
+		t.Fatal("runner cache stayed cold")
 	}
 }

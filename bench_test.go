@@ -2,8 +2,8 @@ package lowlat
 
 // One benchmark per results figure in the paper, each running the
 // corresponding experiment driver end to end on a class-balanced slice of
-// the zoo, plus ablation benches for the design choices DESIGN.md calls
-// out. Regenerate everything with:
+// the zoo, plus ablation benches for the repository's main design
+// choices. Regenerate everything with:
 //
 //	go test -bench=. -benchmem
 //
@@ -36,7 +36,11 @@ func benchConfig() experiments.Config {
 	return experiments.Config{
 		TMsPerTopology: 2,
 		Seed:           1,
-		NetworkFilter:  func(n experiments.Network) bool { return benchSubset[n.Name] },
+		// The per-figure benches stay sequential so their numbers remain
+		// comparable across machines; the engine's speedup is measured by
+		// BenchmarkLandscapeSequential / BenchmarkLandscapeParallel below.
+		Workers:       1,
+		NetworkFilter: func(n experiments.Network) bool { return benchSubset[n.Name] },
 	}
 }
 
@@ -64,6 +68,36 @@ func BenchmarkFig17Load(b *testing.B)             { benchFig(b, "fig17") }
 func BenchmarkFig18Locality(b *testing.B)         { benchFig(b, "fig18") }
 func BenchmarkFig19Google(b *testing.B)           { benchFig(b, "fig19") }
 func BenchmarkFig20Growth(b *testing.B)           { benchFig(b, "fig20") }
+
+// --- engine benches ------------------------------------------------------
+
+// benchLandscape runs the Figure 4 landscape (four schemes x the bench
+// subset x two matrices) through the engine at the given pool width. The
+// Sequential/Parallel pair measures the scenario engine's speedup; matrix
+// generation is pre-seeded outside the timer so the benches measure
+// placement fan-out, not calibration caching.
+func benchLandscape(b *testing.B, workers int) {
+	b.Helper()
+	cfg := benchConfig()
+	cfg.Workers = workers
+	// Warm the matrix cache so both variants place identical, pre-built
+	// matrices.
+	if err := experiments.Run("fig3", cfg, io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run("fig4", cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLandscapeSequential is the pre-engine baseline: one worker.
+func BenchmarkLandscapeSequential(b *testing.B) { benchLandscape(b, 1) }
+
+// BenchmarkLandscapeParallel fans the same landscape out across the CPUs.
+func BenchmarkLandscapeParallel(b *testing.B) { benchLandscape(b, 0) }
 
 // --- ablation benches ----------------------------------------------------
 
@@ -111,7 +145,7 @@ func BenchmarkAblationKSPCacheCold(b *testing.B) {
 	tg, tm := gtsMatrix(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cache := graph.NewKSPCache(tg.g)
+		cache := routing.NewPathCache(tg.g)
 		if _, err := (routing.LatencyOpt{Cache: cache}).Place(tg.g, tm.r.Matrix); err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +154,7 @@ func BenchmarkAblationKSPCacheCold(b *testing.B) {
 
 func BenchmarkAblationKSPCacheWarm(b *testing.B) {
 	tg, tm := gtsMatrix(b)
-	cache := graph.NewKSPCache(tg.g)
+	cache := routing.NewPathCache(tg.g)
 	if _, err := (routing.LatencyOpt{Cache: cache}).Place(tg.g, tm.r.Matrix); err != nil {
 		b.Fatal(err)
 	}

@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
+	"lowlat/internal/engine"
 	"lowlat/internal/experiments"
 	"lowlat/internal/metrics"
 	"lowlat/internal/routing"
@@ -59,8 +62,10 @@ func usage() {
   lowlat route -net <name> -scheme <s>        route generated traffic
          schemes: sp, b4, mplste, minmax, minmax-k10, ldr
          flags: -headroom <f> -tms <n> -seed <n> -load <f> -locality <f>
+                -workers <n> -timeout <d>
   lowlat exp -name <figN|all>                 regenerate paper figures
-         flags: -tms <n> -seed <n> -max-networks <n> -max-nodes <n>`)
+         flags: -tms <n> -seed <n> -max-networks <n> -max-nodes <n>
+                -workers <n> (0 = one per CPU) -timeout <d> (e.g. 10m)`)
 }
 
 func cmdZoo(args []string) error {
@@ -109,9 +114,13 @@ func cmdRoute(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	load := fs.Float64("load", 1/1.3, "target min-cut utilization")
 	locality := fs.Float64("locality", 1, "traffic locality parameter")
+	workers := fs.Int("workers", 0, "engine worker pool size (0 = one per CPU)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
 
 	e, ok := topo.ByName(*name)
 	if !ok {
@@ -140,25 +149,59 @@ func cmdRoute(args []string) error {
 	llpd := metrics.LLPD(g, metrics.APAConfig{})
 	fmt.Printf("network %s: %d nodes, %d links, LLPD %.3f\n",
 		g.Name(), g.NumNodes(), g.NumLinks(), llpd)
+
+	// Generate the matrices and place them through the engine: matrix
+	// calibration and scheme placement both fan out across the pool, and
+	// results print in matrix order regardless of completion order.
+	r := engine.NewRunner(*workers)
+	seeds := make([]int64, *tms)
+	for i := range seeds {
+		seeds[i] = *seed + int64(i)
+	}
+	matrices, err := engine.Map(ctx, r.Workers(), seeds,
+		func(_ context.Context, i int, s int64) (*tmgen.Result, error) {
+			res, err := tmgen.Generate(g, tmgen.Config{
+				Seed: s, Locality: *locality,
+				NoLocality: *locality == 0, TargetMaxUtil: *load,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("tm %d: %w", i, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return err
+	}
+	scs := make([]engine.Scenario, len(matrices))
+	for i, res := range matrices {
+		scs[i] = engine.Scenario{
+			Tag:    fmt.Sprintf("%s/tm%d", g.Name(), i),
+			Graph:  g,
+			Matrix: res.Matrix,
+			Scheme: scheme,
+		}
+	}
+	results, err := r.Run(ctx, scs)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%-4s %12s %12s %12s %12s %6s\n",
 		"tm", "congested", "stretch", "max-stretch", "max-util", "fits")
-	for i := 0; i < *tms; i++ {
-		res, err := tmgen.Generate(g, tmgen.Config{
-			Seed: *seed + int64(i), Locality: *locality,
-			NoLocality: *locality == 0, TargetMaxUtil: *load,
-		})
-		if err != nil {
-			return err
-		}
-		p, err := scheme.Place(g, res.Matrix)
-		if err != nil {
-			return err
-		}
+	for i, sr := range results {
+		p := sr.Placement
 		fmt.Printf("%-4d %12.3f %12.3f %12.3f %12.3f %6v\n",
 			i, p.CongestedPairFraction(), p.LatencyStretch(), p.MaxStretch(),
 			p.MaxUtilization(), p.Fits())
 	}
 	return nil
+}
+
+// runContext derives the command's context from the -timeout flag.
+func runContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
 }
 
 func cmdExp(args []string) error {
@@ -168,17 +211,23 @@ func cmdExp(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	maxNetworks := fs.Int("max-networks", 0, "cap on zoo networks (0 = all)")
 	maxNodes := fs.Int("max-nodes", 0, "skip networks above this size (0 = none)")
+	workers := fs.Int("workers", 0, "engine worker pool size (0 = one per CPU, 1 = sequential)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *name == "" {
 		return fmt.Errorf("-name is required; available: %v or all", experiments.Names())
 	}
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
 	cfg := experiments.Config{
 		TMsPerTopology: *tms,
 		Seed:           *seed,
 		MaxNetworks:    *maxNetworks,
 		MaxNodes:       *maxNodes,
+		Workers:        *workers,
+		Context:        ctx,
 	}
 	if *name == "all" {
 		return experiments.RunAll(cfg, os.Stdout)

@@ -7,8 +7,10 @@
 // gravity-model traffic generation (§3), the routing schemes of the
 // landscape study (SP, B4, MPLS-TE, MinMax, MinMax-K, latency-optimal LP
 // with the §4 headroom dial), the LDR controller (§5, Figures 11-14), a
-// fluid placement simulator with a closed-loop control-cycle driver, and
-// a TCP control plane connecting ingress-router agents to the controller.
+// fluid placement simulator with a closed-loop control-cycle driver, a
+// TCP control plane connecting ingress-router agents to the controller,
+// and the parallel scenario engine that fans experiment sweeps out across
+// the CPUs (RunScenarios).
 //
 // The implementation lives under internal/:
 //
@@ -29,10 +31,13 @@
 //     plus the minute-by-minute closed-loop driver
 //   - internal/ctrlplane — the §5 architecture over TCP: measurement
 //     reports in, path installations out
-//   - internal/experiments — one driver per results figure
+//   - internal/engine — the bounded-parallel scenario runner every
+//     experiment sweep fans out through, with deterministic collection
+//   - internal/experiments — one driver per results figure, all routed
+//     through the engine
 //
 // The benchmarks in bench_test.go regenerate every results figure, and
 // bench_new_test.go covers the simulator, file I/O, wire protocol, and
-// greedy-scheme ablations; see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for measured outcomes versus the paper.
+// greedy-scheme ablations; see README.md for the quickstart, package map
+// and figure-regeneration instructions.
 package lowlat

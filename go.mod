@@ -1,0 +1,3 @@
+module lowlat
+
+go 1.22

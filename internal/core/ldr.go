@@ -101,7 +101,7 @@ type Result struct {
 type Controller struct {
 	g     *graph.Graph
 	cfg   Config
-	cache *graph.KSPCache
+	cache *routing.PathCache
 	preds map[[2]graph.NodeID]*predict.Predictor
 }
 
@@ -110,7 +110,7 @@ func NewController(g *graph.Graph, cfg Config) *Controller {
 	return &Controller{
 		g:     g,
 		cfg:   cfg.withDefaults(),
-		cache: graph.NewKSPCache(g),
+		cache: routing.NewPathCache(g),
 		preds: make(map[[2]graph.NodeID]*predict.Predictor),
 	}
 }
@@ -118,7 +118,7 @@ func NewController(g *graph.Graph, cfg Config) *Controller {
 // DropCaches clears the KSP cache, simulating a cold start (for the
 // Figure 15 comparison).
 func (c *Controller) DropCaches() {
-	c.cache = graph.NewKSPCache(c.g)
+	c.cache = routing.NewPathCache(c.g)
 }
 
 // Optimize runs one full control cycle over the reported aggregates.
@@ -207,7 +207,7 @@ func (c *Controller) Optimize(inputs []AggregateInput) (*Result, error) {
 				bb.AddLink(l.From, l.To, l.Capacity*linkScale[l.ID], l.Delay)
 			}
 			optGraph = bb.MustBuild()
-			optCache = graph.NewKSPCache(optGraph)
+			optCache = routing.NewPathCache(optGraph)
 		}
 
 		placement, stats, err := (routing.LatencyOpt{

@@ -1,0 +1,174 @@
+// Package engine is the shared parallel scenario runner: every layer that
+// sweeps over (network, traffic matrix, routing scheme) combinations — the
+// figure drivers in internal/experiments, batched closed-loop simulation in
+// internal/sim, and the cmd/lowlat CLI — fans its units of work out through
+// this package's bounded worker pool.
+//
+// The pool is deliberately boring: work items are indexed, results are
+// re-collected in submission order, and workers share no state beyond what
+// the caller passes in (typically a routing.SolverCache). Parallel output
+// is therefore byte-identical to sequential output; only the wall-clock
+// changes. Scenario sweeps are embarrassingly parallel — the same
+// observation FatPaths and cISP exploit to scale their evaluations — so a
+// bounded fan-out over a shared solver cache is the whole design.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// DefaultWorkers resolves a worker count: values <= 0 mean one worker per
+// CPU.
+func DefaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// Result pairs one work item's index with its outcome. Streams of Results
+// arrive in completion order; Collect restores submission order.
+type Result[R any] struct {
+	Index int
+	Value R
+	Err   error
+}
+
+// PanicError wraps a panic recovered inside a worker, preserving the
+// panicking value and stack so a crash in one scenario surfaces as an
+// ordinary error instead of killing the process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Stream runs fn over items on a pool of workers and returns a channel of
+// per-item Results in completion order. The channel is buffered to
+// len(items) and closed once every dispatched item has reported. When ctx
+// is cancelled mid-sweep, items already handed to a worker report ctx's
+// error, but items the feeder never dispatched produce no Result at all —
+// consumers that need one Result per submitted item must check ctx
+// themselves after the channel closes (Map does exactly that). fn receives
+// the item index so it can stay deterministic without shared counters.
+func Stream[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, index int, item T) (R, error)) <-chan Result[R] {
+	out := make(chan Result[R], len(items))
+	w := DefaultWorkers(workers)
+	if w > len(items) {
+		w = len(items)
+	}
+	if w < 1 {
+		w = 1
+	}
+
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range items {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out <- runOne(ctx, i, items[i], fn)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// runOne executes one item with panic recovery.
+func runOne[T, R any](ctx context.Context, i int, item T, fn func(ctx context.Context, index int, item T) (R, error)) (res Result[R]) {
+	res.Index = i
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	res.Value, res.Err = fn(ctx, i, item)
+	return res
+}
+
+// Map runs fn over items on a bounded pool and returns the results in item
+// order, so on success parallel execution is indistinguishable from a
+// sequential loop. The first failure cancels items that have not started
+// yet; in-flight items run to completion. The reported error is the
+// lowest-indexed real failure that was observed (cancellation errors of
+// abandoned items are never promoted over it). With several independently
+// failing items and Workers > 1, which failures get observed before the
+// cancel depends on scheduling, so the error *identity* — unlike the
+// success results — is not guaranteed to match the sequential loop's.
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, index int, item T) (R, error)) ([]R, error) {
+	if len(items) == 0 {
+		return nil, ctx.Err()
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]R, len(items))
+	errAt := make(map[int]error)
+	for res := range Stream(cctx, workers, items, fn) {
+		if res.Err != nil {
+			errAt[res.Index] = res.Err
+			cancel()
+			continue
+		}
+		out[res.Index] = res.Value
+	}
+	if err := ctx.Err(); err != nil {
+		// The caller's context expired: items the feeder never handed out
+		// produced no Result at all, so out would be silently incomplete.
+		return nil, err
+	}
+	if len(errAt) == 0 {
+		return out, nil
+	}
+	return nil, firstError(errAt)
+}
+
+// firstError picks the lowest-indexed non-cancellation error, falling back
+// to the lowest-indexed error of any kind.
+func firstError(errAt map[int]error) error {
+	bestIdx, cancelIdx := -1, -1
+	for i, err := range errAt {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancelIdx < 0 || i < cancelIdx {
+				cancelIdx = i
+			}
+			continue
+		}
+		if bestIdx < 0 || i < bestIdx {
+			bestIdx = i
+		}
+	}
+	if bestIdx >= 0 {
+		return errAt[bestIdx]
+	}
+	return errAt[cancelIdx]
+}

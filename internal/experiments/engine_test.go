@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// determinismSubset keeps the parallel-vs-sequential comparison fast while
+// still spanning low and high LLPD and several structural classes.
+var determinismSubset = map[string]bool{
+	"tree-2x4": true, "ring-16": true, "grid-4x4": true,
+	"chord-ring-16-4": true, "clique-8": true, "wheel-10": true,
+}
+
+func determinismConfig(workers int) Config {
+	return Config{
+		TMsPerTopology: 2,
+		Seed:           17,
+		Workers:        workers,
+		NetworkFilter:  func(n Network) bool { return determinismSubset[n.Name] },
+	}
+}
+
+// TestParallelTablesMatchSequential is the engine's core guarantee: a
+// figure table rendered with eight workers is byte-identical to the same
+// table rendered sequentially. fig15 is excluded (its cells are wall-clock
+// timings, unstable even between two sequential runs); fig9/fig10 cover
+// the trace path, fig1 the metric path, and the rest the placement path.
+func TestParallelTablesMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several figures twice")
+	}
+	for _, name := range []string{"fig1", "fig3", "fig4", "fig8", "fig9", "fig10", "fig16", "fig20"} {
+		var seq, par bytes.Buffer
+		if err := Run(name, determinismConfig(1), &seq); err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		if err := Run(name, determinismConfig(8), &par); err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if seq.String() != par.String() {
+			t.Errorf("%s: parallel table differs from sequential\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+				name, seq.String(), par.String())
+		}
+	}
+}
+
+// TestExperimentCancellation: a cancelled config context aborts a figure
+// run with the context's error instead of hanging or fabricating rows.
+func TestExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := determinismConfig(4)
+	cfg.Context = ctx
+	var buf bytes.Buffer
+	err := Run("fig3", cfg, &buf)
+	if err == nil {
+		t.Fatal("cancelled context must abort the experiment")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExperimentTimeout: RunAll respects a deadline between figures.
+func TestExperimentTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	cfg := determinismConfig(4)
+	cfg.Context = ctx
+	var buf bytes.Buffer
+	err := RunAll(cfg, &buf)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

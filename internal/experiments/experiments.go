@@ -1,18 +1,23 @@
 // Package experiments reproduces every results figure of the paper. Each
 // FigN function regenerates the data series behind the corresponding
-// figure and renders them as a plain-text table; the figure inventory and
-// expected shapes are indexed in DESIGN.md and EXPERIMENTS.md.
+// figure and renders them as a plain-text table; the figure inventory is
+// indexed in the repository README.
 //
 // All experiments are deterministic for a given Config and run on the
 // synthetic topology zoo (the reproduction's substitute for the Internet
-// Topology Zoo; see DESIGN.md for the substitution argument).
+// Topology Zoo). Every driver fans its (network, matrix, scheme) scenario
+// units out through internal/engine; results are re-collected in
+// submission order, so tables are byte-identical whatever Workers is set
+// to.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
+	"lowlat/internal/engine"
 	"lowlat/internal/graph"
 	"lowlat/internal/metrics"
 	"lowlat/internal/routing"
@@ -44,6 +49,12 @@ type Config struct {
 	// NetworkFilter, when non-nil, keeps only matching networks. Tests
 	// and benches use it to pick a class-balanced subset.
 	NetworkFilter func(Network) bool
+	// Workers bounds the engine's worker pool (0 = one per CPU; 1 runs
+	// scenarios sequentially). Output is identical at every width.
+	Workers int
+	// Context, when non-nil, cancels long experiment runs (the CLI wires
+	// its -timeout flag here). Nil means context.Background().
+	Context context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +68,21 @@ func (c Config) withDefaults() Config {
 		c.Locality = 1
 	}
 	return c
+}
+
+// ctx resolves the run's cancellation context.
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
+// newRunner returns the engine runner for one figure driver invocation.
+// Each driver gets a fresh solver cache; scenarios within the driver share
+// it across workers and schemes.
+func (c Config) newRunner() *engine.Runner {
+	return engine.NewRunner(c.Workers)
 }
 
 // Network is a zoo entry with its built graph and measured LLPD.
@@ -73,19 +99,26 @@ var (
 )
 
 // LoadZoo builds every zoo network and computes its LLPD once per process.
+// Construction fans out across the CPUs; the result slice is in zoo order
+// regardless.
 func LoadZoo() []Network {
 	zooOnce.Do(func() {
 		entries := topo.Zoo()
-		zooNets = make([]Network, len(entries))
-		for i, e := range entries {
-			g := e.Build()
-			zooNets[i] = Network{
-				Name:  e.Name,
-				Class: e.Class,
-				Graph: g,
-				LLPD:  metrics.LLPD(g, metrics.APAConfig{}),
-			}
+		nets, err := engine.Map(context.Background(), 0, entries,
+			func(_ context.Context, _ int, e topo.Entry) (Network, error) {
+				g := e.Build()
+				return Network{
+					Name:  e.Name,
+					Class: e.Class,
+					Graph: g,
+					LLPD:  metrics.LLPD(g, metrics.APAConfig{}),
+				}, nil
+			})
+		if err != nil {
+			// Zoo construction is infallible; a failure here is a bug.
+			panic(err)
 		}
+		zooNets = nets
 	})
 	return zooNets
 }
@@ -111,8 +144,13 @@ func (c Config) networks() []Network {
 
 // matrixCache memoizes generated traffic matrices across figure drivers:
 // calibrating a matrix to a target load costs several MinMax solves, and
-// most figures evaluate several schemes on identical matrices.
-var matrixCache sync.Map // matrixKey -> []*tm.Matrix
+// most figures evaluate several schemes on identical matrices. Entries are
+// once-guarded so concurrent workers asking for the same network's
+// matrices calibrate them exactly once.
+var (
+	matrixMu    sync.Mutex
+	matrixCache = make(map[matrixKey]*matrixEntry)
+)
 
 type matrixKey struct {
 	name     string
@@ -120,6 +158,12 @@ type matrixKey struct {
 	count    int
 	locality float64
 	load     float64
+}
+
+type matrixEntry struct {
+	once sync.Once
+	ms   []*tm.Matrix
+	err  error
 }
 
 // matrices generates (or recalls) the config's traffic matrices for one
@@ -132,21 +176,23 @@ func (c Config) matrices(n Network) ([]*tm.Matrix, error) {
 		locality: c.Locality,
 		load:     c.TargetMaxUtil,
 	}
-	if v, ok := matrixCache.Load(key); ok {
-		return v.([]*tm.Matrix), nil
+	matrixMu.Lock()
+	e, ok := matrixCache[key]
+	if !ok {
+		e = &matrixEntry{}
+		matrixCache[key] = e
 	}
-	cfg := tmgen.Config{
-		Seed:          c.Seed + int64(hashName(n.Name)),
-		Locality:      c.Locality,
-		NoLocality:    c.Locality == 0,
-		TargetMaxUtil: c.TargetMaxUtil,
-	}
-	ms, err := tmgen.GenerateSet(n.Graph, cfg, c.TMsPerTopology)
-	if err != nil {
-		return nil, err
-	}
-	matrixCache.Store(key, ms)
-	return ms, nil
+	matrixMu.Unlock()
+	e.once.Do(func() {
+		cfg := tmgen.Config{
+			Seed:          c.Seed + int64(hashName(n.Name)),
+			Locality:      c.Locality,
+			NoLocality:    c.Locality == 0,
+			TargetMaxUtil: c.TargetMaxUtil,
+		}
+		e.ms, e.err = tmgen.GenerateSet(n.Graph, cfg, c.TMsPerTopology)
+	})
+	return e.ms, e.err
 }
 
 func hashName(s string) uint32 {
@@ -155,6 +201,20 @@ func hashName(s string) uint32 {
 		h = (h ^ uint32(s[i])) * 16777619
 	}
 	return h % 100000
+}
+
+// netMatrices resolves every network's matrix set through the pool, so
+// calibration (several MinMax solves per matrix) parallelizes across
+// networks before the placement scenarios are even enumerated.
+func netMatrices(ctx context.Context, r *engine.Runner, cfg Config, nets []Network) ([][]*tm.Matrix, error) {
+	return engine.Map(ctx, r.Workers(), nets,
+		func(_ context.Context, _ int, n Network) ([]*tm.Matrix, error) {
+			ms, err := cfg.matrices(n)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", n.Name, err)
+			}
+			return ms, nil
+		})
 }
 
 // schemeRun is one (network, matrix, scheme) outcome.
@@ -166,28 +226,41 @@ type schemeRun struct {
 	fits      bool
 }
 
-// runScheme evaluates a scheme across all matrices of all networks,
-// returning results grouped by network index.
-func runScheme(nets []Network, cfg Config, scheme routing.Scheme) ([][]schemeRun, error) {
-	out := make([][]schemeRun, len(nets))
+// runScheme evaluates a scheme across all matrices of all networks through
+// the engine, returning results grouped by network index in matrix order —
+// exactly what the old nested sequential loops produced.
+func runScheme(ctx context.Context, r *engine.Runner, nets []Network, cfg Config, scheme routing.Scheme) ([][]schemeRun, error) {
+	mats, err := netMatrices(ctx, r, cfg, nets)
+	if err != nil {
+		return nil, err
+	}
+	var scs []engine.Scenario
 	for i, n := range nets {
-		ms, err := cfg.matrices(n)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", n.Name, err)
-		}
-		for _, m := range ms {
-			p, err := scheme.Place(n.Graph, m)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", n.Name, scheme.Name(), err)
-			}
-			out[i] = append(out[i], schemeRun{
-				network:   n,
-				congested: p.CongestedPairFraction(),
-				stretch:   p.LatencyStretch(),
-				maxStret:  p.MaxStretch(),
-				fits:      p.Fits(),
+		for _, m := range mats[i] {
+			scs = append(scs, engine.Scenario{
+				Group:  i,
+				Tag:    n.Name + "/" + scheme.Name(),
+				Graph:  n.Graph,
+				Matrix: m,
+				Scheme: scheme,
 			})
 		}
+	}
+	results, err := r.Run(ctx, scs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]schemeRun, len(nets))
+	for _, res := range results {
+		i := res.Scenario.Group
+		p := res.Placement
+		out[i] = append(out[i], schemeRun{
+			network:   nets[i],
+			congested: p.CongestedPairFraction(),
+			stretch:   p.LatencyStretch(),
+			maxStret:  p.MaxStretch(),
+			fits:      p.Fits(),
+		})
 	}
 	return out, nil
 }

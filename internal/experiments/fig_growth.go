@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 
+	"lowlat/internal/engine"
 	"lowlat/internal/graph"
 	"lowlat/internal/metrics"
 	"lowlat/internal/routing"
@@ -35,63 +37,78 @@ type Fig20Result struct {
 }
 
 // Fig20 selects the hard networks, grows them, and re-evaluates the four
-// schemes.
+// schemes. Candidate ranking, topology growth and the before/after
+// evaluations each fan out through the engine.
 func Fig20(cfg Config) (*Fig20Result, error) {
 	cfg = cfg.withDefaults()
+	ctx, r := cfg.ctx(), cfg.newRunner()
 
 	// Rank candidate networks by latency-optimal median stretch (the
 	// paper's "difficult to route with low latency, even with optimal
 	// traffic placement"), excluding cliques and oversized networks.
-	type cand struct {
-		net     Network
-		stretch float64
-	}
-	var cands []cand
+	var pool []Network
 	for _, n := range cfg.networks() {
 		if n.Class == topo.ClassClique || n.Graph.NumNodes() > 24 {
 			continue
 		}
-		ms, err := cfg.matrices(n)
-		if err != nil {
-			return nil, err
-		}
-		var stretches []float64
-		for _, m := range ms {
-			p, err := (routing.LatencyOpt{}).Place(n.Graph, m)
-			if err != nil {
-				return nil, err
-			}
-			stretches = append(stretches, p.LatencyStretch())
-		}
-		cands = append(cands, cand{n, stats.Median(stretches)})
+		pool = append(pool, n)
+	}
+	medians, err := medianStretches(ctx, r, cfg, pool, routing.LatencyOpt{})
+	if err != nil {
+		return nil, err
+	}
+	type cand struct {
+		net     Network
+		stretch float64
+	}
+	cands := make([]cand, len(pool))
+	for i, n := range pool {
+		cands[i] = cand{n, medians[i]}
 	}
 	sort.Slice(cands, func(a, b int) bool { return cands[a].stretch > cands[b].stretch })
 	if len(cands) > 4 {
 		cands = cands[:4]
 	}
 
+	// Grow each candidate topology in parallel (LLPD-guided link search
+	// is itself a small sweep per candidate).
+	type grownNet struct {
+		grown     *graph.Graph
+		added     int
+		llpdAfter float64
+	}
+	grownNets, err := engine.Map(ctx, r.Workers(), cands,
+		func(_ context.Context, _ int, c cand) (grownNet, error) {
+			grown, added := topo.Grow(c.net.Graph, topo.GrowConfig{
+				Fraction: 0.05, Seed: cfg.Seed, CandidateSample: 16,
+			})
+			return grownNet{
+				grown:     grown,
+				added:     len(added),
+				llpdAfter: metrics.LLPD(grown, metrics.APAConfig{}),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	schemes := stretchSchemes(0)
 	res := &Fig20Result{}
-	for _, c := range cands {
-		grown, added := topo.Grow(c.net.Graph, topo.GrowConfig{
-			Fraction: 0.05, Seed: cfg.Seed, CandidateSample: 16,
-		})
-		llpdAfter := metrics.LLPD(grown, metrics.APAConfig{})
-
+	for ci, c := range cands {
+		g := grownNets[ci]
 		// The same traffic is offered to both topologies: demands do not
 		// change when links are added (node IDs are preserved by Grow).
 		ms, err := cfg.matrices(c.net)
 		if err != nil {
 			return nil, err
 		}
-
 		for _, scheme := range schemes {
 			name := displayName(scheme)
-			before, err := stretchSamples(c.net.Graph, ms, scheme)
+			before, err := stretchSamples(ctx, r, c.net.Graph, ms, scheme)
 			if err != nil {
 				return nil, err
 			}
-			after, err := stretchSamples(grown, ms, scheme)
+			after, err := stretchSamples(ctx, r, g.grown, ms, scheme)
 			if err != nil {
 				return nil, err
 			}
@@ -103,8 +120,8 @@ func Fig20(cfg Config) (*Fig20Result, error) {
 				BeforeP90:    stats.Percentile(before, 90),
 				AfterP90:     stats.Percentile(after, 90),
 				LLPDBefore:   c.net.LLPD,
-				LLPDAfter:    llpdAfter,
-				AddedBiLinks: len(added),
+				LLPDAfter:    g.llpdAfter,
+				AddedBiLinks: g.added,
 			}
 			row.ImprovedMed = row.AfterMedian <= row.BeforeMedian+1e-9
 			row.ImprovedP90 = row.AfterP90 <= row.BeforeP90+1e-9
@@ -115,16 +132,43 @@ func Fig20(cfg Config) (*Fig20Result, error) {
 	return res, nil
 }
 
-// stretchSamples collects latency stretch for the given matrices on the
-// given topology.
-func stretchSamples(g *graph.Graph, ms []*tm.Matrix, scheme routing.Scheme) ([]float64, error) {
-	var out []float64
-	for _, m := range ms {
-		p, err := scheme.Place(g, m)
-		if err != nil {
-			return nil, err
+// medianStretches evaluates one scheme over every network's matrix set and
+// returns each network's median latency stretch, in network order.
+func medianStretches(ctx context.Context, r *engine.Runner, cfg Config, nets []Network, scheme routing.Scheme) ([]float64, error) {
+	runs, err := runScheme(ctx, r, nets, cfg, scheme)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(nets))
+	for i, rs := range runs {
+		var stretches []float64
+		for _, sr := range rs {
+			stretches = append(stretches, sr.stretch)
 		}
-		out = append(out, p.LatencyStretch())
+		out[i] = stats.Median(stretches)
+	}
+	return out, nil
+}
+
+// stretchSamples collects latency stretch for the given matrices on the
+// given topology, one engine scenario per matrix.
+func stretchSamples(ctx context.Context, r *engine.Runner, g *graph.Graph, ms []*tm.Matrix, scheme routing.Scheme) ([]float64, error) {
+	scs := make([]engine.Scenario, len(ms))
+	for i, m := range ms {
+		scs[i] = engine.Scenario{
+			Tag:    g.Name() + "/" + scheme.Name(),
+			Graph:  g,
+			Matrix: m,
+			Scheme: scheme,
+		}
+	}
+	results, err := r.Run(ctx, scs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(results))
+	for i, sr := range results {
+		out[i] = sr.Placement.LatencyStretch()
 	}
 	return out, nil
 }

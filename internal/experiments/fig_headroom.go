@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"lowlat/internal/engine"
 	"lowlat/internal/routing"
 	"lowlat/internal/stats"
 	"lowlat/internal/topo"
@@ -29,6 +30,7 @@ type Fig7Result struct {
 // reports both schemes' utilization distributions.
 func Fig7(cfg Config) (*Fig7Result, error) {
 	cfg = cfg.withDefaults()
+	ctx, r := cfg.ctx(), cfg.newRunner()
 	g := topo.GTSLike()
 	net := Network{Name: "gts-like", Graph: g}
 	ms, err := cfg.matrices(net)
@@ -36,29 +38,29 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 		return nil, err
 	}
 
+	stretches, err := stretchSamples(ctx, r, g, ms, routing.LatencyOpt{})
+	if err != nil {
+		return nil, err
+	}
 	type cand struct {
 		idx     int
 		stretch float64
 	}
-	var cands []cand
-	for i, m := range ms {
-		p, err := (routing.LatencyOpt{}).Place(g, m)
-		if err != nil {
-			return nil, err
-		}
-		cands = append(cands, cand{i, p.LatencyStretch()})
+	cands := make([]cand, len(ms))
+	for i := range ms {
+		cands[i] = cand{i, stretches[i]}
 	}
 	sort.Slice(cands, func(a, b int) bool { return cands[a].stretch < cands[b].stretch })
 	median := ms[cands[len(cands)/2].idx]
 
-	opt, err := (routing.LatencyOpt{}).Place(g, median)
+	placements, err := r.Run(ctx, []engine.Scenario{
+		{Tag: "gts-like/latopt", Graph: g, Matrix: median, Scheme: routing.LatencyOpt{}},
+		{Tag: "gts-like/minmax", Graph: g, Matrix: median, Scheme: routing.MinMax{}},
+	})
 	if err != nil {
 		return nil, err
 	}
-	mm, err := (routing.MinMax{}).Place(g, median)
-	if err != nil {
-		return nil, err
-	}
+	opt, mm := placements[0].Placement, placements[1].Placement
 	res := &Fig7Result{
 		LatOptUtil:    opt.Utilizations(),
 		MinMaxUtil:    mm.Utilizations(),
@@ -103,30 +105,48 @@ type Fig8Result struct {
 }
 
 // Fig8 sweeps headroom {0, 11%, 23%, 40%} with latency-optimal routing.
+// The whole (network x headroom x matrix) cube is one engine batch.
 func Fig8(cfg Config) (*Fig8Result, error) {
 	cfg = cfg.withDefaults()
 	cfg.TargetMaxUtil = 1 / 1.65 // the paper's lighter load for this figure
 	nets := cfg.networks()
+	ctx, r := cfg.ctx(), cfg.newRunner()
 	res := &Fig8Result{Headrooms: []float64{0, 0.11, 0.23, 0.40}}
 
 	order := sortByLLPD(nets)
-	for _, i := range order {
+	mats, err := netMatrices(ctx, r, cfg, nets)
+	if err != nil {
+		return nil, err
+	}
+	var scs []engine.Scenario
+	for oi, i := range order {
 		n := nets[i]
-		ms, err := cfg.matrices(n)
-		if err != nil {
-			return nil, err
-		}
-		row := make([]float64, len(res.Headrooms))
 		for j, h := range res.Headrooms {
-			var stretches []float64
-			for _, m := range ms {
-				p, err := (routing.LatencyOpt{Headroom: h}).Place(n.Graph, m)
-				if err != nil {
-					return nil, err
-				}
-				stretches = append(stretches, p.LatencyStretch())
+			scheme := routing.LatencyOpt{Headroom: h}
+			for _, m := range mats[i] {
+				scs = append(scs, engine.Scenario{
+					Group:  oi*len(res.Headrooms) + j,
+					Tag:    n.Name + "/" + scheme.Name(),
+					Graph:  n.Graph,
+					Matrix: m,
+					Scheme: scheme,
+				})
 			}
-			row[j] = stats.Median(stretches)
+		}
+	}
+	results, err := r.Run(ctx, scs)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([][]float64, len(order)*len(res.Headrooms))
+	for _, sr := range results {
+		cells[sr.Scenario.Group] = append(cells[sr.Scenario.Group], sr.Placement.LatencyStretch())
+	}
+	for oi, i := range order {
+		n := nets[i]
+		row := make([]float64, len(res.Headrooms))
+		for j := range res.Headrooms {
+			row[j] = stats.Median(cells[oi*len(res.Headrooms)+j])
 		}
 		res.Names = append(res.Names, n.Name)
 		res.LLPD = append(res.LLPD, n.LLPD)

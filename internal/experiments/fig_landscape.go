@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"lowlat/internal/engine"
 	"lowlat/internal/metrics"
 	"lowlat/internal/routing"
 	"lowlat/internal/stats"
@@ -28,38 +30,43 @@ type Fig1Row struct {
 	LLPD      float64
 }
 
-// Fig1 computes APA distributions for every network in the configured zoo.
+// Fig1 computes APA distributions for every network in the configured zoo,
+// one network per engine work unit (APA is the per-pair max-flow sweep, the
+// most expensive pure-metric computation in the suite).
 func Fig1(cfg Config) (*Fig1Result, error) {
 	cfg = cfg.withDefaults()
 	nets := cfg.networks()
-	res := &Fig1Result{}
-	for _, n := range nets {
-		dist := metrics.APADistribution(n.Graph, metrics.APAConfig{})
-		row := Fig1Row{Name: n.Name, Class: n.Class, Pairs: len(dist), LLPD: n.LLPD}
-		for _, apa := range dist {
-			if apa >= 0.3 {
-				row.FracAPA30++
+	rows, err := engine.Map(cfg.ctx(), cfg.Workers, nets,
+		func(_ context.Context, _ int, n Network) (Fig1Row, error) {
+			dist := metrics.APADistribution(n.Graph, metrics.APAConfig{})
+			row := Fig1Row{Name: n.Name, Class: n.Class, Pairs: len(dist), LLPD: n.LLPD}
+			for _, apa := range dist {
+				if apa >= 0.3 {
+					row.FracAPA30++
+				}
+				if apa >= 0.5 {
+					row.FracAPA50++
+				}
+				if apa >= 0.7 {
+					row.FracAPA70++
+				}
+				if apa >= 0.9 {
+					row.FracAPA90++
+				}
 			}
-			if apa >= 0.5 {
-				row.FracAPA50++
+			if len(dist) > 0 {
+				f := float64(len(dist))
+				row.FracAPA30 /= f
+				row.FracAPA50 /= f
+				row.FracAPA70 /= f
+				row.FracAPA90 /= f
 			}
-			if apa >= 0.7 {
-				row.FracAPA70++
-			}
-			if apa >= 0.9 {
-				row.FracAPA90++
-			}
-		}
-		if len(dist) > 0 {
-			f := float64(len(dist))
-			row.FracAPA30 /= f
-			row.FracAPA50 /= f
-			row.FracAPA70 /= f
-			row.FracAPA90 /= f
-		}
-		res.Rows = append(res.Rows, row)
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig1Result{Rows: rows}, nil
 }
 
 // Table renders the result.
@@ -102,15 +109,15 @@ type Fig3Result struct {
 func Fig3(cfg Config) (*Fig3Result, error) {
 	cfg = cfg.withDefaults()
 	nets := cfg.networks()
-	rows, err := congestionRows(nets, cfg, routing.SP{})
+	rows, err := congestionRows(cfg.ctx(), cfg.newRunner(), nets, cfg, routing.SP{})
 	if err != nil {
 		return nil, err
 	}
 	return &Fig3Result{Rows: rows}, nil
 }
 
-func congestionRows(nets []Network, cfg Config, scheme routing.Scheme) ([]CongestionRow, error) {
-	runs, err := runScheme(nets, cfg, scheme)
+func congestionRows(ctx context.Context, r *engine.Runner, nets []Network, cfg Config, scheme routing.Scheme) ([]CongestionRow, error) {
+	runs, err := runScheme(ctx, r, nets, cfg, scheme)
 	if err != nil {
 		return nil, err
 	}
@@ -164,9 +171,12 @@ type Fig4Result struct {
 }
 
 // Fig4 evaluates latency-optimal, B4, MinMax and MinMax-K10 placements.
+// All four schemes run through one engine runner, so their scenarios share
+// one solver cache and fill the pool together.
 func Fig4(cfg Config) (*Fig4Result, error) {
 	cfg = cfg.withDefaults()
 	nets := cfg.networks()
+	ctx, r := cfg.ctx(), cfg.newRunner()
 	schemes := []routing.Scheme{
 		routing.LatencyOpt{},
 		routing.B4{},
@@ -175,7 +185,7 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 	}
 	res := &Fig4Result{Schemes: make(map[string][]CongestionRow)}
 	for _, s := range schemes {
-		rows, err := congestionRows(nets, cfg, s)
+		rows, err := congestionRows(ctx, r, nets, cfg, s)
 		if err != nil {
 			return nil, err
 		}
@@ -223,7 +233,7 @@ func Fig19(cfg Config) (*Fig19Result, error) {
 		Graph: g,
 		LLPD:  metrics.LLPD(g, metrics.APAConfig{}),
 	}
-	rows, err := congestionRows([]Network{google}, cfg, routing.SP{})
+	rows, err := congestionRows(cfg.ctx(), cfg.newRunner(), []Network{google}, cfg, routing.SP{})
 	if err != nil {
 		return nil, err
 	}

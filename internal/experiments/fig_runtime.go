@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
-	"lowlat/internal/graph"
+	"lowlat/internal/engine"
 	"lowlat/internal/routing"
 	"lowlat/internal/stats"
 )
@@ -35,47 +36,67 @@ func Fig15(cfg Config) (*Fig15Result, error) {
 	cfg = cfg.withDefaults()
 	const linkBasedMaxNodes = 26
 
+	var hard []Network
+	for _, n := range cfg.networks() {
+		if n.LLPD > 0.5 {
+			hard = append(hard, n)
+		}
+	}
+
+	// Each network is one engine unit that does its own cold/warm/link
+	// timing with a private cache (sharing the run cache would make every
+	// measurement warm). Timings are per-solve wall clock, so parallel
+	// units measure the same code path; absolute numbers get noisier as
+	// Workers grows, which is inherent to timing figures.
+	type timing struct {
+		coldMs, warmMs, linkMs float64
+	}
+	timings, err := engine.Map(cfg.ctx(), cfg.Workers, hard,
+		func(_ context.Context, _ int, n Network) (timing, error) {
+			ms, err := cfg.matrices(n)
+			if err != nil {
+				return timing{}, fmt.Errorf("%s: %w", n.Name, err)
+			}
+			m := ms[0]
+
+			cache := routing.NewPathCache(n.Graph)
+			start := time.Now()
+			if _, err := (routing.LatencyOpt{Cache: cache}).Place(n.Graph, m); err != nil {
+				return timing{}, fmt.Errorf("%s cold: %w", n.Name, err)
+			}
+			coldMs := float64(time.Since(start).Microseconds()) / 1000
+
+			start = time.Now()
+			if _, err := (routing.LatencyOpt{Cache: cache}).Place(n.Graph, m); err != nil {
+				return timing{}, fmt.Errorf("%s warm: %w", n.Name, err)
+			}
+			warmMs := float64(time.Since(start).Microseconds()) / 1000
+
+			linkMs := math.NaN()
+			if n.Graph.NumNodes() <= linkBasedMaxNodes {
+				start := time.Now()
+				if _, err := routing.LinkBasedLatencyOpt(n.Graph, m, 0); err != nil {
+					return timing{}, fmt.Errorf("%s link-based: %w", n.Name, err)
+				}
+				linkMs = float64(time.Since(start).Microseconds()) / 1000
+			}
+			return timing{coldMs: coldMs, warmMs: warmMs, linkMs: linkMs}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Fig15Result{}
 	var slowdowns []float64
-	for _, n := range cfg.networks() {
-		if n.LLPD <= 0.5 {
-			continue
-		}
-		ms, err := cfg.matrices(n)
-		if err != nil {
-			return nil, err
-		}
-		m := ms[0]
-
-		cache := graph.NewKSPCache(n.Graph)
-		start := time.Now()
-		if _, err := (routing.LatencyOpt{Cache: cache}).Place(n.Graph, m); err != nil {
-			return nil, fmt.Errorf("%s cold: %w", n.Name, err)
-		}
-		coldMs := float64(time.Since(start).Microseconds()) / 1000
-
-		start = time.Now()
-		if _, err := (routing.LatencyOpt{Cache: cache}).Place(n.Graph, m); err != nil {
-			return nil, fmt.Errorf("%s warm: %w", n.Name, err)
-		}
-		warmMs := float64(time.Since(start).Microseconds()) / 1000
-
-		linkMs := math.NaN()
-		if n.Graph.NumNodes() <= linkBasedMaxNodes {
-			start := time.Now()
-			if _, err := routing.LinkBasedLatencyOpt(n.Graph, m, 0); err != nil {
-				return nil, fmt.Errorf("%s link-based: %w", n.Name, err)
-			}
-			linkMs = float64(time.Since(start).Microseconds()) / 1000
-			if coldMs > 0 {
-				slowdowns = append(slowdowns, linkMs/coldMs)
-			}
-		}
-
+	for i, n := range hard {
+		t := timings[i]
 		res.Networks = append(res.Networks, n.Name)
-		res.ColdMs = append(res.ColdMs, coldMs)
-		res.WarmMs = append(res.WarmMs, warmMs)
-		res.LinkMs = append(res.LinkMs, linkMs)
+		res.ColdMs = append(res.ColdMs, t.coldMs)
+		res.WarmMs = append(res.WarmMs, t.warmMs)
+		res.LinkMs = append(res.LinkMs, t.linkMs)
+		if !math.IsNaN(t.linkMs) && t.coldMs > 0 {
+			slowdowns = append(slowdowns, t.linkMs/t.coldMs)
+		}
 	}
 	if len(slowdowns) > 0 {
 		res.LinkSlowdownMedian = stats.Median(slowdowns)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"lowlat/internal/engine"
 	"lowlat/internal/routing"
 	"lowlat/internal/stats"
 )
@@ -64,6 +65,7 @@ func Fig16(cfg Config) (*Fig16Result, error) {
 			high = append(high, n)
 		}
 	}
+	ctx, r := cfg.ctx(), cfg.newRunner()
 	res := &Fig16Result{}
 	for _, v := range []struct {
 		label    string
@@ -74,37 +76,54 @@ func Fig16(cfg Config) (*Fig16Result, error) {
 		{"16(b) LLPD>0.5, no headroom", high, 0},
 		{"16(c) LLPD>0.5, 10% headroom", high, 0.10},
 	} {
+		mats, err := netMatrices(ctx, r, cfg, v.nets)
+		if err != nil {
+			return nil, err
+		}
+		// Flatten scheme x network x matrix into one batch; Group keys
+		// results back to their scheme so the per-scheme sample order
+		// stays (network, matrix) — the sequential loop's order.
+		schemes := stretchSchemes(v.headroom)
+		var scs []engine.Scenario
+		for si, scheme := range schemes {
+			for ni, n := range v.nets {
+				for _, m := range mats[ni] {
+					scs = append(scs, engine.Scenario{
+						Group:  si,
+						Tag:    n.Name + "/" + scheme.Name(),
+						Graph:  n.Graph,
+						Matrix: m,
+						Scheme: scheme,
+					})
+				}
+			}
+		}
+		results, err := r.Run(ctx, scs)
+		if err != nil {
+			return nil, err
+		}
 		variant := Fig16Variant{
 			Label:       v.label,
 			PerScheme:   make(map[string][]float64),
 			FitFraction: make(map[string]float64),
 		}
-		for _, scheme := range stretchSchemes(v.headroom) {
-			name := displayName(scheme)
-			fit := 0
-			total := 0
-			for _, n := range v.nets {
-				ms, err := cfg.matrices(n)
-				if err != nil {
-					return nil, err
-				}
-				for _, m := range ms {
-					p, err := scheme.Place(n.Graph, m)
-					if err != nil {
-						return nil, err
-					}
-					total++
-					maxS := p.MaxStretch()
-					if p.Fits() {
-						fit++
-					} else {
-						maxS = math.Inf(1)
-					}
-					variant.PerScheme[name] = append(variant.PerScheme[name], maxS)
-				}
+		fit := make([]int, len(schemes))
+		total := make([]int, len(schemes))
+		for _, sr := range results {
+			si := sr.Scenario.Group
+			name := displayName(schemes[si])
+			total[si]++
+			maxS := sr.Placement.MaxStretch()
+			if sr.Placement.Fits() {
+				fit[si]++
+			} else {
+				maxS = math.Inf(1)
 			}
-			if total > 0 {
-				variant.FitFraction[name] = float64(fit) / float64(total)
+			variant.PerScheme[name] = append(variant.PerScheme[name], maxS)
+		}
+		for si, scheme := range schemes {
+			if total[si] > 0 {
+				variant.FitFraction[displayName(scheme)] = float64(fit[si]) / float64(total[si])
 			}
 		}
 		res.Variants = append(res.Variants, variant)
@@ -180,43 +199,58 @@ func sweep(cfg Config, param string, points []float64, apply func(*Config, float
 			high = append(high, n)
 		}
 	}
+	ctx, r := cfg.ctx(), cfg.newRunner()
 	res := &SweepResult{
 		Param:         param,
 		Points:        points,
 		Median:        make(map[string][]float64),
 		UnfitFraction: make(map[string][]float64),
 	}
+	schemes := stretchSchemes(0)
 	for _, pt := range points {
 		ptCfg := cfg
 		apply(&ptCfg, pt)
-		for _, scheme := range stretchSchemes(0) {
-			name := displayName(scheme)
-			var maxes []float64
-			unfit := 0
-			total := 0
-			for _, n := range high {
-				ms, err := ptCfg.matrices(n)
-				if err != nil {
-					return nil, err
-				}
-				for _, m := range ms {
-					p, err := scheme.Place(n.Graph, m)
-					if err != nil {
-						return nil, err
-					}
-					total++
-					if !p.Fits() {
-						unfit++
-					}
-					if s := p.MaxStretch(); !math.IsInf(s, 1) {
-						maxes = append(maxes, s)
-					}
+		mats, err := netMatrices(ctx, r, ptCfg, high)
+		if err != nil {
+			return nil, err
+		}
+		var scs []engine.Scenario
+		for si, scheme := range schemes {
+			for ni, n := range high {
+				for _, m := range mats[ni] {
+					scs = append(scs, engine.Scenario{
+						Group:  si,
+						Tag:    n.Name + "/" + scheme.Name(),
+						Graph:  n.Graph,
+						Matrix: m,
+						Scheme: scheme,
+					})
 				}
 			}
-			res.Median[name] = append(res.Median[name], stats.Median(maxes))
+		}
+		results, err := r.Run(ctx, scs)
+		if err != nil {
+			return nil, err
+		}
+		maxes := make([][]float64, len(schemes))
+		unfit := make([]int, len(schemes))
+		total := make([]int, len(schemes))
+		for _, sr := range results {
+			si := sr.Scenario.Group
+			total[si]++
+			if !sr.Placement.Fits() {
+				unfit[si]++
+			}
+			if s := sr.Placement.MaxStretch(); !math.IsInf(s, 1) {
+				maxes[si] = append(maxes[si], s)
+			}
+		}
+		for si, scheme := range schemes {
+			name := displayName(scheme)
+			res.Median[name] = append(res.Median[name], stats.Median(maxes[si]))
 			frac := 0.0
-			if total > 0 {
-				frac = float64(unfit) / float64(total)
+			if total[si] > 0 {
+				frac = float64(unfit[si]) / float64(total[si])
 			}
 			res.UnfitFraction[name] = append(res.UnfitFraction[name], frac)
 		}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"lowlat/internal/engine"
 	"lowlat/internal/predict"
 	"lowlat/internal/stats"
 	"lowlat/internal/trace"
@@ -37,21 +39,26 @@ func (c TraceSetConfig) withDefaults() TraceSetConfig {
 	return c
 }
 
-func (c TraceSetConfig) generate() []trace.Trace {
+func (c TraceSetConfig) generate(ctx context.Context, workers int) ([]trace.Trace, error) {
 	c = c.withDefaults()
-	var out []trace.Trace
+	cfgs := make([]trace.Config, 0, c.Links*c.TracesPerLink)
 	for l := 0; l < c.Links; l++ {
 		meanBps := 1e9 + 0.5e9*float64(l) // 1-2.5 Gb/s per link, like CAIDA's 1-3
 		for t := 0; t < c.TracesPerLink; t++ {
-			out = append(out, trace.Generate(trace.Config{
+			cfgs = append(cfgs, trace.Config{
 				Seed:          c.Seed + int64(l*1000+t),
 				Minutes:       c.Minutes,
 				BinsPerSecond: c.BinsPerSecond,
 				MeanBps:       meanBps,
-			}))
+			})
 		}
 	}
-	return out
+	// Each hour-long trace is an independent, seeded generation; fan them
+	// out and keep (link, trace) order.
+	return engine.Map(ctx, workers, cfgs,
+		func(_ context.Context, _ int, tc trace.Config) (trace.Trace, error) {
+			return trace.Generate(tc), nil
+		})
 }
 
 // Fig9Result reproduces Figure 9: the CDF of measured/predicted bitrate
@@ -65,13 +72,24 @@ type Fig9Result struct {
 	MaxRatio float64
 }
 
-// Fig9 runs Algorithm 1 over the synthetic trace set.
+// Fig9 runs Algorithm 1 over the synthetic trace set, one engine unit per
+// trace.
 func Fig9(cfg Config) (*Fig9Result, error) {
-	traces := TraceSetConfig{Seed: cfg.Seed}.generate()
+	traces, err := TraceSetConfig{Seed: cfg.Seed}.generate(cfg.ctx(), cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	perTrace, err := engine.Map(cfg.ctx(), cfg.Workers, traces,
+		func(_ context.Context, _ int, tr trace.Trace) ([]float64, error) {
+			means := predict.MinuteMeans(tr.Rates, tr.BinsPerMinute())
+			return predict.EvaluateTrace(means), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig9Result{}
-	for _, tr := range traces {
-		means := predict.MinuteMeans(tr.Rates, tr.BinsPerMinute())
-		res.Ratios = append(res.Ratios, predict.EvaluateTrace(means)...)
+	for _, ratios := range perTrace {
+		res.Ratios = append(res.Ratios, ratios...)
 	}
 	exceed := 0
 	for _, r := range res.Ratios {
@@ -121,11 +139,20 @@ type Fig10Result struct {
 
 // Fig10 computes consecutive-minute sigma pairs over the trace set.
 func Fig10(cfg Config) (*Fig10Result, error) {
-	traces := TraceSetConfig{Seed: cfg.Seed}.generate()
+	traces, err := TraceSetConfig{Seed: cfg.Seed}.generate(cfg.ctx(), cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	perTrace, err := engine.Map(cfg.ctx(), cfg.Workers, traces,
+		func(_ context.Context, _ int, tr trace.Trace) ([]float64, error) {
+			return predict.MinuteStds(tr.Rates, tr.BinsPerMinute()), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig10Result{}
 	var relChanges []float64
-	for _, tr := range traces {
-		stds := predict.MinuteStds(tr.Rates, tr.BinsPerMinute())
+	for _, stds := range perTrace {
 		for i := 0; i+1 < len(stds); i++ {
 			res.X = append(res.X, stds[i])
 			res.Y = append(res.Y, stds[i+1])

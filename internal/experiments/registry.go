@@ -147,9 +147,13 @@ func Run(name string, cfg Config, w io.Writer) error {
 	return r(cfg, w)
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment in order, stopping early when the
+// config's context is cancelled.
 func RunAll(cfg Config, w io.Writer) error {
 	for _, name := range Names() {
+		if err := cfg.ctx().Err(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
 		if _, err := fmt.Fprintf(w, "### %s\n", name); err != nil {
 			return err
 		}

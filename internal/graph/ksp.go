@@ -2,14 +2,15 @@ package graph
 
 import (
 	"container/heap"
-	"sync"
 )
 
 // KSP incrementally enumerates the k shortest loop-free paths between one
 // node pair in increasing delay order (Yen's algorithm). Paths are computed
 // lazily: asking for path i only does the work needed to reach i. This
 // matches the paper's observation that the k-shortest-paths computation is
-// LDR's bottleneck and its results "can be readily cached" — see KSPCache.
+// LDR's bottleneck and its results "can be readily cached" — the
+// concurrency-safe cache lives in routing.PathCache, which wraps these
+// enumerators with per-pair locking.
 type KSP struct {
 	g        *Graph
 	src, dst NodeID
@@ -137,43 +138,4 @@ func hasPrefix(links, prefix []LinkID) bool {
 		}
 	}
 	return true
-}
-
-// KSPCache memoizes KSP enumerators per node pair, preserving work across
-// repeated LP iterations and across successive optimization rounds. This is
-// the cache whose effect Figure 15's "cold cache" curve isolates.
-type KSPCache struct {
-	mu sync.Mutex
-	g  *Graph
-	m  map[[2]NodeID]*KSP
-}
-
-// NewKSPCache returns an empty cache bound to g.
-func NewKSPCache(g *Graph) *KSPCache {
-	return &KSPCache{g: g, m: make(map[[2]NodeID]*KSP)}
-}
-
-// Paths returns up to k of the shortest paths between src and dst, reusing
-// previously generated paths.
-func (c *KSPCache) Paths(src, dst NodeID, k int) []Path {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	key := [2]NodeID{src, dst}
-	ksp, ok := c.m[key]
-	if !ok {
-		ksp = NewKSP(c.g, src, dst, nil)
-		c.m[key] = ksp
-	}
-	return ksp.First(k)
-}
-
-// Generated returns how many paths are cached for the pair (for tests and
-// runtime accounting).
-func (c *KSPCache) Generated(src, dst NodeID) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if ksp, ok := c.m[[2]NodeID{src, dst}]; ok {
-		return ksp.Generated()
-	}
-	return 0
 }

@@ -209,30 +209,6 @@ func TestKSPFirst(t *testing.T) {
 	}
 }
 
-func TestKSPCache(t *testing.T) {
-	g := diamond(t)
-	cache := NewKSPCache(g)
-	p1 := cache.Paths(0, 3, 2)
-	if len(p1) != 2 {
-		t.Fatalf("cache returned %d paths", len(p1))
-	}
-	if cache.Generated(0, 3) < 2 {
-		t.Fatal("cache should have generated at least 2 paths")
-	}
-	if cache.Generated(3, 0) != 0 {
-		t.Fatal("unvisited pair should have no cached paths")
-	}
-	p2 := cache.Paths(0, 3, 3)
-	if len(p2) != 3 {
-		t.Fatalf("cache grow returned %d paths", len(p2))
-	}
-	for i := range p1 {
-		if !p1[i].Equal(p2[i]) {
-			t.Fatal("cache must extend, not recompute, prefixes")
-		}
-	}
-}
-
 func BenchmarkKSPGrid(b *testing.B) {
 	bld := NewBuilder("grid")
 	const w, h = 6, 6

@@ -3,10 +3,133 @@ package routing
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"lowlat/internal/graph"
 )
+
+// TestPathCache ports the old graph.KSPCache contract: prefixes extend
+// instead of recomputing, and per-pair accounting works.
+func TestPathCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomTopology(rng, 8, 0.5)
+	cache := NewPathCache(g)
+	if cache.Graph() != g {
+		t.Fatal("cache must report its graph")
+	}
+	p1 := cache.Paths(0, 3, 2)
+	if len(p1) != 2 {
+		t.Fatalf("cache returned %d paths", len(p1))
+	}
+	if cache.Generated(0, 3) < 2 {
+		t.Fatal("cache should have generated at least 2 paths")
+	}
+	if cache.Generated(3, 0) != 0 {
+		t.Fatal("unvisited pair should have no cached paths")
+	}
+	p2 := cache.Paths(0, 3, 3)
+	if len(p2) < len(p1) {
+		t.Fatalf("cache grow returned %d paths", len(p2))
+	}
+	for i := range p1 {
+		if !p1[i].Equal(p2[i]) {
+			t.Fatal("cache must extend, not recompute, prefixes")
+		}
+	}
+	if sp, ok := cache.ShortestPath(0, 3); !ok || !sp.Equal(p1[0]) {
+		t.Fatal("ShortestPath must be the first enumerated path")
+	}
+}
+
+// TestPathCacheConcurrent hammers one cache from many goroutines; run
+// under -race this is the regression test for the per-pair locking.
+func TestPathCacheConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomTopology(rng, 12, 0.4)
+	cache := NewPathCache(g)
+	want := cache.Paths(0, 11, 4)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				src := graph.NodeID((w + iter) % g.NumNodes())
+				dst := graph.NodeID((w * 7) % g.NumNodes())
+				cache.Paths(src, dst, 1+iter%5)
+				got := cache.Paths(0, 11, 4)
+				if len(got) != len(want) {
+					errs <- "concurrent Paths changed the result length"
+					return
+				}
+				for i := range got {
+					if !got[i].Equal(want[i]) {
+						errs <- "concurrent Paths changed path contents"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestSolverCacheSharesByFingerprint: two builds of the same topology get
+// one PathCache; a different topology gets its own.
+func TestSolverCacheSharesByFingerprint(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g1 := randomTopology(rng, 10, 0.3)
+	rng2 := rand.New(rand.NewSource(31))
+	g2 := randomTopology(rng2, 10, 0.3) // identical rebuild, new pointer
+	rng3 := rand.New(rand.NewSource(32))
+	g3 := randomTopology(rng3, 10, 0.3)
+
+	sc := NewSolverCache()
+	if sc.ForGraph(g1) != sc.ForGraph(g2) {
+		t.Fatal("identical topologies must share one PathCache")
+	}
+	if sc.ForGraph(g1) == sc.ForGraph(g3) {
+		t.Fatal("different topologies must not share a PathCache")
+	}
+	if sc.ForGraph(g1) != sc.ForGraph(g1) {
+		t.Fatal("repeat lookups must be stable")
+	}
+}
+
+// TestSolverCachePlaceMatchesDirect: placing through the cache binds the
+// cacheable schemes without changing their results, and leaves an
+// explicitly configured cache alone.
+func TestSolverCachePlaceMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := randomTopology(rng, 10, 0.3)
+	m := randomMatrix(rng, g, 12, 3)
+	sc := NewSolverCache()
+	for _, s := range []Scheme{SP{}, LatencyOpt{}, MinMax{}, MinMax{K: 5}, B4{}} {
+		direct, err := s.Place(g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, err := sc.Place(s, g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(direct.LatencyStretch()-cached.LatencyStretch()) > 1e-12 ||
+			math.Abs(direct.MaxUtilization()-cached.MaxUtilization()) > 1e-12 {
+			t.Fatalf("%s: cached placement differs from direct", s.Name())
+		}
+	}
+	own := NewPathCache(g)
+	bound := (LatencyOpt{Cache: own}).WithPathCache(sc.ForGraph(g)).(LatencyOpt)
+	if bound.Cache != own {
+		t.Fatal("an explicitly configured cache must win over injection")
+	}
+}
 
 // TestWarmCacheSameResult: sharing a KSP cache across runs is purely a
 // performance optimization — the placement must be bit-identical to a
@@ -21,7 +144,7 @@ func TestWarmCacheSameResult(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cache := graph.NewKSPCache(g)
+		cache := NewPathCache(g)
 		if _, err := (LatencyOpt{Cache: cache}).Place(g, m); err != nil {
 			t.Fatal(err)
 		}

@@ -7,6 +7,14 @@ import (
 	"lowlat/internal/tm"
 )
 
+// Compile-time checks: the LP schemes and SP share path computations
+// through an engine run's SolverCache.
+var (
+	_ CacheableScheme = LatencyOpt{}
+	_ CacheableScheme = MinMax{}
+	_ CacheableScheme = SP{}
+)
+
 // SolveStats reports the work an LP-based scheme performed, used by the
 // Figure 15 runtime accounting and the ablation benches.
 type SolveStats struct {
@@ -26,8 +34,10 @@ type LatencyOpt struct {
 	// variability (0 <= Headroom < 1).
 	Headroom float64
 	// Cache optionally shares k-shortest-path state across calls; LDR
-	// passes a persistent cache so repeated optimizations run warm.
-	Cache *graph.KSPCache
+	// passes a persistent cache so repeated optimizations run warm, and
+	// the engine's SolverCache injects one per topology so concurrent
+	// placements share path computations.
+	Cache *PathCache
 	// MaxPaths bounds each aggregate's path list (default 64).
 	MaxPaths int
 	// Exact keeps growing path sets around *saturated* (not just
@@ -49,6 +59,14 @@ func (o LatencyOpt) Name() string {
 func (o LatencyOpt) Place(g *graph.Graph, m *tm.Matrix) (*Placement, error) {
 	p, _, err := o.PlaceWithStats(g, m)
 	return p, err
+}
+
+// WithPathCache implements CacheableScheme; an explicitly set cache wins.
+func (o LatencyOpt) WithPathCache(c *PathCache) Scheme {
+	if o.Cache == nil {
+		o.Cache = c
+	}
+	return o
 }
 
 // PlaceWithStats is Place plus solver statistics.
@@ -75,7 +93,7 @@ func (o LatencyOpt) PlaceWithStats(g *graph.Graph, m *tm.Matrix) (*Placement, So
 // aggregate, as TeXCP suggests with K = 10.
 type MinMax struct {
 	K     int
-	Cache *graph.KSPCache
+	Cache *PathCache
 	// MaxPaths bounds growth in the K = 0 case (default 64).
 	MaxPaths int
 	// StretchBound, when positive, excludes candidate paths longer than
@@ -97,6 +115,14 @@ func (mm MinMax) Name() string {
 func (mm MinMax) Place(g *graph.Graph, m *tm.Matrix) (*Placement, error) {
 	p, _, err := mm.PlaceWithStats(g, m)
 	return p, err
+}
+
+// WithPathCache implements CacheableScheme; an explicitly set cache wins.
+func (mm MinMax) WithPathCache(c *PathCache) Scheme {
+	if mm.Cache == nil {
+		mm.Cache = c
+	}
+	return mm
 }
 
 // PlaceWithStats is Place plus solver statistics.

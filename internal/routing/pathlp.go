@@ -39,7 +39,7 @@ type pathSolver struct {
 	polish   bool    // keep optimizing around saturated links once feasible
 	bound    float64 // >0: never consider paths longer than bound x shortest
 	maxPaths int
-	cache    *graph.KSPCache
+	cache    *PathCache
 
 	// stats
 	lpRuns     int
@@ -59,9 +59,9 @@ func (s *pathSolver) solve(g *graph.Graph, m *tm.Matrix) (*pathSolveResult, erro
 		s.maxPaths = 64
 	}
 	if s.cache == nil {
-		s.cache = graph.NewKSPCache(g)
+		s.cache = NewPathCache(g)
 	}
-	sps, err := shortestDelays(g, m)
+	sps, err := shortestDelaysCached(s.cache, g, m)
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,22 @@ func shortestDelays(g *graph.Graph, m *tm.Matrix) ([]graph.Path, error) {
 	return paths, nil
 }
 
+// shortestDelaysCached is shortestDelays through a PathCache, so repeated
+// and concurrent solves on the same topology share the Dijkstra work. The
+// cache's first enumerated path per pair is exactly the unmasked shortest
+// path, so results are identical to the uncached variant.
+func shortestDelaysCached(c *PathCache, g *graph.Graph, m *tm.Matrix) ([]graph.Path, error) {
+	paths := make([]graph.Path, m.Len())
+	for i, a := range m.Aggregates {
+		sp, ok := c.ShortestPath(a.Src, a.Dst)
+		if !ok {
+			return nil, errUnroutable(g, a)
+		}
+		paths[i] = sp
+	}
+	return paths, nil
+}
+
 type unroutableError struct {
 	src, dst string
 }

@@ -9,14 +9,32 @@ import (
 // costs proportional to delay, §3). It places every aggregate entirely on
 // its lowest-delay path regardless of load, so it concentrates traffic on
 // topologies with many low-latency paths — the effect Figure 3 measures.
-type SP struct{}
+type SP struct {
+	// Cache optionally shares shortest-path computations with other
+	// placements on the same topology (the engine injects one per run).
+	Cache *PathCache
+}
 
 // Name implements Scheme.
 func (SP) Name() string { return "sp" }
 
+// WithPathCache implements CacheableScheme; an explicitly set cache wins.
+func (s SP) WithPathCache(c *PathCache) Scheme {
+	if s.Cache == nil {
+		s.Cache = c
+	}
+	return s
+}
+
 // Place implements Scheme.
-func (SP) Place(g *graph.Graph, m *tm.Matrix) (*Placement, error) {
-	sps, err := shortestDelays(g, m)
+func (s SP) Place(g *graph.Graph, m *tm.Matrix) (*Placement, error) {
+	var sps []graph.Path
+	var err error
+	if s.Cache != nil {
+		sps, err = shortestDelaysCached(s.Cache, g, m)
+	} else {
+		sps, err = shortestDelays(g, m)
+	}
 	if err != nil {
 		return nil, err
 	}

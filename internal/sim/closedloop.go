@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"lowlat/internal/core"
+	"lowlat/internal/engine"
 	"lowlat/internal/graph"
 	"lowlat/internal/routing"
 	"lowlat/internal/tm"
@@ -111,6 +113,36 @@ type ClosedLoopResult struct {
 	QueueViolations int
 	// QueueBoundSec echoes the bound used for counting violations.
 	QueueBoundSec float64
+}
+
+// ClosedLoopJob is one independent closed-loop drive: a topology, its
+// traffic processes, and the cycle configuration.
+type ClosedLoopJob struct {
+	// Name labels the job in errors (typically the network name).
+	Name   string
+	Graph  *graph.Graph
+	Specs  []AggregateSpec
+	Config ClosedLoopConfig
+}
+
+// RunClosedLoopBatch drives independent closed-loop simulations through
+// the shared engine pool (workers <= 0 selects one per CPU). Each job is
+// self-contained — its own controller, caches and RNG state — so results
+// are identical to running the jobs sequentially; they return in job
+// order. The first failure cancels jobs that have not started.
+func RunClosedLoopBatch(ctx context.Context, workers int, jobs []ClosedLoopJob) ([]*ClosedLoopResult, error) {
+	return engine.Map(ctx, workers, jobs,
+		func(_ context.Context, i int, j ClosedLoopJob) (*ClosedLoopResult, error) {
+			res, err := RunClosedLoop(j.Graph, j.Specs, j.Config)
+			if err != nil {
+				name := j.Name
+				if name == "" {
+					name = fmt.Sprintf("job %d", i)
+				}
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			return res, nil
+		})
 }
 
 // RunClosedLoop simulates cfg.Minutes of control cycles on g for the given

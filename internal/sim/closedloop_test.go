@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"context"
 	"reflect"
+	"strings"
 	"testing"
 
 	"lowlat/internal/routing"
@@ -182,5 +184,53 @@ func TestSpecsFromMatrix(t *testing.T) {
 	again := SpecsFromMatrix(res.Matrix, 1)
 	if !reflect.DeepEqual(specs, again) {
 		t.Fatal("SpecsFromMatrix must be deterministic")
+	}
+}
+
+func TestClosedLoopBatchMatchesSequential(t *testing.T) {
+	// Independent per-network drives through the pool must produce
+	// exactly what sequential RunClosedLoop calls produce, in job order.
+	var jobs []ClosedLoopJob
+	for _, name := range []string{"grid-3x3", "grid-4x4"} {
+		w := 3
+		if name == "grid-4x4" {
+			w = 4
+		}
+		g := topo.Grid(name, w, w, 300, topo.Cap10G)
+		res, err := tmgen.Generate(g, tmgen.Config{Seed: 5, TargetMaxUtil: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, ClosedLoopJob{
+			Name:   name,
+			Graph:  g,
+			Specs:  SpecsFromMatrix(res.Matrix, 5),
+			Config: ClosedLoopConfig{Minutes: 2, Seed: 5, Scheme: routing.MinMax{}},
+		})
+	}
+	want := make([]*ClosedLoopResult, len(jobs))
+	for i, j := range jobs {
+		res, err := RunClosedLoop(j.Graph, j.Specs, j.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	got, err := RunClosedLoopBatch(context.Background(), 4, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("batched closed-loop results differ from sequential runs")
+	}
+}
+
+func TestClosedLoopBatchReportsJobName(t *testing.T) {
+	g := topo.Grid("grid-2x2", 2, 2, 300, topo.Cap10G)
+	_, err := RunClosedLoopBatch(context.Background(), 2, []ClosedLoopJob{
+		{Name: "empty-specs", Graph: g, Config: ClosedLoopConfig{Minutes: 1}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "empty-specs") {
+		t.Fatalf("err = %v, want job name in message", err)
 	}
 }

@@ -36,11 +36,6 @@ type Builder = graph.Builder
 // copying the graph.
 type Mask = graph.Mask
 
-// KSPCache memoizes per-pair k-shortest-path generators. Sharing one cache
-// across repeated optimizations on the same topology is what makes LDR's
-// warm-cache runtimes (Figure 15) possible.
-type KSPCache = graph.KSPCache
-
 // Point is a geographic coordinate (latitude, longitude in degrees).
 type Point = geo.Point
 
@@ -63,9 +58,6 @@ func NewBuilder(name string) *Builder { return graph.NewBuilder(name) }
 
 // NewPath builds a Path over g from a link sequence, computing its delay.
 func NewPath(g *Graph, links []LinkID) Path { return graph.NewPath(g, links) }
-
-// NewKSPCache returns a shared k-shortest-paths cache for g.
-func NewKSPCache(g *Graph) *KSPCache { return graph.NewKSPCache(g) }
 
 // CloneTopology returns a Builder pre-populated with g's nodes and links,
 // for deriving modified topologies.
