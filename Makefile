@@ -1,0 +1,40 @@
+# Local mirror of the CI pipeline (.github/workflows/ci.yml), with no
+# `go generate` step and no network requirement: `make ci` reproduces the
+# lint + short-test + bench gates contributors see on a pull request.
+# `make race` additionally runs the long race-detector suite (the CI job
+# that takes tens of minutes).
+
+GO ?= go
+
+.PHONY: ci vet staticcheck build short bench race clean
+
+ci: vet staticcheck build short bench
+
+vet:
+	$(GO) vet ./...
+
+# staticcheck is optional locally: skip with a pointer when the binary is
+# missing instead of failing the whole gate (CI always installs it).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; \
+	fi
+
+build:
+	$(GO) build ./...
+
+short:
+	$(GO) test -short -timeout 20m ./...
+
+# One iteration of the landscape + dynamics benchmarks, archived the same
+# way CI archives its BENCH_ci.json artifact.
+bench:
+	./scripts/bench_json.sh BENCH_ci.json
+
+race:
+	$(GO) test -race -timeout 75m ./...
+
+clean:
+	rm -f BENCH_ci.json

@@ -1,112 +1,187 @@
 // Command lowlat is the reproduction's command-line interface: inspect the
-// synthetic topology zoo, run routing schemes on generated traffic, and
-// regenerate the paper's figures.
+// synthetic topology zoo, run routing schemes on generated traffic, replay
+// dynamic failure/churn workloads, and regenerate the paper's figures.
 //
 // Usage:
 //
 //	lowlat zoo                           list zoo networks with LLPD
 //	lowlat topo -net gts-like            print one topology (text format)
 //	lowlat route -net gts-like -scheme ldr [-headroom 0.1] [-tms 3]
+//	lowlat dynamics -net gts-like -scheme ldr -failures random -churn diurnal
 //	lowlat exp -name fig3 [-tms 3] [-max-networks 20]
 //	lowlat exp -name all
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
 
+	"lowlat/internal/dynamics"
 	"lowlat/internal/engine"
 	"lowlat/internal/experiments"
 	"lowlat/internal/metrics"
 	"lowlat/internal/routing"
+	"lowlat/internal/tm"
 	"lowlat/internal/tmgen"
 	"lowlat/internal/topo"
+	"lowlat/internal/trace"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "zoo":
-		err = cmdZoo(os.Args[2:])
-	case "topo":
-		err = cmdTopo(os.Args[2:])
-	case "route":
-		err = cmdRoute(os.Args[2:])
-	case "exp":
-		err = cmdExp(os.Args[2:])
-	case "help", "-h", "--help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "lowlat: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lowlat: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+// run dispatches one CLI invocation and returns the process exit code: 0
+// on success, 1 when any submitted scenario (or the run itself) errored,
+// 2 on usage errors. Collected per-scenario failures surface as a non-zero
+// exit even when partial results were printed.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "zoo":
+		err = cmdZoo(args[1:], stdout, stderr)
+	case "topo":
+		err = cmdTopo(args[1:], stdout, stderr)
+	case "route":
+		err = cmdRoute(args[1:], stdout, stderr)
+	case "dynamics":
+		err = cmdDynamics(args[1:], stdout, stderr)
+	case "exp":
+		err = cmdExp(args[1:], stdout, stderr)
+	case "help", "-h", "--help":
+		// Requested help is a success path: print to stdout so it pipes.
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "lowlat: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		// The flag package already reported the problem on stderr.
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "lowlat: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// usageError marks flag-parse failures so run exits 2, not 1. The flag
+// package has already printed the message and usage to stderr.
+type usageError struct{ error }
+
+// newFlagSet returns a flag set that reports parse errors on stderr and
+// returns them (flag.ContinueOnError) instead of calling os.Exit, keeping
+// every exit path testable through run.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+// parseFlags wraps fs.Parse, tagging real parse errors as usage errors.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageError{err}
+	}
+	return nil
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
   lowlat zoo                                  list networks with size and LLPD
   lowlat topo -net <name>                     print a topology in text format
   lowlat route -net <name> -scheme <s>        route generated traffic
          schemes: sp, b4, mplste, minmax, minmax-k10, ldr
          flags: -headroom <f> -tms <n> -seed <n> -load <f> -locality <f>
                 -workers <n> -timeout <d>
+  lowlat dynamics -net <name> -scheme <s>     replay a failure/churn timeline
+         flags: -failures none|single|double|node|random -churn none|diurnal|surge|trace|replay
+                -epochs <n> -seed <n> -replay <file> -max-failures <n>
+                -fail-prob <f> -repair-prob <f> -headroom <f> -load <f>
+                -locality <f> -workers <n> -timeout <d>
   lowlat exp -name <figN|all>                 regenerate paper figures
          flags: -tms <n> -seed <n> -max-networks <n> -max-nodes <n>
                 -workers <n> (0 = one per CPU) -timeout <d> (e.g. 10m)`)
 }
 
-func cmdZoo(args []string) error {
-	fs := flag.NewFlagSet("zoo", flag.ExitOnError)
+func cmdZoo(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("zoo", stderr)
 	sortLLPD := fs.Bool("sort-llpd", false, "sort by LLPD instead of zoo order")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	nets := experiments.LoadZoo()
 	if *sortLLPD {
 		sort.Slice(nets, func(a, b int) bool { return nets[a].LLPD < nets[b].LLPD })
 	}
-	fmt.Printf("%-22s %-18s %6s %6s %8s %7s\n", "network", "class", "nodes", "links", "diam(ms)", "LLPD")
+	fmt.Fprintf(stdout, "%-22s %-18s %6s %6s %8s %7s\n", "network", "class", "nodes", "links", "diam(ms)", "LLPD")
 	for _, n := range nets {
-		fmt.Printf("%-22s %-18s %6d %6d %8.1f %7.3f\n",
+		fmt.Fprintf(stdout, "%-22s %-18s %6d %6d %8.1f %7.3f\n",
 			n.Name, n.Class, n.Graph.NumNodes(), n.Graph.NumLinks(),
 			n.Graph.Diameter()*1000, n.LLPD)
 	}
 	g := topo.GoogleLike()
-	fmt.Printf("%-22s %-18s %6d %6d %8.1f %7.3f  (outside the zoo, Figure 19)\n",
+	fmt.Fprintf(stdout, "%-22s %-18s %6d %6d %8.1f %7.3f  (outside the zoo, Figure 19)\n",
 		"google-like", topo.ClassIntercontinental, g.NumNodes(), g.NumLinks(),
 		g.Diameter()*1000, metrics.LLPD(g, metrics.APAConfig{}))
 	return nil
 }
 
-func cmdTopo(args []string) error {
-	fs := flag.NewFlagSet("topo", flag.ExitOnError)
+func cmdTopo(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("topo", stderr)
 	name := fs.String("net", "gts-like", "network name")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	e, ok := topo.ByName(*name)
 	if !ok {
 		return fmt.Errorf("unknown network %q", *name)
 	}
-	os.Stdout.Write(topo.Marshal(e.Build()))
-	return nil
+	_, err := stdout.Write(topo.Marshal(e.Build()))
+	return err
 }
 
-func cmdRoute(args []string) error {
-	fs := flag.NewFlagSet("route", flag.ExitOnError)
+// parseScheme resolves a -scheme flag value.
+func parseScheme(name string, headroom float64) (routing.Scheme, error) {
+	switch name {
+	case "sp":
+		return routing.SP{}, nil
+	case "b4":
+		return routing.B4{Headroom: headroom}, nil
+	case "mplste":
+		return routing.MPLSTE{Headroom: headroom}, nil
+	case "minmax":
+		return routing.MinMax{}, nil
+	case "minmax-k10":
+		return routing.MinMax{K: 10}, nil
+	case "ldr", "latopt":
+		return routing.LatencyOpt{Headroom: headroom}, nil
+	}
+	return nil, fmt.Errorf("unknown scheme %q", name)
+}
+
+func cmdRoute(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("route", stderr)
 	name := fs.String("net", "gts-like", "network name")
 	schemeName := fs.String("scheme", "ldr", "sp | b4 | mplste | minmax | minmax-k10 | ldr")
 	headroom := fs.Float64("headroom", 0, "reserved link fraction (b4/ldr)")
@@ -116,7 +191,7 @@ func cmdRoute(args []string) error {
 	locality := fs.Float64("locality", 1, "traffic locality parameter")
 	workers := fs.Int("workers", 0, "engine worker pool size (0 = one per CPU)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	ctx, cancel := runContext(*timeout)
@@ -128,26 +203,13 @@ func cmdRoute(args []string) error {
 	}
 	g := e.Build()
 
-	var scheme routing.Scheme
-	switch *schemeName {
-	case "sp":
-		scheme = routing.SP{}
-	case "b4":
-		scheme = routing.B4{Headroom: *headroom}
-	case "mplste":
-		scheme = routing.MPLSTE{Headroom: *headroom}
-	case "minmax":
-		scheme = routing.MinMax{}
-	case "minmax-k10":
-		scheme = routing.MinMax{K: 10}
-	case "ldr", "latopt":
-		scheme = routing.LatencyOpt{Headroom: *headroom}
-	default:
-		return fmt.Errorf("unknown scheme %q", *schemeName)
+	scheme, err := parseScheme(*schemeName, *headroom)
+	if err != nil {
+		return err
 	}
 
 	llpd := metrics.LLPD(g, metrics.APAConfig{})
-	fmt.Printf("network %s: %d nodes, %d links, LLPD %.3f\n",
+	fmt.Fprintf(stdout, "network %s: %d nodes, %d links, LLPD %.3f\n",
 		g.Name(), g.NumNodes(), g.NumLinks(), llpd)
 
 	// Generate the matrices and place them through the engine: matrix
@@ -181,18 +243,161 @@ func cmdRoute(args []string) error {
 			Scheme: scheme,
 		}
 	}
-	results, err := r.Run(ctx, scs)
-	if err != nil {
-		return err
+	return printScenarioResults(ctx, stdout, r, scs)
+}
+
+// printScenarioResults streams the scenarios through the pool, prints the
+// rows that succeeded in submission order, and returns a combined error if
+// any scenario failed — so a partially failed sweep still shows its
+// results but exits non-zero instead of silently reporting success.
+func printScenarioResults(ctx context.Context, stdout io.Writer, r *engine.Runner, scs []engine.Scenario) error {
+	placements := make([]*routing.Placement, len(scs))
+	errAt := make(map[int]error)
+	for res := range r.Stream(ctx, scs) {
+		if res.Err != nil {
+			errAt[res.Index] = res.Err
+			continue
+		}
+		placements[res.Value.Index] = res.Value.Placement
 	}
-	fmt.Printf("%-4s %12s %12s %12s %12s %6s\n",
+	fmt.Fprintf(stdout, "%-4s %12s %12s %12s %12s %6s\n",
 		"tm", "congested", "stretch", "max-stretch", "max-util", "fits")
-	for i, sr := range results {
-		p := sr.Placement
-		fmt.Printf("%-4d %12.3f %12.3f %12.3f %12.3f %6v\n",
+	var errs []error
+	for i, p := range placements {
+		if p == nil {
+			switch err, ok := errAt[i]; {
+			case ok && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded):
+				fmt.Fprintf(stdout, "%-4d failed: %v\n", i, err)
+				errs = append(errs, err)
+			default:
+				// Never executed: either the feeder ran out of context
+				// before dispatching it, or a worker picked it up only to
+				// see the cancellation. Same state, same row.
+				fmt.Fprintf(stdout, "%-4d not run\n", i)
+			}
+			continue
+		}
+		fmt.Fprintf(stdout, "%-4d %12.3f %12.3f %12.3f %12.3f %6v\n",
 			i, p.CongestedPairFraction(), p.LatencyStretch(), p.MaxStretch(),
 			p.MaxUtilization(), p.Fits())
 	}
+	failed := len(errs)
+	if err := ctx.Err(); err != nil {
+		if failed == 0 {
+			return err
+		}
+		errs = append(errs, err)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed: %w", failed, len(scs), errors.Join(errs...))
+	}
+	return nil
+}
+
+func cmdDynamics(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("dynamics", stderr)
+	name := fs.String("net", "gts-like", "network name")
+	schemeName := fs.String("scheme", "ldr", "sp | b4 | mplste | minmax | minmax-k10 | ldr")
+	headroom := fs.Float64("headroom", 0.10, "reserved link fraction (b4/ldr)")
+	failures := fs.String("failures", "random", "none | single | double | node | random")
+	churn := fs.String("churn", "diurnal", "none | diurnal | surge | trace | replay")
+	epochs := fs.Int("epochs", 8, "timeline length (enumerating failure models override it)")
+	seed := fs.Int64("seed", 1, "random seed")
+	replayFile := fs.String("replay", "", "demand-trace file for -churn replay (time src dst bps per line)")
+	maxFailures := fs.Int("max-failures", 50, "cap on double-failure cases (-1 = all)")
+	failProb := fs.Float64("fail-prob", 0.08, "random model: per-link per-epoch failure probability")
+	repairProb := fs.Float64("repair-prob", 0.5, "random model: per-epoch repair probability")
+	load := fs.Float64("load", 1/1.3, "target min-cut utilization of the base matrix")
+	locality := fs.Float64("locality", 1, "traffic locality parameter")
+	workers := fs.Int("workers", 0, "engine worker pool size (0 = one per CPU)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	// The diurnal default only suits the time-series failure models; an
+	// enumerating sweep runs at fixed demand unless churn was explicitly
+	// chosen (in which case dynamics.Config rejects the combination).
+	churnSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "churn" {
+			churnSet = true
+		}
+	})
+	if !churnSet {
+		switch *failures {
+		case "single", "double", "node":
+			*churn = string(dynamics.ChurnNone)
+		}
+	}
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
+
+	e, ok := topo.ByName(*name)
+	if !ok {
+		return fmt.Errorf("unknown network %q", *name)
+	}
+	g := e.Build()
+	scheme, err := parseScheme(*schemeName, *headroom)
+	if err != nil {
+		return err
+	}
+
+	cfg := dynamics.Config{
+		Seed:            *seed,
+		Epochs:          *epochs,
+		Failures:        dynamics.FailureModel(*failures),
+		FailProb:        *failProb,
+		RepairProb:      *repairProb,
+		MaxFailureCases: *maxFailures,
+		Churn:           dynamics.ChurnModel(*churn),
+	}
+	base := tm.New(nil)
+	if cfg.Churn == dynamics.ChurnReplay {
+		if *replayFile == "" {
+			return fmt.Errorf("-churn replay needs -replay <file>")
+		}
+		data, err := os.ReadFile(*replayFile)
+		if err != nil {
+			return err
+		}
+		cfg.Replay, err = trace.ParseDemandTrace(data)
+		if err != nil {
+			return err
+		}
+	} else {
+		res, err := tmgen.Generate(g, tmgen.Config{
+			Seed: *seed, Locality: *locality,
+			NoLocality: *locality == 0, TargetMaxUtil: *load,
+		})
+		if err != nil {
+			return err
+		}
+		base = res.Matrix
+	}
+
+	r := engine.NewRunner(*workers)
+	res, err := dynamics.Run(ctx, r, g, base, scheme, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "network %s, scheme %s: %d epochs (failures %s, churn %s)\n",
+		g.Name(), scheme.Name(), len(res.Epochs), *failures, *churn)
+	fmt.Fprintf(stdout, "%-6s %-28s %5s %6s %6s %8s %8s %9s %9s %7s %5s\n",
+		"epoch", "failure", "down", "scale", "lost", "stretch", "max-str",
+		"congested", "headroom", "churn", "fits")
+	for _, ep := range res.Epochs {
+		failureName := ep.Failure
+		if failureName == "" {
+			failureName = "-"
+		}
+		fmt.Fprintf(stdout, "%-6d %-28s %5d %6.2f %6.3f %8.3f %8.3f %9.3f %9.3f %7.3f %5v\n",
+			ep.Epoch, failureName, ep.LinksDown, ep.Scale, ep.LostDemand,
+			ep.Stretch, ep.MaxStretch, ep.CongestedFrac, ep.Headroom, ep.PathChurn, ep.Fits)
+	}
+	fmt.Fprintf(stdout, "summary: mean stretch %.3f, worst stretch %.3f, mean churn %.3f, min headroom %.3f, unfit %.0f%%, max lost %.1f%%\n",
+		res.MeanStretch(), res.WorstStretch(), res.MeanChurn(), res.MinHeadroom(),
+		res.UnfitFrac()*100, res.MaxLostDemand()*100)
 	return nil
 }
 
@@ -204,16 +409,16 @@ func runContext(timeout time.Duration) (context.Context, context.CancelFunc) {
 	return context.WithCancel(context.Background())
 }
 
-func cmdExp(args []string) error {
-	fs := flag.NewFlagSet("exp", flag.ExitOnError)
-	name := fs.String("name", "", "experiment name (fig1..fig20) or 'all'")
+func cmdExp(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("exp", stderr)
+	name := fs.String("name", "", "experiment name (fig1..fig20, fig_dynamics) or 'all'")
 	tms := fs.Int("tms", 3, "traffic matrices per topology")
 	seed := fs.Int64("seed", 1, "random seed")
 	maxNetworks := fs.Int("max-networks", 0, "cap on zoo networks (0 = all)")
 	maxNodes := fs.Int("max-nodes", 0, "skip networks above this size (0 = none)")
 	workers := fs.Int("workers", 0, "engine worker pool size (0 = one per CPU, 1 = sequential)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *name == "" {
@@ -230,7 +435,7 @@ func cmdExp(args []string) error {
 		Context:        ctx,
 	}
 	if *name == "all" {
-		return experiments.RunAll(cfg, os.Stdout)
+		return experiments.RunAll(cfg, stdout)
 	}
-	return experiments.Run(*name, cfg, os.Stdout)
+	return experiments.Run(*name, cfg, stdout)
 }

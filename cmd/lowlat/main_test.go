@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"lowlat/internal/engine"
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+	"lowlat/internal/routing"
+	"lowlat/internal/tm"
+)
+
+func TestRunUsageExitCodes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown command: exit %d, want 2", code)
+	}
+	if code := run([]string{"help"}, &out, &errOut); code != 0 {
+		t.Fatalf("help: exit %d, want 0", code)
+	}
+	if code := run([]string{"route", "-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"dynamics", "-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h: exit %d, want 0", code)
+	}
+}
+
+func TestRunErrorsExitNonZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"topo", "-net", "no-such-net"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown network: exit %d, want 1", code)
+	}
+	if code := run([]string{"route", "-net", "gts-like", "-scheme", "warp"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown scheme: exit %d, want 1", code)
+	}
+	if code := run([]string{"dynamics", "-net", "gts-like", "-failures", "meteor"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown failure model: exit %d, want 1", code)
+	}
+	if code := run([]string{"dynamics", "-net", "gts-like", "-churn", "replay"}, &out, &errOut); code != 1 {
+		t.Fatalf("replay churn without -replay file: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "lowlat:") {
+		t.Fatalf("errors must be reported on stderr, got %q", errOut.String())
+	}
+}
+
+// TestScenarioErrorsCollectedButNonZero pins the exit-code contract: a
+// sweep whose scenarios partially fail still prints the surviving rows,
+// but the command must report an error (and so exit non-zero) instead of
+// silently succeeding.
+func TestScenarioErrorsCollectedButNonZero(t *testing.T) {
+	// Two isolated nodes: every placement is unroutable.
+	b := graph.NewBuilder("disconnected")
+	b.AddNode("a", geo.Point{})
+	b.AddNode("z", geo.Point{Lon: 1})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tm.New([]tm.Aggregate{{Src: 0, Dst: 1, Volume: 1e9}})
+	scs := []engine.Scenario{
+		{Tag: "disconnected/tm0", Graph: g, Matrix: m, Scheme: routing.SP{}},
+		{Tag: "disconnected/tm1", Graph: g, Matrix: m, Scheme: routing.SP{}},
+	}
+	var out bytes.Buffer
+	err = printScenarioResults(context.Background(), &out, engine.NewRunner(2), scs)
+	if err == nil {
+		t.Fatal("failed scenarios must surface as an error")
+	}
+	if !strings.Contains(err.Error(), "scenarios failed") {
+		t.Fatalf("error %q should count the failed scenarios", err)
+	}
+	if !strings.Contains(out.String(), "failed:") {
+		t.Fatalf("per-scenario failures should still be printed:\n%s", out.String())
+	}
+}
+
+func TestDynamicsCommandSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a calibrated matrix")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"dynamics", "-net", "ring-8", "-scheme", "sp",
+		"-failures", "single", "-churn", "none", "-workers", "2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "summary:") {
+		t.Fatalf("missing summary line:\n%s", out.String())
+	}
+}

@@ -9,8 +9,10 @@
 // with the §4 headroom dial), the LDR controller (§5, Figures 11-14), a
 // fluid placement simulator with a closed-loop control-cycle driver, a
 // TCP control plane connecting ingress-router agents to the controller,
-// and the parallel scenario engine that fans experiment sweeps out across
-// the CPUs (RunScenarios).
+// the parallel scenario engine that fans experiment sweeps out across
+// the CPUs (RunScenarios), and the dynamic-workload layer that replays
+// failure and demand-churn timelines with per-epoch re-optimization
+// (RunDynamics).
 //
 // The implementation lives under internal/:
 //
@@ -33,8 +35,12 @@
 //     reports in, path installations out
 //   - internal/engine — the bounded-parallel scenario runner every
 //     experiment sweep fans out through, with deterministic collection
-//   - internal/experiments — one driver per results figure, all routed
-//     through the engine
+//   - internal/dynamics — failure models (single/double link, node,
+//     seeded random walks), demand churn (diurnal, surges, trace-driven
+//     replay) and the per-epoch re-optimization timeline behind
+//     RunDynamics and the fig_dynamics experiment
+//   - internal/experiments — one driver per results figure plus
+//     fig_dynamics, all routed through the engine
 //
 // The benchmarks in bench_test.go regenerate every results figure, and
 // bench_new_test.go covers the simulator, file I/O, wire protocol, and

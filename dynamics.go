@@ -1,0 +1,117 @@
+package lowlat
+
+import (
+	"context"
+
+	"lowlat/internal/dynamics"
+	"lowlat/internal/engine"
+	"lowlat/internal/graph"
+	"lowlat/internal/metrics"
+	"lowlat/internal/routing"
+	"lowlat/internal/tm"
+	"lowlat/internal/trace"
+)
+
+// This file is the dynamic-workload half of the public facade: failure
+// models, demand churn and trace-driven replay timelines that re-optimize
+// a routing scheme epoch by epoch through the scenario engine.
+
+// DynamicsConfig parameterizes one failure/churn timeline.
+type DynamicsConfig = dynamics.Config
+
+// DynamicsResult is one scheme's full timeline with per-epoch metrics.
+type DynamicsResult = dynamics.Result
+
+// DynamicsEpoch is one epoch's outcome: stretch, path churn, headroom,
+// lost demand, and whether the placement still fits.
+type DynamicsEpoch = dynamics.EpochResult
+
+// FailureModel selects how a timeline takes capacity down; see
+// FailureModels for the accepted values.
+type FailureModel = dynamics.FailureModel
+
+// ChurnModel selects how demand evolves across epochs; see ChurnModels
+// for the accepted values.
+type ChurnModel = dynamics.ChurnModel
+
+// Failure is one failure state: a named set of downed links and nodes.
+type Failure = dynamics.Failure
+
+// DemandTrace is a timestamped sequence of per-pair demand updates,
+// replayable into per-epoch traffic matrices.
+type DemandTrace = trace.DemandTrace
+
+// DemandSample is one timestamped demand observation for a PoP pair.
+type DemandSample = trace.DemandSample
+
+// Failure and churn model names, re-exported for switch-free configs.
+const (
+	FailNone     = dynamics.FailNone
+	FailSingle   = dynamics.FailSingle
+	FailDouble   = dynamics.FailDouble
+	FailNode     = dynamics.FailNode
+	FailRandom   = dynamics.FailRandom
+	ChurnNone    = dynamics.ChurnNone
+	ChurnDiurnal = dynamics.ChurnDiurnal
+	ChurnSurge   = dynamics.ChurnSurge
+	ChurnTrace   = dynamics.ChurnTrace
+	ChurnReplay  = dynamics.ChurnReplay
+)
+
+// FailureModels lists the accepted failure-model names.
+func FailureModels() []FailureModel { return dynamics.FailureModels() }
+
+// ChurnModels lists the accepted churn-model names.
+func ChurnModels() []ChurnModel { return dynamics.ChurnModels() }
+
+// RunDynamics replays the configured timeline of one (network, matrix,
+// scheme) triple: per epoch the topology is degraded by the failure model,
+// the demand evolved by the churn model, and the scheme re-optimized from
+// scratch across a bounded worker pool (workers <= 0 selects one per CPU).
+// Results are deterministic for a fixed seed and identical at every pool
+// width.
+func RunDynamics(ctx context.Context, workers int, g *Graph, m *Matrix,
+	scheme Scheme, cfg DynamicsConfig) (*DynamicsResult, error) {
+	return dynamics.Run(ctx, engine.NewRunner(workers), g, m, scheme, cfg)
+}
+
+// SingleLinkFailures enumerates every single physical-link failure of g.
+func SingleLinkFailures(g *Graph) []Failure { return dynamics.SingleLinkFailures(g) }
+
+// DoubleLinkFailures enumerates (or, above maxCases, deterministically
+// samples) unordered physical-link failure pairs.
+func DoubleLinkFailures(g *Graph, maxCases int, seed int64) []Failure {
+	return dynamics.DoubleLinkFailures(g, maxCases, seed)
+}
+
+// NodeFailures enumerates every single node failure.
+func NodeFailures(g *Graph) []Failure { return dynamics.NodeFailures(g) }
+
+// DegradeTopology returns a copy of g with the failure's links removed;
+// node IDs are preserved so matrices stay valid.
+func DegradeTopology(g *graph.Graph, f Failure) *graph.Graph {
+	return dynamics.Degrade(g, f)
+}
+
+// ParseDemandTrace reads the plain-text demand-trace format: one
+// "<time-sec> <src-node> <dst-node> <bps>" sample per line.
+func ParseDemandTrace(data []byte) (*DemandTrace, error) {
+	return trace.ParseDemandTrace(data)
+}
+
+// ReplayDemandTrace replays a demand trace against a topology: one traffic
+// matrix per distinct timestamp, demands carrying forward between samples.
+func ReplayDemandTrace(g *graph.Graph, t *DemandTrace) ([]*tm.Matrix, error) {
+	return t.Matrices(g)
+}
+
+// PathChurn returns the fraction of demand pairs whose used path set
+// changed between two placements (matched by endpoint names, so the
+// placements may come from different copies of the topology).
+func PathChurn(prev, cur *routing.Placement) float64 {
+	return metrics.PathChurn(prev, cur)
+}
+
+// Headroom returns a placement's spare capacity on its hottest link,
+// 1 - max utilization.
+func Headroom(p *routing.Placement) float64 { return metrics.Headroom(p) }

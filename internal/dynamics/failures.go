@@ -1,0 +1,217 @@
+package dynamics
+
+import (
+	"fmt"
+	"sort"
+
+	"lowlat/internal/graph"
+	"lowlat/internal/stats"
+)
+
+// Failure is one failure state: a set of directed links that are down.
+// Node failures are expressed as link failures (every link incident to the
+// node goes down) so node identities — and with them traffic-matrix
+// endpoints — stay stable across the whole timeline.
+type Failure struct {
+	// Name labels the failure in tables and errors, e.g. "link 3<->7" or
+	// "node berlin".
+	Name string
+	// Links are directed link IDs of the *base* graph that are down. A
+	// physical link failure lists both directions.
+	Links []graph.LinkID
+	// FailedNodes lists nodes considered dead: demands to or from them are
+	// dropped from the matrix instead of being counted unroutable.
+	FailedNodes []graph.NodeID
+}
+
+// Empty reports whether the failure takes nothing down.
+func (f Failure) Empty() bool { return len(f.Links) == 0 && len(f.FailedNodes) == 0 }
+
+// PhysicalCount returns the number of undirected physical links down:
+// directed link IDs joining the same node pair count once. The graph must
+// be the base graph the failure's link IDs refer to.
+func (f Failure) PhysicalCount(g *graph.Graph) int {
+	seen := make(map[[2]graph.NodeID]bool, len(f.Links))
+	for _, id := range f.Links {
+		l := g.Link(id)
+		a, z := l.From, l.To
+		if z < a {
+			a, z = z, a
+		}
+		seen[[2]graph.NodeID{a, z}] = true
+	}
+	return len(seen)
+}
+
+// physicalLink is an undirected link: one or two directed IDs joining the
+// same node pair.
+type physicalLink struct {
+	a, z graph.NodeID
+	ids  []graph.LinkID
+}
+
+// physicalLinks groups g's directed links into undirected physical links,
+// in deterministic (min endpoint, max endpoint) order. Directed links with
+// no reverse form single-direction "physical" links.
+func physicalLinks(g *graph.Graph) []physicalLink {
+	byPair := make(map[[2]graph.NodeID]*physicalLink)
+	var order [][2]graph.NodeID
+	for _, l := range g.Links() {
+		a, z := l.From, l.To
+		if z < a {
+			a, z = z, a
+		}
+		key := [2]graph.NodeID{a, z}
+		p, ok := byPair[key]
+		if !ok {
+			p = &physicalLink{a: a, z: z}
+			byPair[key] = p
+			order = append(order, key)
+		}
+		p.ids = append(p.ids, l.ID)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i][0] != order[j][0] {
+			return order[i][0] < order[j][0]
+		}
+		return order[i][1] < order[j][1]
+	})
+	out := make([]physicalLink, len(order))
+	for i, key := range order {
+		out[i] = *byPair[key]
+	}
+	return out
+}
+
+func (p physicalLink) name(g *graph.Graph) string {
+	return g.Node(p.a).Name + "<->" + g.Node(p.z).Name
+}
+
+// SingleLinkFailures enumerates every single physical-link failure of g,
+// in deterministic link order.
+func SingleLinkFailures(g *graph.Graph) []Failure {
+	phys := physicalLinks(g)
+	out := make([]Failure, len(phys))
+	for i, p := range phys {
+		out[i] = Failure{
+			Name:  "link " + p.name(g),
+			Links: append([]graph.LinkID(nil), p.ids...),
+		}
+	}
+	return out
+}
+
+// DoubleLinkFailures enumerates every unordered pair of physical-link
+// failures. With maxCases > 0 and more pairs than that, a seeded uniform
+// sample of maxCases pairs is returned instead (still deterministic).
+func DoubleLinkFailures(g *graph.Graph, maxCases int, seed int64) []Failure {
+	phys := physicalLinks(g)
+	var pairs [][2]int
+	for i := 0; i < len(phys); i++ {
+		for j := i + 1; j < len(phys); j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	if maxCases > 0 && len(pairs) > maxCases {
+		rng := stats.Rng(seed)
+		rng.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
+		pairs = pairs[:maxCases]
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a][0] != pairs[b][0] {
+				return pairs[a][0] < pairs[b][0]
+			}
+			return pairs[a][1] < pairs[b][1]
+		})
+	}
+	out := make([]Failure, len(pairs))
+	for k, pr := range pairs {
+		pi, pj := phys[pr[0]], phys[pr[1]]
+		f := Failure{Name: "links " + pi.name(g) + " + " + pj.name(g)}
+		f.Links = append(f.Links, pi.ids...)
+		f.Links = append(f.Links, pj.ids...)
+		out[k] = f
+	}
+	return out
+}
+
+// NodeFailures enumerates every single node failure: the node's incident
+// links go down and demands touching it are dropped.
+func NodeFailures(g *graph.Graph) []Failure {
+	out := make([]Failure, 0, g.NumNodes())
+	for _, n := range g.Nodes() {
+		f := Failure{Name: "node " + n.Name, FailedNodes: []graph.NodeID{n.ID}}
+		f.Links = append(f.Links, g.Out(n.ID)...)
+		f.Links = append(f.Links, g.In(n.ID)...)
+		out = append(out, f)
+	}
+	return out
+}
+
+// RandomFailureSequence walks a seeded per-physical-link Markov process
+// over epochs: an up link fails with failProb each epoch, a down link is
+// repaired with repairProb. The epoch-0 state starts all-up, so the first
+// epoch is the pre-failure baseline unless failProb is extreme. The result
+// has exactly epochs entries; entries with no down links are Empty.
+func RandomFailureSequence(g *graph.Graph, epochs int, failProb, repairProb float64, seed int64) []Failure {
+	phys := physicalLinks(g)
+	rng := stats.Rng(seed)
+	down := make([]bool, len(phys))
+	out := make([]Failure, epochs)
+	for e := 0; e < epochs; e++ {
+		if e > 0 {
+			for i := range phys {
+				if down[i] {
+					if rng.Float64() < repairProb {
+						down[i] = false
+					}
+				} else if rng.Float64() < failProb {
+					down[i] = true
+				}
+			}
+		}
+		var f Failure
+		count := 0
+		for i, p := range phys {
+			if down[i] {
+				f.Links = append(f.Links, p.ids...)
+				count++
+			}
+		}
+		// Quiet epochs keep the zero Failure ("" name), the documented
+		// nothing-is-down state.
+		if count > 0 {
+			f.Name = fmt.Sprintf("%d down", count)
+		}
+		out[e] = f
+	}
+	return out
+}
+
+// Degrade returns a copy of g with the failure's links removed. Node
+// identities and IDs are preserved (failed nodes stay in the graph,
+// isolated), so matrices built against the base graph remain valid. An
+// empty failure returns g itself, keeping solver-cache hits warm.
+func Degrade(g *graph.Graph, f Failure) *graph.Graph {
+	if f.Empty() {
+		return g
+	}
+	downLink := graph.NewMask(g.NumLinks())
+	for _, id := range f.Links {
+		downLink.Set(int32(id))
+	}
+	deadNode := graph.NewMask(g.NumNodes())
+	for _, id := range f.FailedNodes {
+		deadNode.Set(int32(id))
+	}
+	b := graph.NewBuilder(g.Name() + " [" + f.Name + "]")
+	for _, n := range g.Nodes() {
+		b.AddNode(n.Name, n.Loc)
+	}
+	for _, l := range g.Links() {
+		if downLink.Has(int32(l.ID)) || deadNode.Has(int32(l.From)) || deadNode.Has(int32(l.To)) {
+			continue
+		}
+		b.AddLink(l.From, l.To, l.Capacity, l.Delay)
+	}
+	return b.MustBuild()
+}

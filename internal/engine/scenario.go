@@ -52,6 +52,14 @@ func NewRunner(workers int) *Runner {
 // Workers returns the resolved pool width.
 func (r *Runner) Workers() int { return r.workers }
 
+// WithWorkers returns a Runner sharing this runner's solver cache but with
+// its own pool width. Layered fan-outs use it to keep total concurrency
+// bounded: an outer sweep runs at full width while each inner timeline
+// runs sequentially, all against one cache.
+func (r *Runner) WithWorkers(n int) *Runner {
+	return &Runner{workers: DefaultWorkers(n), cache: r.cache}
+}
+
 // Cache exposes the run's shared solver cache, for callers that place
 // outside the scenario path but want to reuse its work.
 func (r *Runner) Cache() *routing.SolverCache { return r.cache }

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// dynDetConfig trims the determinism subset to two structural classes:
+// the dynamics driver runs 4 schemes x 6 epochs per network, and the
+// experiments package sits close to go test's default 10-minute budget on
+// small machines, so the byte-identity check keeps its footprint small.
+func dynDetConfig(workers int) Config {
+	cfg := determinismConfig(workers)
+	sub := map[string]bool{"ring-16": true, "grid-4x4": true}
+	cfg.NetworkFilter = func(n Network) bool { return sub[n.Name] }
+	return cfg
+}
+
+// TestFigDynamicsDeterministic pins the dynamic-workload driver's engine
+// guarantee: the fig_dynamics table is byte-identical between a sequential
+// run and an eight-worker run for the same seed.
+func TestFigDynamicsDeterministic(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := Run("fig_dynamics", dynDetConfig(1), &seq); err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	if err := Run("fig_dynamics", dynDetConfig(8), &par); err != nil {
+		t.Fatalf("workers=8: %v", err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("fig_dynamics output differs between worker widths:\n--- workers=1\n%s\n--- workers=8\n%s",
+			seq.String(), par.String())
+	}
+	if seq.Len() == 0 {
+		t.Fatal("fig_dynamics produced no output")
+	}
+}
+
+// TestFigDynamicsSeedSensitivity: a different seed must change the random
+// failure walk (and with it the table), guarding against a driver that
+// ignores its configuration.
+func TestFigDynamicsSeedSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the dynamics driver twice more")
+	}
+	cfg := dynDetConfig(0)
+	var a, b bytes.Buffer
+	if err := Run("fig_dynamics", cfg, &a); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed += 1000
+	if err := Run("fig_dynamics", cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("different seeds produced identical dynamics tables")
+	}
+}

@@ -372,7 +372,7 @@ func TestRegistryRunsEverything(t *testing.T) {
 		t.Skip("runs every experiment")
 	}
 	names := Names()
-	if len(names) != 13 {
+	if len(names) != 14 {
 		t.Fatalf("experiments = %v", names)
 	}
 	var buf bytes.Buffer

@@ -21,18 +21,10 @@ func stretchSchemes(headroom float64) []routing.Scheme {
 	}
 }
 
-// displayName maps scheme names onto the figure legends.
+// displayName maps schemes onto the figure legends via the shared
+// name-string mapping in fig_dynamics.go.
 func displayName(s routing.Scheme) string {
-	switch s.(type) {
-	case routing.LatencyOpt:
-		return "LDR"
-	case routing.B4:
-		return "B4"
-	}
-	if s.Name() == "minmax-k10" {
-		return "MinMaxK10"
-	}
-	return "MinMax"
+	return displayName2(s.Name())
 }
 
 // Fig16Variant is one sub-figure of Figure 16.

@@ -113,6 +113,13 @@ var registry = map[string]runner{
 		}
 		return r.Table().Write(w)
 	},
+	"fig_dynamics": func(cfg Config, w io.Writer) error {
+		r, err := FigDynamics(cfg)
+		if err != nil {
+			return err
+		}
+		return r.Table().Write(w)
+	},
 }
 
 // Names lists the available experiments in order.
@@ -129,11 +136,17 @@ func Names() []string {
 }
 
 func figNum(s string) int {
-	n := 0
+	n, seen := 0, false
 	for _, c := range s {
 		if c >= '0' && c <= '9' {
 			n = n*10 + int(c-'0')
+			seen = true
 		}
+	}
+	if !seen {
+		// Extensions without a paper figure number (fig_dynamics) sort
+		// after every numbered figure.
+		return 1 << 30
 	}
 	return n
 }

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lowlat/internal/routing"
+)
+
+// This file holds the per-epoch metrics of the dynamic-workload runs in
+// internal/dynamics: how much slack a placement keeps (Headroom) and how
+// much of the routing configuration a re-optimization rewrites (PathChurn).
+
+// Headroom returns the placement's spare capacity on its hottest link,
+// 1 - max utilization. Negative headroom means some link is overloaded.
+func Headroom(p *routing.Placement) float64 {
+	return 1 - p.MaxUtilization()
+}
+
+// pathSignatures canonicalizes a placement into per-pair path-set
+// signatures keyed by endpoint names, so placements computed on different
+// (e.g. degraded) copies of a topology remain comparable.
+func pathSignatures(p *routing.Placement) map[[2]string][]string {
+	sigs := make(map[[2]string][]string, p.TM.Len())
+	for i, allocs := range p.Allocs {
+		agg := p.TM.Aggregates[i]
+		key := [2]string{p.G.Node(agg.Src).Name, p.G.Node(agg.Dst).Name}
+		var parts []string
+		for _, a := range allocs {
+			if a.Fraction < 1e-6 {
+				continue
+			}
+			var sb strings.Builder
+			for _, n := range a.Path.Nodes(p.G) {
+				sb.WriteString(p.G.Node(n).Name)
+				sb.WriteByte('>')
+			}
+			parts = append(parts, fmt.Sprintf("%s@%.3f", sb.String(), a.Fraction))
+		}
+		sort.Strings(parts)
+		sigs[key] = parts
+	}
+	return sigs
+}
+
+// PathChurn returns the fraction of demand pairs whose used path set
+// (paths and split fractions, to 1e-3) differs between two placements.
+// Pairs present in only one placement count as changed; pairs are matched
+// by endpoint names so the placements may come from different copies of
+// the topology (one degraded by failures, say). Split fractions are
+// compared after rounding, so sub-0.1% LP jitter does not register.
+func PathChurn(prev, cur *routing.Placement) float64 {
+	a := pathSignatures(prev)
+	b := pathSignatures(cur)
+	union, changed := 0, 0
+	for key, sa := range a {
+		union++
+		sb, ok := b[key]
+		if !ok || !equalStrings(sa, sb) {
+			changed++
+		}
+	}
+	for key := range b {
+		if _, ok := a[key]; !ok {
+			union++
+			changed++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(changed) / float64(union)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+	"lowlat/internal/routing"
+	"lowlat/internal/tm"
+)
+
+// churnGraph is a square a-b-c-d-a: two disjoint two-hop routes per
+// diagonal pair.
+func churnGraph() *graph.Graph {
+	b := graph.NewBuilder("churn-test")
+	a := b.AddNode("a", geo.Point{})
+	bb := b.AddNode("b", geo.Point{Lon: 1})
+	c := b.AddNode("c", geo.Point{Lat: 1, Lon: 1})
+	d := b.AddNode("d", geo.Point{Lat: 1})
+	b.AddBiLink(a, bb, 10e9, 0.001)
+	b.AddBiLink(bb, c, 10e9, 0.001)
+	b.AddBiLink(c, d, 10e9, 0.001)
+	b.AddBiLink(d, a, 10e9, 0.001)
+	return b.MustBuild()
+}
+
+func place(t *testing.T, g *graph.Graph, m *tm.Matrix) *routing.Placement {
+	t.Helper()
+	p, err := routing.SP{}.Place(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPathChurnIdenticalPlacements(t *testing.T) {
+	g := churnGraph()
+	m := tm.New([]tm.Aggregate{{Src: 0, Dst: 2, Volume: 1e9}})
+	a, b := place(t, g, m), place(t, g, m)
+	if c := PathChurn(a, b); c != 0 {
+		t.Fatalf("identical placements churn = %v, want 0", c)
+	}
+}
+
+func TestPathChurnAcrossDegradedGraph(t *testing.T) {
+	g := churnGraph()
+	m := tm.New([]tm.Aggregate{
+		{Src: 0, Dst: 2, Volume: 1e9}, // a->c, rerouted when a-b dies
+		{Src: 1, Dst: 2, Volume: 1e9}, // b->c, untouched
+	})
+	before := place(t, g, m)
+	// Rebuild without the a<->b pair: a->c must flip to the a-d-c route.
+	nb := graph.NewBuilder("churn-test-degraded")
+	for _, n := range g.Nodes() {
+		nb.AddNode(n.Name, n.Loc)
+	}
+	for _, l := range g.Links() {
+		na, nz := g.Node(l.From).Name, g.Node(l.To).Name
+		if (na == "a" && nz == "b") || (na == "b" && nz == "a") {
+			continue
+		}
+		nb.AddLink(l.From, l.To, l.Capacity, l.Delay)
+	}
+	after := place(t, nb.MustBuild(), m)
+	if c := PathChurn(before, after); math.Abs(c-0.5) > 1e-9 {
+		t.Fatalf("churn = %v, want 0.5 (one of two pairs rerouted)", c)
+	}
+}
+
+func TestPathChurnPairAppears(t *testing.T) {
+	g := churnGraph()
+	one := place(t, g, tm.New([]tm.Aggregate{{Src: 0, Dst: 2, Volume: 1e9}}))
+	two := place(t, g, tm.New([]tm.Aggregate{
+		{Src: 0, Dst: 2, Volume: 1e9},
+		{Src: 1, Dst: 3, Volume: 1e9},
+	}))
+	if c := PathChurn(one, two); math.Abs(c-0.5) > 1e-9 {
+		t.Fatalf("churn = %v, want 0.5 (pair appeared)", c)
+	}
+	if c := PathChurn(two, one); math.Abs(c-0.5) > 1e-9 {
+		t.Fatalf("churn = %v, want 0.5 (pair disappeared)", c)
+	}
+}
+
+func TestHeadroom(t *testing.T) {
+	g := churnGraph()
+	m := tm.New([]tm.Aggregate{{Src: 0, Dst: 1, Volume: 4e9}})
+	p := place(t, g, m)
+	if h := Headroom(p); math.Abs(h-0.6) > 1e-9 {
+		t.Fatalf("headroom = %v, want 0.6 (4 of 10 Gb/s used)", h)
+	}
+}

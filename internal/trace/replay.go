@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lowlat/internal/graph"
+	"lowlat/internal/tm"
+)
+
+// DemandSample is one timestamped demand observation for an ordered PoP
+// pair, the unit of a replayable demand trace (the stand-in for replaying
+// measured per-aggregate demand against the routing schemes).
+type DemandSample struct {
+	// Time is seconds from the trace start. Samples sharing a timestamp
+	// belong to the same epoch.
+	Time float64
+	// Src and Dst name the endpoints; they are resolved against a topology
+	// at replay time.
+	Src, Dst string
+	// Bps is the aggregate's demand from this time onward. A value <= 0
+	// retires the pair (its demand ends).
+	Bps float64
+}
+
+// DemandTrace is a timestamped sequence of demand updates. Demands carry
+// forward: a sample sets its pair's volume for every subsequent epoch
+// until another sample overrides or retires it.
+type DemandTrace struct {
+	Samples []DemandSample
+}
+
+// normalized returns the samples in replay order: ascending time, ties
+// broken by (src, dst, input order) so replay is deterministic whatever
+// order the samples arrived in. Out-of-order input is legal — collectors
+// flush per-aggregate buffers independently — and is simply re-sorted.
+// The second slice maps each position back to its index in t.Samples, so
+// diagnostics can cite the caller's original ordering.
+func (t *DemandTrace) normalized() ([]DemandSample, []int) {
+	idx := make([]int, len(t.Samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	s := t.Samples
+	sort.SliceStable(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if s[i].Time != s[j].Time {
+			return s[i].Time < s[j].Time
+		}
+		if s[i].Src != s[j].Src {
+			return s[i].Src < s[j].Src
+		}
+		return s[i].Dst < s[j].Dst
+	})
+	out := make([]DemandSample, len(idx))
+	for a, i := range idx {
+		out[a] = s[i]
+	}
+	return out, idx
+}
+
+// Epochs returns the distinct sample timestamps in ascending order — the
+// replay's epoch boundaries.
+func (t *DemandTrace) Epochs() []float64 {
+	samples, _ := t.normalized()
+	var out []float64
+	for _, s := range samples {
+		if len(out) == 0 || s.Time != out[len(out)-1] {
+			out = append(out, s.Time)
+		}
+	}
+	return out
+}
+
+// Matrices replays the trace against a topology: one traffic matrix per
+// distinct timestamp, each holding the latest demand of every live pair.
+// It errors on an empty trace, on endpoints missing from the topology, and
+// on self-pair samples; out-of-order timestamps are re-sorted, not errors.
+func (t *DemandTrace) Matrices(g *graph.Graph) ([]*tm.Matrix, error) {
+	samples, orig := t.normalized()
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("trace: empty demand trace")
+	}
+	type pair struct{ src, dst graph.NodeID }
+	live := make(map[pair]float64)
+	var out []*tm.Matrix
+	flush := func() {
+		aggs := make([]tm.Aggregate, 0, len(live))
+		for p, bps := range live {
+			aggs = append(aggs, tm.Aggregate{Src: p.src, Dst: p.dst, Volume: bps})
+		}
+		out = append(out, tm.New(aggs))
+	}
+	for i, s := range samples {
+		// Diagnostics cite the sample's position in t.Samples (the order
+		// the caller supplied), not its post-sort replay position.
+		src, ok := g.NodeByName(s.Src)
+		if !ok {
+			return nil, fmt.Errorf("trace: sample %d: node %q not in topology %q", orig[i], s.Src, g.Name())
+		}
+		dst, ok := g.NodeByName(s.Dst)
+		if !ok {
+			return nil, fmt.Errorf("trace: sample %d: node %q not in topology %q", orig[i], s.Dst, g.Name())
+		}
+		if src.ID == dst.ID {
+			return nil, fmt.Errorf("trace: sample %d: self-pair %q", orig[i], s.Src)
+		}
+		if s.Bps > 0 {
+			live[pair{src.ID, dst.ID}] = s.Bps
+		} else {
+			delete(live, pair{src.ID, dst.ID})
+		}
+		if i+1 == len(samples) || samples[i+1].Time != s.Time {
+			flush()
+		}
+	}
+	return out, nil
+}
+
+// ParseDemandTrace reads the plain-text demand-trace format: one sample
+// per line, "<time-sec> <src-node> <dst-node> <bps>", with '#' comments
+// and blank lines ignored.
+func ParseDemandTrace(data []byte) (*DemandTrace, error) {
+	var t DemandTrace
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want \"time src dst bps\", got %q", lineNo, line)
+		}
+		at, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time %q", lineNo, fields[0])
+		}
+		bps, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad bps %q", lineNo, fields[3])
+		}
+		t.Samples = append(t.Samples, DemandSample{Time: at, Src: fields[1], Dst: fields[2], Bps: bps})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &t, nil
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"lowlat/internal/geo"
+	"lowlat/internal/graph"
+)
+
+// replayGraph is a 3-node line a-b-c.
+func replayGraph() *graph.Graph {
+	b := graph.NewBuilder("replay-test")
+	a := b.AddNode("a", geo.Point{})
+	bb := b.AddNode("b", geo.Point{Lon: 1})
+	c := b.AddNode("c", geo.Point{Lon: 2})
+	b.AddBiLink(a, bb, 10e9, 0.001)
+	b.AddBiLink(bb, c, 10e9, 0.001)
+	return b.MustBuild()
+}
+
+func TestReplayEmptyTraceErrors(t *testing.T) {
+	g := replayGraph()
+	if _, err := (&DemandTrace{}).Matrices(g); err == nil {
+		t.Fatal("empty trace must error")
+	}
+}
+
+func TestReplayUnknownNodeErrors(t *testing.T) {
+	g := replayGraph()
+	dt := &DemandTrace{Samples: []DemandSample{
+		{Time: 0, Src: "a", Dst: "zz", Bps: 1e9},
+	}}
+	_, err := dt.Matrices(g)
+	if err == nil {
+		t.Fatal("a sample naming a node absent from the topology must error")
+	}
+}
+
+func TestReplaySelfPairErrors(t *testing.T) {
+	g := replayGraph()
+	dt := &DemandTrace{Samples: []DemandSample{
+		{Time: 0, Src: "a", Dst: "a", Bps: 1e9},
+	}}
+	if _, err := dt.Matrices(g); err == nil {
+		t.Fatal("self-pair samples must error")
+	}
+}
+
+func TestReplayOutOfOrderTimestampsAreSorted(t *testing.T) {
+	g := replayGraph()
+	sorted := &DemandTrace{Samples: []DemandSample{
+		{Time: 0, Src: "a", Dst: "c", Bps: 1e9},
+		{Time: 30, Src: "b", Dst: "c", Bps: 2e9},
+		{Time: 60, Src: "a", Dst: "c", Bps: 3e9},
+	}}
+	shuffled := &DemandTrace{Samples: []DemandSample{
+		{Time: 60, Src: "a", Dst: "c", Bps: 3e9},
+		{Time: 0, Src: "a", Dst: "c", Bps: 1e9},
+		{Time: 30, Src: "b", Dst: "c", Bps: 2e9},
+	}}
+	want, err := sorted.Matrices(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := shuffled.Matrices(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("replay must be invariant to sample order")
+	}
+	if epochs := shuffled.Epochs(); !reflect.DeepEqual(epochs, []float64{0, 30, 60}) {
+		t.Fatalf("epochs = %v, want [0 30 60]", epochs)
+	}
+}
+
+func TestReplayCarriesForwardAndRetires(t *testing.T) {
+	g := replayGraph()
+	dt := &DemandTrace{Samples: []DemandSample{
+		{Time: 0, Src: "a", Dst: "c", Bps: 1e9},
+		{Time: 60, Src: "b", Dst: "c", Bps: 2e9},
+		{Time: 120, Src: "a", Dst: "c", Bps: -1}, // retire a->c
+	}}
+	ms, err := dt.Matrices(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("matrices = %d, want 3", len(ms))
+	}
+	if ms[0].Len() != 1 || ms[0].TotalVolume() != 1e9 {
+		t.Fatalf("epoch 0: %d aggregates, %v bps", ms[0].Len(), ms[0].TotalVolume())
+	}
+	// Epoch 1 carries a->c forward alongside the new b->c.
+	if ms[1].Len() != 2 || math.Abs(ms[1].TotalVolume()-3e9) > 1 {
+		t.Fatalf("epoch 1: %d aggregates, %v bps", ms[1].Len(), ms[1].TotalVolume())
+	}
+	// Epoch 2 retires a->c.
+	if ms[2].Len() != 1 || ms[2].TotalVolume() != 2e9 {
+		t.Fatalf("epoch 2: %d aggregates, %v bps", ms[2].Len(), ms[2].TotalVolume())
+	}
+	for i, m := range ms {
+		if err := m.Validate(g); err != nil {
+			t.Fatalf("epoch %d: %v", i, err)
+		}
+	}
+}
+
+func TestParseDemandTrace(t *testing.T) {
+	data := []byte(`# demand trace
+0   a c 1e9
+
+60  b c 2e9
+120 a c 0
+`)
+	dt, err := ParseDemandTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dt.Samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(dt.Samples))
+	}
+	if dt.Samples[1].Src != "b" || dt.Samples[1].Bps != 2e9 {
+		t.Fatalf("sample 1 = %+v", dt.Samples[1])
+	}
+	for _, bad := range []string{"not a sample", "x a c 1e9", "0 a c fast"} {
+		if _, err := ParseDemandTrace([]byte(bad)); err == nil {
+			t.Fatalf("line %q must be rejected", bad)
+		}
+	}
+}

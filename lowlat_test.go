@@ -11,7 +11,8 @@ import (
 // results figure in the paper.
 func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig3", "fig4", "fig7", "fig8", "fig9",
-		"fig10", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20"}
+		"fig10", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+		"fig_dynamics"}
 	got := experiments.Names()
 	if len(got) != len(want) {
 		t.Fatalf("experiments = %v, want %v", got, want)

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Runs the CI benchmark subset (the landscape sweep and the dynamics
+# timelines) once each and converts the `go test -bench` output into a
+# flat JSON object mapping benchmark name -> ns/op, written to $1
+# (default BENCH_ci.json). CI archives the file on every push so the
+# repository accumulates a perf trajectory; `make bench` produces the
+# same file locally.
+set -eu
+
+out="${1:-BENCH_ci.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# No pipe into tee: POSIX sh has no pipefail, and the bench exit status
+# must fail the job.
+go test -run NONE -bench 'Landscape|Dynamics' -benchtime 1x ./... > "$tmp"
+cat "$tmp"
+
+awk '
+  $1 ~ /^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)        # strip the GOMAXPROCS suffix
+    if (count++) printf ",\n"
+    printf "  \"%s\": %s", name, $3
+  }
+  BEGIN { printf "{\n" }
+  END   { printf "\n}\n" }
+' "$tmp" > "$out"
+
+echo "wrote $out:"
+cat "$out"
