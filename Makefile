@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck build short bench race clean
+.PHONY: ci vet staticcheck build short bench race sweep-smoke clean
 
 ci: vet staticcheck build short bench
 
@@ -36,5 +36,15 @@ bench:
 race:
 	$(GO) test -race -timeout 75m ./...
 
+# Resumability smoke test: run a small sweep into a local store, run it
+# again (every cell must be reused), and export the result slice. The
+# store directory is gitignored; `make clean` removes it.
+SWEEP_STORE ?= .sweepstore
+sweep-smoke:
+	$(GO) run ./cmd/lowlat sweep -store $(SWEEP_STORE) -grid "nets=star-6,ring-8;seeds=1,2;schemes=sp,minmax"
+	$(GO) run ./cmd/lowlat sweep -store $(SWEEP_STORE) -grid "nets=star-6,ring-8;seeds=1,2;schemes=sp,minmax"
+	$(GO) run ./cmd/lowlat export -store $(SWEEP_STORE) -format csv
+
 clean:
 	rm -f BENCH_ci.json
+	rm -rf $(SWEEP_STORE)

@@ -11,57 +11,83 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lowlat"
 )
 
 func main() {
-	var (
-		netName    = flag.String("net", "gts-like", "zoo network name")
-		file       = flag.String("file", "", "topology file instead of -net")
-		minutes    = flag.Int("minutes", 10, "simulated minutes")
-		seed       = flag.Int64("seed", 1, "random seed")
-		load       = flag.Float64("load", 0.55, "target MinMax peak utilization for the base traffic")
-		locality   = flag.Float64("locality", 1, "traffic locality ℓ")
-		controller = flag.String("controller", "ldr", "ldr, latopt, sp, b4, minmax, minmax-k10, mplste")
-		buffer     = flag.Float64("buffer", 0, "link buffer in seconds of capacity (0 = unbounded)")
-		drift      = flag.Float64("drift", 0.025, "per-minute relative mean drift")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run executes one invocation and returns the process exit code: 0 on
+// success, 1 on execution errors, 2 on usage errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ldr-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		netName    = fs.String("net", "gts-like", "zoo network name")
+		file       = fs.String("file", "", "topology file instead of -net")
+		minutes    = fs.Int("minutes", 10, "simulated minutes")
+		seed       = fs.Int64("seed", 1, "random seed")
+		load       = fs.Float64("load", 0.55, "target MinMax peak utilization for the base traffic")
+		locality   = fs.Float64("locality", 1, "traffic locality ℓ")
+		controller = fs.String("controller", "ldr", "ldr, latopt, sp, b4, minmax, minmax-k10, mplste")
+		buffer     = fs.Float64("buffer", 0, "link buffer in seconds of capacity (0 = unbounded)")
+		drift      = fs.Float64("drift", 0.025, "per-minute relative mean drift")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if err := simulate(stdout, simOptions{
+		netName: *netName, file: *file, minutes: *minutes, seed: *seed,
+		load: *load, locality: *locality, controller: *controller,
+		buffer: *buffer, drift: *drift,
+	}); err != nil {
+		fmt.Fprintf(stderr, "ldr-sim: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+type simOptions struct {
+	netName, file, controller string
+	minutes                   int
+	seed                      int64
+	load, locality            float64
+	buffer, drift             float64
+}
+
+func simulate(stdout io.Writer, o simOptions) error {
 	var g *lowlat.Graph
 	var err error
-	if *file != "" {
-		g, err = lowlat.ReadTopologyFile(*file, lowlat.TopologyReadOptions{})
+	if o.file != "" {
+		g, err = lowlat.ReadTopologyFile(o.file, lowlat.TopologyReadOptions{})
+		if err != nil {
+			return err
+		}
 	} else {
-		e, ok := lowlat.NetworkByName(*netName)
+		e, ok := lowlat.NetworkByName(o.netName)
 		if !ok {
-			fatal(fmt.Errorf("unknown network %q", *netName))
+			return fmt.Errorf("unknown network %q", o.netName)
 		}
 		g = e.Build()
 	}
-	if err != nil {
-		fatal(err)
-	}
-
-	res, err := lowlat.GenerateTraffic(g, lowlat.TrafficConfig{
-		Seed: *seed, TargetMaxUtil: *load, Locality: *locality, NoLocality: *locality == 0,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	specs := lowlat.SpecsFromMatrix(res.Matrix, *seed)
 
 	cfg := lowlat.ClosedLoopConfig{
-		Minutes:        *minutes,
-		Seed:           *seed,
-		BufferSec:      *buffer,
-		DriftPerMinute: *drift,
+		Minutes:        o.minutes,
+		Seed:           o.seed,
+		BufferSec:      o.buffer,
+		DriftPerMinute: o.drift,
 	}
-	switch *controller {
+	switch o.controller {
 	case "ldr":
 		// Controller defaults are the paper's.
 	case "latopt":
@@ -77,30 +103,34 @@ func main() {
 	case "mplste":
 		cfg.Scheme = lowlat.NewMPLSTE()
 	default:
-		fatal(fmt.Errorf("unknown controller %q", *controller))
+		return fmt.Errorf("unknown controller %q", o.controller)
 	}
 
-	fmt.Printf("%s: %d nodes, %d links, %d aggregates, controller %s\n\n",
-		g.Name(), g.NumNodes(), g.NumLinks(), len(specs), *controller)
+	res, err := lowlat.GenerateTraffic(g, lowlat.TrafficConfig{
+		Seed: o.seed, TargetMaxUtil: o.load, Locality: o.locality, NoLocality: o.locality == 0,
+	})
+	if err != nil {
+		return err
+	}
+	specs := lowlat.SpecsFromMatrix(res.Matrix, o.seed)
+
+	fmt.Fprintf(stdout, "%s: %d nodes, %d links, %d aggregates, controller %s\n\n",
+		g.Name(), g.NumNodes(), g.NumLinks(), len(specs), o.controller)
 
 	out, err := lowlat.RunClosedLoop(g, specs, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("%6s %12s %12s %10s %10s %6s %6s\n",
+	fmt.Fprintf(stdout, "%6s %12s %12s %10s %10s %6s %6s\n",
 		"minute", "max-queue", "congested", "stretch", "dropped", "mux", "unres")
 	for _, ms := range out.Minutes {
-		fmt.Printf("%6d %10.2fms %12.3f %10.4f %9.3f%% %6d %6d\n",
+		fmt.Fprintf(stdout, "%6d %10.2fms %12.3f %10.4f %9.3f%% %6d %6d\n",
 			ms.Minute, ms.MaxQueueSec*1e3, ms.CongestedFraction,
 			ms.LatencyStretch, ms.DropFraction*100, ms.MuxRounds, ms.Unresolved)
 	}
-	fmt.Printf("\nworst queue %.2f ms, %d/%d minutes over the %.0f ms budget, mean stretch %.4f\n",
+	fmt.Fprintf(stdout, "\nworst queue %.2f ms, %d/%d minutes over the %.0f ms budget, mean stretch %.4f\n",
 		out.WorstQueueSec*1e3, out.QueueViolations, len(out.Minutes),
 		out.QueueBoundSec*1e3, out.MeanStretch)
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "ldr-sim: %v\n", err)
-	os.Exit(1)
+	return nil
 }

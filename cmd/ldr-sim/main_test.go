@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunExitCodes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h: exit %d, want 0", code)
+	}
+	if code := run([]string{"-net", "no-such-net"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown network: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "ldr-sim:") {
+		t.Fatalf("errors must go to stderr, got %q", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-net", "star-6", "-controller", "warp"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown controller: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown controller") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+func TestRunSimulatesMinute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a closed-loop simulation")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-net", "star-6", "-controller", "sp", "-minutes", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "worst queue") {
+		t.Fatalf("missing summary:\n%s", out.String())
+	}
+}

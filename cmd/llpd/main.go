@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -18,35 +20,50 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes one invocation and returns the process exit code: 0 on
+// success, 1 on execution errors, 2 on usage errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("llpd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		netName = flag.String("net", "", "zoo network name")
-		file    = flag.String("file", "", "topology file (graphml, repetita, or native)")
-		zoo     = flag.Bool("zoo", false, "score the whole synthetic zoo")
-		stretch = flag.Float64("stretch", 1.4, "path stretch limit for APA viability")
-		thresh  = flag.Float64("apa", 0.7, "APA threshold defining LLPD")
-		cdf     = flag.Bool("cdf", false, "print the full APA CDF (Figure 1 curve)")
+		netName = fs.String("net", "", "zoo network name")
+		file    = fs.String("file", "", "topology file (graphml, repetita, or native)")
+		zoo     = fs.Bool("zoo", false, "score the whole synthetic zoo")
+		stretch = fs.Float64("stretch", 1.4, "path stretch limit for APA viability")
+		thresh  = fs.Float64("apa", 0.7, "APA threshold defining LLPD")
+		cdf     = fs.Bool("cdf", false, "print the full APA CDF (Figure 1 curve)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	cfg := lowlat.APAConfig{StretchLimit: *stretch, APAThreshold: *thresh}
 
 	if *zoo {
-		scoreZoo(cfg)
-		return
+		scoreZoo(stdout, cfg)
+		return 0
 	}
 
 	g, err := loadTopology(*netName, *file)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintf(stderr, "llpd: %v\n", err)
+		return 1
 	}
-	score(g, cfg, *cdf)
+	score(stdout, g, cfg, *cdf)
+	return 0
 }
 
-func score(g *lowlat.Graph, cfg lowlat.APAConfig, cdf bool) {
-	fmt.Printf("%s: %d nodes, %d links, diameter %.1f ms\n",
+func score(w io.Writer, g *lowlat.Graph, cfg lowlat.APAConfig, cdf bool) {
+	fmt.Fprintf(w, "%s: %d nodes, %d links, diameter %.1f ms\n",
 		g.Name(), g.NumNodes(), g.NumLinks(), g.Diameter()*1e3)
 	llpd := lowlat.LLPD(g, cfg)
-	fmt.Printf("LLPD = %.3f (stretch limit %.2f, APA threshold %.2f)\n",
+	fmt.Fprintf(w, "LLPD = %.3f (stretch limit %.2f, APA threshold %.2f)\n",
 		llpd, cfg.StretchLimit, cfg.APAThreshold)
 
 	dist := lowlat.APADistribution(g, cfg)
@@ -54,17 +71,17 @@ func score(g *lowlat.Graph, cfg lowlat.APAConfig, cdf bool) {
 		return
 	}
 	c := lowlat.NewCDF(dist)
-	fmt.Printf("APA quartiles: p25 %.3f  median %.3f  p75 %.3f  mean %.3f\n",
+	fmt.Fprintf(w, "APA quartiles: p25 %.3f  median %.3f  p75 %.3f  mean %.3f\n",
 		c.Quantile(0.25), c.Quantile(0.5), c.Quantile(0.75), c.Mean())
 	if cdf {
-		fmt.Println("\napa cumulative-fraction")
+		fmt.Fprintln(w, "\napa cumulative-fraction")
 		for _, pt := range c.Points(21) {
-			fmt.Printf("%.3f %.4f\n", pt.X, pt.Y)
+			fmt.Fprintf(w, "%.3f %.4f\n", pt.X, pt.Y)
 		}
 	}
 }
 
-func scoreZoo(cfg lowlat.APAConfig) {
+func scoreZoo(w io.Writer, cfg lowlat.APAConfig) {
 	type row struct {
 		name  string
 		class lowlat.TopologyClass
@@ -77,9 +94,9 @@ func scoreZoo(cfg lowlat.APAConfig) {
 		rows = append(rows, row{e.Name, e.Class, g.NumNodes(), lowlat.LLPD(g, cfg)})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].llpd < rows[j].llpd })
-	fmt.Printf("%-24s %-14s %6s %7s\n", "network", "class", "nodes", "llpd")
+	fmt.Fprintf(w, "%-24s %-14s %6s %7s\n", "network", "class", "nodes", "llpd")
 	for _, r := range rows {
-		fmt.Printf("%-24s %-14s %6d %7.3f\n", r.name, r.class, r.nodes, r.llpd)
+		fmt.Fprintf(w, "%-24s %-14s %6d %7.3f\n", r.name, r.class, r.nodes, r.llpd)
 	}
 }
 
@@ -98,9 +115,4 @@ func loadTopology(netName, file string) (*lowlat.Graph, error) {
 	default:
 		return nil, fmt.Errorf("one of -net, -file, -zoo is required")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "llpd: %v\n", err)
-	os.Exit(1)
 }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunExitCodes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h: exit %d, want 0", code)
+	}
+	if code := run(nil, &out, &errOut); code != 1 {
+		t.Fatalf("no input selected: exit %d, want 1", code)
+	}
+	if code := run([]string{"-net", "no-such-net"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown network: exit %d, want 1", code)
+	}
+	if code := run([]string{"-net", "x", "-file", "y"}, &out, &errOut); code != 1 {
+		t.Fatalf("-net and -file together: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "llpd:") {
+		t.Fatalf("errors must go to stderr, got %q", errOut.String())
+	}
+}
+
+func TestRunScoresNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("computes an APA distribution")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-net", "star-6", "-cdf"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "LLPD = ") {
+		t.Fatalf("missing LLPD line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "apa cumulative-fraction") {
+		t.Fatalf("-cdf output missing:\n%s", out.String())
+	}
+}

@@ -10,6 +10,9 @@
 //	lowlat dynamics -net gts-like -scheme ldr -failures random -churn diurnal
 //	lowlat exp -name fig3 [-tms 3] [-max-networks 20]
 //	lowlat exp -name all
+//	lowlat sweep -store results -grid "nets=zoo;seeds=1,2;schemes=sp,ldr"
+//	lowlat query -store results -scheme sp
+//	lowlat export -store results -format csv -o results.csv
 package main
 
 import (
@@ -27,6 +30,8 @@ import (
 	"lowlat/internal/experiments"
 	"lowlat/internal/metrics"
 	"lowlat/internal/routing"
+	"lowlat/internal/store"
+	"lowlat/internal/sweep"
 	"lowlat/internal/tm"
 	"lowlat/internal/tmgen"
 	"lowlat/internal/topo"
@@ -58,6 +63,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdDynamics(args[1:], stdout, stderr)
 	case "exp":
 		err = cmdExp(args[1:], stdout, stderr)
+	case "sweep":
+		err = cmdSweep(args[1:], stdout, stderr)
+	case "query":
+		err = cmdQuery(args[1:], stdout, stderr)
+	case "export":
+		err = cmdExport(args[1:], stdout, stderr)
 	case "help", "-h", "--help":
 		// Requested help is a success path: print to stdout so it pipes.
 		usage(stdout)
@@ -121,7 +132,19 @@ func usage(w io.Writer) {
                 -locality <f> -workers <n> -timeout <d>
   lowlat exp -name <figN|all>                 regenerate paper figures
          flags: -tms <n> -seed <n> -max-networks <n> -max-nodes <n>
-                -workers <n> (0 = one per CPU) -timeout <d> (e.g. 10m)`)
+                -workers <n> (0 = one per CPU) -timeout <d> (e.g. 10m)
+                -store <dir> (checkpoint/reuse landscape and headroom cells)
+  lowlat sweep -store <dir> -grid <spec>      run a resumable scenario sweep
+         grid: nets=<...>;seeds=<...>;schemes=<...>[;headrooms=<...>][;load=<f>]
+               [;locality=<f>][;max-nets=<n>]  (nets terms: names, zoo,
+               class:<c>, randomgeo:<n>:<seed>, multiregion:<RxP>:<seed>)
+         flags: -resume=<bool> (default true: reuse stored cells)
+                -compact (rewrite the store after the sweep)
+                -workers <n> -timeout <d>
+  lowlat query -store <dir>                   list stored cells
+         flags: -net <substr> -class <c> -scheme <s> -seed <n> -headroom <f>
+  lowlat export -store <dir> -format csv|json write a result slice
+         flags: -o <file> (default stdout) + the query filters`)
 }
 
 func cmdZoo(args []string, stdout, stderr io.Writer) error {
@@ -163,21 +186,7 @@ func cmdTopo(args []string, stdout, stderr io.Writer) error {
 
 // parseScheme resolves a -scheme flag value.
 func parseScheme(name string, headroom float64) (routing.Scheme, error) {
-	switch name {
-	case "sp":
-		return routing.SP{}, nil
-	case "b4":
-		return routing.B4{Headroom: headroom}, nil
-	case "mplste":
-		return routing.MPLSTE{Headroom: headroom}, nil
-	case "minmax":
-		return routing.MinMax{}, nil
-	case "minmax-k10":
-		return routing.MinMax{K: 10}, nil
-	case "ldr", "latopt":
-		return routing.LatencyOpt{Headroom: headroom}, nil
-	}
-	return nil, fmt.Errorf("unknown scheme %q", name)
+	return routing.ByName(name, headroom)
 }
 
 func cmdRoute(args []string, stdout, stderr io.Writer) error {
@@ -418,6 +427,7 @@ func cmdExp(args []string, stdout, stderr io.Writer) error {
 	maxNodes := fs.Int("max-nodes", 0, "skip networks above this size (0 = none)")
 	workers := fs.Int("workers", 0, "engine worker pool size (0 = one per CPU, 1 = sequential)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	storeDir := fs.String("store", "", "result-store directory: checkpoint and reuse landscape/headroom cells")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -434,8 +444,158 @@ func cmdExp(args []string, stdout, stderr io.Writer) error {
 		Workers:        *workers,
 		Context:        ctx,
 	}
+	if *storeDir != "" {
+		st, err := openStore(*storeDir, stderr)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		cfg.Store = st
+	}
 	if *name == "all" {
 		return experiments.RunAll(cfg, stdout)
 	}
 	return experiments.Run(*name, cfg, stdout)
+}
+
+// openStore opens a result store and surfaces recovery (torn lines
+// skipped after a crash) on stderr so it never passes silently.
+func openStore(dir string, stderr io.Writer) (*store.Store, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if n := st.Skipped(); n > 0 {
+		fmt.Fprintf(stderr, "lowlat: store %s: skipped %d corrupt line(s) from an interrupted run\n", dir, n)
+	}
+	return st, nil
+}
+
+func cmdSweep(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("sweep", stderr)
+	storeDir := fs.String("store", "", "result-store directory (required)")
+	gridSpec := fs.String("grid", "", "grid spec, e.g. nets=zoo;seeds=1,2;schemes=sp,ldr (required)")
+	resume := fs.Bool("resume", true, "reuse cells already in the store (false recomputes everything)")
+	compact := fs.Bool("compact", false, "compact the store after the sweep")
+	workers := fs.Int("workers", 0, "engine worker pool size (0 = one per CPU)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	if *gridSpec == "" {
+		return fmt.Errorf("-grid is required")
+	}
+	grid, err := sweep.ParseGrid(*gridSpec)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
+
+	st, err := openStore(*storeDir, stderr)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	rep, runErr := sweep.Run(ctx, st, grid, sweep.Options{
+		Workers:   *workers,
+		Recompute: !*resume,
+	})
+	if rep != nil {
+		fmt.Fprintf(stdout, "sweep: %d cells planned, %d reused, %d computed, %d failed (store %s: %d cells)\n",
+			rep.Planned, rep.Reused, rep.Computed, rep.Failed, *storeDir, st.Len())
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if *compact {
+		if err := st.Compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// filterFlags registers the query/export filter flags on fs and returns a
+// closure building the sweep.Filter after parsing. Flag *presence* (not a
+// sentinel value) decides whether -seed/-headroom filter, so negative
+// sweep seeds stay selectable.
+func filterFlags(fs *flag.FlagSet) func() sweep.Filter {
+	net := fs.String("net", "", "keep cells whose network name contains this substring")
+	class := fs.String("class", "", "keep cells of one topology class")
+	scheme := fs.String("scheme", "", "keep cells of one scheme name")
+	seed := fs.Int64("seed", 0, "keep cells of one matrix seed (default all)")
+	headroom := fs.Float64("headroom", 0, "keep cells at one headroom point (default all)")
+	return func() sweep.Filter {
+		f := sweep.Filter{Net: *net, Class: *class, Scheme: *scheme}
+		fs.Visit(func(fl *flag.Flag) {
+			switch fl.Name {
+			case "seed":
+				f.Seed = seed
+			case "headroom":
+				f.Headroom = headroom
+			}
+		})
+		return f
+	}
+}
+
+func cmdQuery(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("query", stderr)
+	storeDir := fs.String("store", "", "result-store directory (required)")
+	filter := filterFlags(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	st, err := openStore(*storeDir, stderr)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	results := sweep.Query(st, filter())
+	fmt.Fprintf(stdout, "%-22s %-16s %6s %4s %-12s %9s %9s %9s %9s %9s %5s\n",
+		"network", "class", "seed", "tm", "scheme", "headroom", "congested", "stretch", "max-str", "max-util", "fits")
+	for _, r := range results {
+		fmt.Fprintf(stdout, "%-22s %-16s %6d %4d %-12s %9.3f %9.3f %9.3f %9.3f %9.3f %5v\n",
+			r.Meta.Net, r.Meta.Class, r.Meta.Seed, r.Meta.TM, r.Meta.Scheme, r.Meta.Headroom,
+			r.Metrics.Congested, r.Metrics.Stretch, r.Metrics.MaxStretch, r.Metrics.MaxUtil, r.Metrics.Fits)
+	}
+	fmt.Fprintf(stdout, "%d of %d stored cells matched\n", len(results), st.Len())
+	return nil
+}
+
+func cmdExport(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("export", stderr)
+	storeDir := fs.String("store", "", "result-store directory (required)")
+	format := fs.String("format", "csv", "output format: csv or json")
+	out := fs.String("o", "", "output file (default stdout)")
+	filter := filterFlags(fs)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	st, err := openStore(*storeDir, stderr)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return sweep.Export(w, st, filter(), *format)
 }

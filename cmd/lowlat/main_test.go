@@ -96,3 +96,67 @@ func TestDynamicsCommandSmall(t *testing.T) {
 		t.Fatalf("missing summary line:\n%s", out.String())
 	}
 }
+
+func TestSweepUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"sweep"}, &out, &errOut); code != 1 {
+		t.Fatalf("sweep without -store: exit %d, want 1", code)
+	}
+	if code := run([]string{"sweep", "-store", t.TempDir()}, &out, &errOut); code != 1 {
+		t.Fatalf("sweep without -grid: exit %d, want 1", code)
+	}
+	if code := run([]string{"sweep", "-store", t.TempDir(), "-grid", "bogus"}, &out, &errOut); code != 1 {
+		t.Fatalf("sweep with bad grid: exit %d, want 1", code)
+	}
+	if code := run([]string{"query"}, &out, &errOut); code != 1 {
+		t.Fatalf("query without -store: exit %d, want 1", code)
+	}
+	if code := run([]string{"export"}, &out, &errOut); code != 1 {
+		t.Fatalf("export without -store: exit %d, want 1", code)
+	}
+	if code := run([]string{"export", "-store", t.TempDir(), "-format", "yaml"}, &out, &errOut); code != 1 {
+		t.Fatalf("export with bad format: exit %d, want 1", code)
+	}
+	if code := run([]string{"sweep", "-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("sweep -h: exit %d, want 0", code)
+	}
+}
+
+// TestSweepQueryExportRoundTrip drives the full store lifecycle through
+// the CLI: sweep, resumed sweep (all cells reused), query, export.
+func TestSweepQueryExportRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs placements")
+	}
+	dir := t.TempDir()
+	grid := "nets=star-6;seeds=1,2;schemes=sp"
+	var out, errOut bytes.Buffer
+	if code := run([]string{"sweep", "-store", dir, "-grid", grid, "-workers", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("sweep: exit %d (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "2 computed") {
+		t.Fatalf("first sweep should compute 2 cells:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"sweep", "-store", dir, "-grid", grid, "-compact"}, &out, &errOut); code != 0 {
+		t.Fatalf("resumed sweep: exit %d (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "2 reused, 0 computed") {
+		t.Fatalf("resumed sweep should reuse both cells:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"query", "-store", dir, "-net", "star"}, &out, &errOut); code != 0 {
+		t.Fatalf("query: exit %d", code)
+	}
+	if !strings.Contains(out.String(), "2 of 2 stored cells matched") {
+		t.Fatalf("query output:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"export", "-store", dir, "-format", "csv"}, &out, &errOut); code != 0 {
+		t.Fatalf("export: exit %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "net,") {
+		t.Fatalf("csv export:\n%s", out.String())
+	}
+}

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -21,45 +23,66 @@ import (
 )
 
 func main() {
-	var (
-		netName  = flag.String("net", "", "zoo network name (see `lowlat zoo`)")
-		file     = flag.String("file", "", "topology file (graphml, repetita, or native)")
-		count    = flag.Int("count", 1, "number of independent matrices")
-		seed     = flag.Int64("seed", 1, "base random seed")
-		locality = flag.Float64("locality", 1, "locality parameter ℓ (0 = pure gravity)")
-		load     = flag.Float64("load", 1/1.3, "target MinMax peak utilization")
-		outDir   = flag.String("out", "", "write matrices to this directory instead of stdout")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	g, err := loadTopology(*netName, *file)
+// run executes one invocation and returns the process exit code: 0 on
+// success, 1 on execution errors, 2 on usage errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tm-gen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		netName  = fs.String("net", "", "zoo network name (see `lowlat zoo`)")
+		file     = fs.String("file", "", "topology file (graphml, repetita, or native)")
+		count    = fs.Int("count", 1, "number of independent matrices")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		locality = fs.Float64("locality", 1, "locality parameter ℓ (0 = pure gravity)")
+		load     = fs.Float64("load", 1/1.3, "target MinMax peak utilization")
+		outDir   = fs.String("out", "", "write matrices to this directory instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if err := generate(stdout, *netName, *file, *count, *seed, *locality, *load, *outDir); err != nil {
+		fmt.Fprintf(stderr, "tm-gen: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func generate(stdout io.Writer, netName, file string, count int, seed int64, locality, load float64, outDir string) error {
+	g, err := loadTopology(netName, file)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	cfg := lowlat.TrafficConfig{
-		Locality:      *locality,
-		NoLocality:    *locality == 0,
-		TargetMaxUtil: *load,
+		Locality:      locality,
+		NoLocality:    locality == 0,
+		TargetMaxUtil: load,
 	}
-	for i := 0; i < *count; i++ {
-		cfg.Seed = *seed + int64(i)
+	for i := 0; i < count; i++ {
+		cfg.Seed = seed + int64(i)
 		res, err := lowlat.GenerateTraffic(g, cfg)
 		if err != nil {
-			fatal(fmt.Errorf("matrix %d: %w", i, err))
+			return fmt.Errorf("matrix %d: %w", i, err)
 		}
 		data := lowlat.MarshalTraffic(g, res.Matrix)
-		if *outDir == "" {
-			fmt.Printf("# matrix %d: scale %.4g, minmax peak util %.3f\n%s\n",
+		if outDir == "" {
+			fmt.Fprintf(stdout, "# matrix %d: scale %.4g, minmax peak util %.3f\n%s\n",
 				i, res.ScaleFactor, res.MinMaxUtil, data)
 			continue
 		}
-		path := filepath.Join(*outDir, fmt.Sprintf("%s-tm%d.txt", g.Name(), i))
+		path := filepath.Join(outDir, fmt.Sprintf("%s-tm%d.txt", g.Name(), i))
 		if err := os.WriteFile(path, data, 0o644); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s (%d aggregates, peak util %.3f)\n", path, res.Matrix.Len(), res.MinMaxUtil)
+		fmt.Fprintf(stdout, "wrote %s (%d aggregates, peak util %.3f)\n", path, res.Matrix.Len(), res.MinMaxUtil)
 	}
+	return nil
 }
 
 func loadTopology(netName, file string) (*lowlat.Graph, error) {
@@ -77,9 +100,4 @@ func loadTopology(netName, file string) (*lowlat.Graph, error) {
 	default:
 		return nil, fmt.Errorf("one of -net or -file is required")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "tm-gen: %v\n", err)
-	os.Exit(1)
 }

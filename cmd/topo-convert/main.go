@@ -10,6 +10,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,36 +20,56 @@ import (
 )
 
 func main() {
-	var (
-		in      = flag.String("in", "", "input topology file")
-		netName = flag.String("net", "", "synthetic zoo network to export instead of -in")
-		to      = flag.String("to", "native", "output format: graphml, repetita, native")
-		out     = flag.String("out", "", "output file (default stdout)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run executes one invocation and returns the process exit code: 0 on
+// success, 1 on execution errors, 2 on usage errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("topo-convert", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in      = fs.String("in", "", "input topology file")
+		netName = fs.String("net", "", "synthetic zoo network to export instead of -in")
+		to      = fs.String("to", "native", "output format: graphml, repetita, native")
+		out     = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if err := convert(stdout, *in, *netName, *to, *out); err != nil {
+		fmt.Fprintf(stderr, "topo-convert: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func convert(stdout io.Writer, in, netName, to, out string) error {
 	var g *lowlat.Graph
 	var err error
 	switch {
-	case *in != "" && *netName != "":
-		fatal(fmt.Errorf("use -in or -net, not both"))
-	case *in != "":
-		g, err = lowlat.ReadTopologyFile(*in, lowlat.TopologyReadOptions{})
-	case *netName != "":
-		e, ok := lowlat.NetworkByName(*netName)
+	case in != "" && netName != "":
+		return fmt.Errorf("use -in or -net, not both")
+	case in != "":
+		g, err = lowlat.ReadTopologyFile(in, lowlat.TopologyReadOptions{})
+		if err != nil {
+			return err
+		}
+	case netName != "":
+		e, ok := lowlat.NetworkByName(netName)
 		if !ok {
-			fatal(fmt.Errorf("unknown network %q", *netName))
+			return fmt.Errorf("unknown network %q", netName)
 		}
 		g = e.Build()
 	default:
-		fatal(fmt.Errorf("one of -in or -net is required"))
-	}
-	if err != nil {
-		fatal(err)
+		return fmt.Errorf("one of -in or -net is required")
 	}
 
 	var buf bytes.Buffer
-	switch *to {
+	switch to {
 	case "graphml":
 		err = lowlat.WriteGraphML(&buf, g)
 	case "repetita":
@@ -56,30 +77,26 @@ func main() {
 	case "native":
 		buf.Write(lowlat.MarshalTopology(g))
 	default:
-		err = fmt.Errorf("unknown format %q", *to)
+		err = fmt.Errorf("unknown format %q", to)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	w := stdout
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	if _, err := w.Write(buf.Bytes()); err != nil {
-		fatal(err)
+		return err
 	}
-	if *out != "" {
-		fmt.Printf("wrote %s (%s, %d nodes, %d links)\n", *out, *to, g.NumNodes(), g.NumLinks())
+	if out != "" {
+		fmt.Fprintf(stdout, "wrote %s (%s, %d nodes, %d links)\n", out, to, g.NumNodes(), g.NumLinks())
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "topo-convert: %v\n", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunExitCodes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h: exit %d, want 0", code)
+	}
+	if code := run(nil, &out, &errOut); code != 1 {
+		t.Fatalf("no input selected: exit %d, want 1", code)
+	}
+	if code := run([]string{"-net", "no-such-net"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown network: exit %d, want 1", code)
+	}
+	if code := run([]string{"-net", "star-6", "-to", "yaml"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown format: exit %d, want 1", code)
+	}
+	if code := run([]string{"-in", "x", "-net", "y"}, &out, &errOut); code != 1 {
+		t.Fatalf("-in and -net together: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "topo-convert:") {
+		t.Fatalf("errors must go to stderr, got %q", errOut.String())
+	}
+}
+
+func TestRunConvertsFormats(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-net", "star-6", "-to", "graphml"}, &out, &errOut); code != 0 {
+		t.Fatalf("graphml to stdout: exit %d (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "<graphml") {
+		t.Fatalf("graphml output:\n%s", out.String())
+	}
+
+	out.Reset()
+	dest := filepath.Join(t.TempDir(), "star.graph")
+	if code := run([]string{"-net", "star-6", "-to", "repetita", "-out", dest}, &out, &errOut); code != 0 {
+		t.Fatalf("repetita to file: exit %d (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+dest) {
+		t.Fatalf("missing confirmation line:\n%s", out.String())
+	}
+	if _, err := os.Stat(dest); err != nil {
+		t.Fatalf("output file: %v", err)
+	}
+}

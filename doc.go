@@ -10,9 +10,13 @@
 // fluid placement simulator with a closed-loop control-cycle driver, a
 // TCP control plane connecting ingress-router agents to the controller,
 // the parallel scenario engine that fans experiment sweeps out across
-// the CPUs (RunScenarios), and the dynamic-workload layer that replays
+// the CPUs (RunScenarios), the dynamic-workload layer that replays
 // failure and demand-churn timelines with per-epoch re-optimization
-// (RunDynamics).
+// (RunDynamics), and the persistence layer: a content-addressed,
+// crash-tolerant scenario-result store (OpenResultStore) with a
+// resumable sweep orchestrator over it (RunSweep) that recomputes only
+// the cells a previous — possibly killed — run never finished, and
+// slices the accumulated results into CSV/JSON (ExportSweep).
 //
 // The implementation lives under internal/:
 //
@@ -39,8 +43,15 @@
 //     seeded random walks), demand churn (diurnal, surges, trace-driven
 //     replay) and the per-epoch re-optimization timeline behind
 //     RunDynamics and the fig_dynamics experiment
+//   - internal/store — the append-only, sharded JSONL result store keyed
+//     by (graph fingerprint, matrix digest, scheme name, scheme config),
+//     with torn-tail recovery and compaction
+//   - internal/sweep — the declarative sweep grid, the resumable
+//     orchestrator that dispatches only store-missing cells, and the
+//     CSV/JSON exporters
 //   - internal/experiments — one driver per results figure plus
-//     fig_dynamics, all routed through the engine
+//     fig_dynamics, all routed through the engine; the landscape and
+//     headroom drivers optionally checkpoint into a result store
 //
 // The benchmarks in bench_test.go regenerate every results figure, and
 // bench_new_test.go covers the simulator, file I/O, wire protocol, and

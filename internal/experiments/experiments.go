@@ -13,6 +13,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"lowlat/internal/graph"
 	"lowlat/internal/metrics"
 	"lowlat/internal/routing"
+	"lowlat/internal/store"
 	"lowlat/internal/tm"
 	"lowlat/internal/tmgen"
 	"lowlat/internal/topo"
@@ -55,6 +57,12 @@ type Config struct {
 	// Context, when non-nil, cancels long experiment runs (the CLI wires
 	// its -timeout flag here). Nil means context.Background().
 	Context context.Context
+	// Store, when non-nil, makes the landscape and headroom drivers
+	// (fig3, fig4, fig8, fig19, fig20's before/after sweeps) persistent
+	// and resumable: every (network, matrix, scheme) cell is checkpointed
+	// as it lands, and cells the store already holds are recalled instead
+	// of re-placed. Output is byte-identical with or without a store.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -217,26 +225,92 @@ func netMatrices(ctx context.Context, r *engine.Runner, cfg Config, nets []Netwo
 		})
 }
 
-// schemeRun is one (network, matrix, scheme) outcome.
-type schemeRun struct {
-	network   Network
-	congested float64
-	stretch   float64
-	maxStret  float64
-	fits      bool
+// cellMeta labels one experiment scenario for the result store.
+func (c Config) cellMeta(n Network, tmIndex int, scheme routing.Scheme) store.Meta {
+	return store.Meta{
+		Net:      n.Name,
+		Class:    string(n.Class),
+		Seed:     c.Seed,
+		TM:       tmIndex,
+		Scheme:   scheme.Name(),
+		Headroom: routing.Headroom(scheme),
+		Load:     c.TargetMaxUtil,
+		Locality: c.Locality,
+	}
+}
+
+// metricsFor resolves every scenario to its metric summary, out[i] for
+// scs[i]. Without a store this is r.Run plus a summarization pass. With
+// cfg.Store set, cells already stored are recalled without touching the
+// engine, and each newly placed cell is checkpointed the moment it lands,
+// so an interrupted figure run rerun against the same store computes only
+// what is missing. Results are identical either way.
+func metricsFor(ctx context.Context, r *engine.Runner, cfg Config, scs []engine.Scenario, metas []store.Meta) ([]store.Metrics, error) {
+	out := make([]store.Metrics, len(scs))
+	if cfg.Store == nil {
+		results, err := r.Run(ctx, scs)
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range results {
+			out[res.Index] = store.MetricsOf(res.Placement)
+		}
+		return out, nil
+	}
+
+	keys := make([]store.CellKey, len(scs))
+	var missing []engine.Scenario
+	var missIdx []int
+	for i, sc := range scs {
+		keys[i] = store.KeyFor(sc.Graph, sc.Matrix, sc.Scheme)
+		if hit, ok := cfg.Store.Get(keys[i]); ok {
+			out[i] = hit.Metrics
+			continue
+		}
+		missing = append(missing, sc)
+		missIdx = append(missIdx, i)
+	}
+	// Stream instead of Run so every completed placement is persisted
+	// even when a later one fails or the context dies mid-sweep.
+	var firstErr error
+	firstErrIdx := -1
+	for res := range r.Stream(ctx, missing) {
+		if res.Err != nil {
+			if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
+				continue
+			}
+			if firstErrIdx < 0 || res.Index < firstErrIdx {
+				firstErr, firstErrIdx = res.Err, res.Index
+			}
+			continue
+		}
+		i := missIdx[res.Value.Index]
+		out[i] = store.MetricsOf(res.Value.Placement)
+		if err := cfg.Store.Put(store.Result{Key: keys[i], Meta: metas[i], Metrics: out[i]}); err != nil {
+			return nil, fmt.Errorf("experiments: checkpoint: %w", err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // runScheme evaluates a scheme across all matrices of all networks through
-// the engine, returning results grouped by network index in matrix order —
-// exactly what the old nested sequential loops produced.
-func runScheme(ctx context.Context, r *engine.Runner, nets []Network, cfg Config, scheme routing.Scheme) ([][]schemeRun, error) {
+// the engine, returning metric summaries grouped by network index in
+// matrix order — exactly what the old nested sequential loops produced.
+func runScheme(ctx context.Context, r *engine.Runner, nets []Network, cfg Config, scheme routing.Scheme) ([][]store.Metrics, error) {
 	mats, err := netMatrices(ctx, r, cfg, nets)
 	if err != nil {
 		return nil, err
 	}
 	var scs []engine.Scenario
+	var metas []store.Meta
 	for i, n := range nets {
-		for _, m := range mats[i] {
+		for mi, m := range mats[i] {
 			scs = append(scs, engine.Scenario{
 				Group:  i,
 				Tag:    n.Name + "/" + scheme.Name(),
@@ -244,23 +318,16 @@ func runScheme(ctx context.Context, r *engine.Runner, nets []Network, cfg Config
 				Matrix: m,
 				Scheme: scheme,
 			})
+			metas = append(metas, cfg.cellMeta(n, mi, scheme))
 		}
 	}
-	results, err := r.Run(ctx, scs)
+	ms, err := metricsFor(ctx, r, cfg, scs, metas)
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]schemeRun, len(nets))
-	for _, res := range results {
-		i := res.Scenario.Group
-		p := res.Placement
-		out[i] = append(out[i], schemeRun{
-			network:   nets[i],
-			congested: p.CongestedPairFraction(),
-			stretch:   p.LatencyStretch(),
-			maxStret:  p.MaxStretch(),
-			fits:      p.Fits(),
-		})
+	out := make([][]store.Metrics, len(nets))
+	for i, m := range ms {
+		out[scs[i].Group] = append(out[scs[i].Group], m)
 	}
 	return out, nil
 }

@@ -143,7 +143,7 @@ func medianStretches(ctx context.Context, r *engine.Runner, cfg Config, nets []N
 	for i, rs := range runs {
 		var stretches []float64
 		for _, sr := range rs {
-			stretches = append(stretches, sr.stretch)
+			stretches = append(stretches, sr.Stretch)
 		}
 		out[i] = stats.Median(stretches)
 	}

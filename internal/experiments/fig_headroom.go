@@ -7,6 +7,7 @@ import (
 	"lowlat/internal/engine"
 	"lowlat/internal/routing"
 	"lowlat/internal/stats"
+	"lowlat/internal/store"
 	"lowlat/internal/topo"
 )
 
@@ -119,11 +120,12 @@ func Fig8(cfg Config) (*Fig8Result, error) {
 		return nil, err
 	}
 	var scs []engine.Scenario
+	var metas []store.Meta
 	for oi, i := range order {
 		n := nets[i]
 		for j, h := range res.Headrooms {
 			scheme := routing.LatencyOpt{Headroom: h}
-			for _, m := range mats[i] {
+			for mi, m := range mats[i] {
 				scs = append(scs, engine.Scenario{
 					Group:  oi*len(res.Headrooms) + j,
 					Tag:    n.Name + "/" + scheme.Name(),
@@ -131,16 +133,17 @@ func Fig8(cfg Config) (*Fig8Result, error) {
 					Matrix: m,
 					Scheme: scheme,
 				})
+				metas = append(metas, cfg.cellMeta(n, mi, scheme))
 			}
 		}
 	}
-	results, err := r.Run(ctx, scs)
+	ms, err := metricsFor(ctx, r, cfg, scs, metas)
 	if err != nil {
 		return nil, err
 	}
 	cells := make([][]float64, len(order)*len(res.Headrooms))
-	for _, sr := range results {
-		cells[sr.Scenario.Group] = append(cells[sr.Scenario.Group], sr.Placement.LatencyStretch())
+	for si, m := range ms {
+		cells[scs[si].Group] = append(cells[scs[si].Group], m.Stretch)
 	}
 	for oi, i := range order {
 		n := nets[i]

@@ -125,8 +125,8 @@ func congestionRows(ctx context.Context, r *engine.Runner, nets []Network, cfg C
 	for _, i := range sortByLLPD(nets) {
 		var cong, stretch []float64
 		for _, r := range runs[i] {
-			cong = append(cong, r.congested)
-			stretch = append(stretch, r.stretch)
+			cong = append(cong, r.Congested)
+			stretch = append(stretch, r.Stretch)
 		}
 		rows = append(rows, CongestionRow{
 			Name:            nets[i].Name,

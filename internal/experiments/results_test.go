@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, tab *Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestTableWriteEmpty(t *testing.T) {
+	got := render(t, &Table{Title: "empty"})
+	want := "== empty ==\n\n\n\n"
+	if got != want {
+		t.Fatalf("empty table = %q, want %q", got, want)
+	}
+}
+
+func TestTableWriteSingleRow(t *testing.T) {
+	got := render(t, &Table{
+		Title:  "single",
+		Header: []string{"name", "value"},
+		Rows:   [][]string{{"x", "1"}},
+		Notes:  []string{"one note"},
+	})
+	want := strings.Join([]string{
+		"== single ==",
+		"name  value",
+		"-----------",
+		"x     1",
+		"note: one note",
+		"",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("single-row table:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestTableWriteRaggedRows pins the behavior for rows shorter and longer
+// than the header: short rows render their cells, extra cells beyond the
+// header still print, and column sizing never panics.
+func TestTableWriteRaggedRows(t *testing.T) {
+	got := render(t, &Table{
+		Title:  "ragged",
+		Header: []string{"a", "b", "c"},
+		Rows: [][]string{
+			{"only-a"},
+			{"x", "y", "z"},
+		},
+	})
+	if !strings.Contains(got, "only-a") {
+		t.Fatalf("short row lost:\n%s", got)
+	}
+	if !strings.Contains(got, "x       y  z") {
+		t.Fatalf("full row misaligned under widened first column:\n%s", got)
+	}
+}
+
+// TestTableWriteAlignment is the column-alignment golden: every column is
+// padded to its widest cell, separated by two spaces, with no trailing
+// padding after the last column.
+func TestTableWriteAlignment(t *testing.T) {
+	got := render(t, &Table{
+		Title:  "align",
+		Header: []string{"net", "LLPD", "x"},
+		Rows: [][]string{
+			{"a", "0.5", "1"},
+			{"longer-name", "10.125", "2"},
+		},
+	})
+	want := strings.Join([]string{
+		"== align ==",
+		"net          LLPD    x",
+		"----------------------",
+		"a            0.5     1",
+		"longer-name  10.125  2",
+		"",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("alignment golden mismatch:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasSuffix(line, " ") {
+			t.Fatalf("line %q has trailing padding", line)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+
+	"lowlat/internal/graph"
+	"lowlat/internal/routing"
+	"lowlat/internal/tm"
+)
+
+// Digest is a 64-bit content hash rendered as fixed-width hex in JSON, so
+// shard files stay greppable and keys survive tools that mangle large
+// integers.
+type Digest uint64
+
+// String renders the digest as 16 hex digits.
+func (d Digest) String() string { return fmt.Sprintf("%016x", uint64(d)) }
+
+// MarshalJSON implements json.Marshaler.
+func (d Digest) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + d.String() + `"`), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Digest) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("store: digest %s is not a hex string", b)
+	}
+	v, err := strconv.ParseUint(string(b[1:len(b)-1]), 16, 64)
+	if err != nil {
+		return fmt.Errorf("store: bad digest %s: %w", b, err)
+	}
+	*d = Digest(v)
+	return nil
+}
+
+// CellKey addresses one cell of the scenario cross-product: one traffic
+// matrix placed on one topology by one configured scheme. Keys are
+// content-derived — graph structure, matrix contents, scheme name and
+// scheme configuration — so the same cell produced by different drivers
+// (a sweep, a figure run, a facade call) lands on the same store entry.
+type CellKey struct {
+	// Graph is graph.Fingerprint: name, node names/coordinates, link
+	// endpoints/capacities/delays.
+	Graph Digest `json:"graph"`
+	// Matrix digests the tm serialization (node names, volumes, flow
+	// counts, weights).
+	Matrix Digest `json:"matrix"`
+	// Scheme is the scheme's Name().
+	Scheme string `json:"scheme"`
+	// Config digests the scheme knobs Name() does not encode (headroom
+	// value, path caps, ...) via routing.ConfigString.
+	Config Digest `json:"config"`
+}
+
+// String renders the key in its canonical, filename-safe form.
+func (k CellKey) String() string {
+	return "g" + k.Graph.String() + "-m" + k.Matrix.String() + "-c" + k.Config.String() + "-" + k.Scheme
+}
+
+// hash spreads keys across shards.
+func (k CellKey) hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(k.String()))
+	return h.Sum64()
+}
+
+// KeyFor computes the store key of one scenario cell.
+func KeyFor(g *graph.Graph, m *tm.Matrix, scheme routing.Scheme) CellKey {
+	return CellKey{
+		Graph:  Digest(g.Fingerprint()),
+		Matrix: MatrixDigest(g, m),
+		Scheme: scheme.Name(),
+		Config: ConfigDigest(scheme),
+	}
+}
+
+// MatrixDigest hashes a traffic matrix's canonical tm serialization
+// (which resolves node IDs to names through g, so the digest is stable
+// across separately built copies of the same topology).
+func MatrixDigest(g *graph.Graph, m *tm.Matrix) Digest {
+	h := fnv.New64a()
+	h.Write(tm.Marshal(g, m))
+	return Digest(h.Sum64())
+}
+
+// ConfigDigest hashes the scheme configuration that Name() leaves out.
+func ConfigDigest(scheme routing.Scheme) Digest {
+	h := fnv.New64a()
+	h.Write([]byte(routing.ConfigString(scheme)))
+	return Digest(h.Sum64())
+}

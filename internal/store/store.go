@@ -1,0 +1,385 @@
+// Package store is the persistent scenario-result store: an append-only,
+// sharded JSONL database of placement outcomes keyed by content-derived
+// cell keys (graph fingerprint, traffic-matrix digest, scheme name and
+// configuration). It is the substrate the resumable sweeps in
+// internal/sweep checkpoint into — a sweep killed mid-run reopens the
+// store and recomputes only the cells that never landed.
+//
+// The design favors crash-tolerance over cleverness, the same trade large
+// design-space studies (cISP's landscape sweeps, the Besta et al. path
+// diversity study) make: results append as single JSONL lines under a
+// per-shard lock, the index is rebuilt by scanning every shard at Open,
+// and a line torn by a crash mid-append is skipped (and counted) instead
+// of poisoning the file. Compact rewrites the shards with exactly the
+// indexed records, dropping duplicates and torn tails.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"lowlat/internal/routing"
+)
+
+// DefaultShards is the shard-file count Open uses. Sharding bounds
+// per-file lock contention when the engine's workers checkpoint
+// concurrently; reads always scan every shard-*.jsonl present, so a store
+// written with one shard count reopens fine under another.
+const DefaultShards = 8
+
+// Metrics is the stored outcome of one placement — the scalar summary
+// every experiment driver derives from a routing.Placement.
+type Metrics struct {
+	Congested  float64 `json:"congested"`
+	Stretch    float64 `json:"stretch"`
+	MaxStretch float64 `json:"max_stretch"`
+	MaxUtil    float64 `json:"max_util"`
+	Fits       bool    `json:"fits"`
+}
+
+// MetricsOf summarizes a placement into its stored form.
+func MetricsOf(p *routing.Placement) Metrics {
+	return Metrics{
+		Congested:  p.CongestedPairFraction(),
+		Stretch:    p.LatencyStretch(),
+		MaxStretch: p.MaxStretch(),
+		MaxUtil:    p.MaxUtilization(),
+		Fits:       p.Fits(),
+	}
+}
+
+// Meta labels a cell for humans and for query/export slicing. It carries
+// no identity — CellKey does that — so two runs labeling the same cell
+// differently still collide on the same entry (last write wins).
+type Meta struct {
+	Net      string  `json:"net"`
+	Class    string  `json:"class,omitempty"`
+	Seed     int64   `json:"seed"`
+	TM       int     `json:"tm"`
+	Scheme   string  `json:"scheme"`
+	Headroom float64 `json:"headroom"`
+	Load     float64 `json:"load"`
+	Locality float64 `json:"locality"`
+}
+
+// Result is one stored cell: key, labels, outcome.
+type Result struct {
+	Key     CellKey `json:"key"`
+	Meta    Meta    `json:"meta"`
+	Metrics Metrics `json:"metrics"`
+}
+
+// Store is an on-disk result store with an in-memory index. All methods
+// are safe for concurrent use within one process; concurrent writers from
+// separate processes are not supported (last Open wins on Compact).
+type Store struct {
+	dir    string
+	shards int
+
+	fmu   []sync.Mutex // one per write shard, ordered before imu
+	files []*os.File   // lazily opened append handles
+
+	imu     sync.RWMutex
+	index   map[CellKey]Result
+	skipped int // unparseable lines tolerated at Open
+}
+
+// Open creates dir if needed, scans every shard for existing results and
+// returns a store writing across DefaultShards shard files.
+func Open(dir string) (*Store, error) { return OpenSharded(dir, DefaultShards) }
+
+// OpenSharded is Open with an explicit write-shard count (tests use 1 to
+// make torn-tail layouts deterministic).
+func OpenSharded(dir string, shards int) (*Store, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:    dir,
+		shards: shards,
+		fmu:    make([]sync.Mutex, shards),
+		files:  make([]*os.File, shards),
+		index:  make(map[CellKey]Result),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// shardName returns the shard file name for write shard i.
+func shardName(i int) string { return fmt.Sprintf("shard-%03d.jsonl", i) }
+
+// load scans every shard-*.jsonl in the directory (not just the
+// configured write shards) and rebuilds the index. Lines that fail to
+// parse — torn tails from a killed writer, or stray corruption — are
+// counted and skipped; later records for a key replace earlier ones, so
+// within one file append order wins.
+func (s *Store) load() error {
+	paths, err := filepath.Glob(filepath.Join(s.dir, "shard-*.jsonl"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := s.loadShard(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) loadShard(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Result
+		if err := json.Unmarshal(line, &r); err != nil || r.Key == (CellKey{}) {
+			s.skipped++
+			continue
+		}
+		s.index[r.Key] = r
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	return nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len reports how many distinct cells are indexed.
+func (s *Store) Len() int {
+	s.imu.RLock()
+	defer s.imu.RUnlock()
+	return len(s.index)
+}
+
+// Skipped reports how many unparseable lines Open tolerated. A non-zero
+// count after a crash is expected (one torn tail line); callers surface
+// it so silent corruption never looks like a clean open.
+func (s *Store) Skipped() int {
+	s.imu.RLock()
+	defer s.imu.RUnlock()
+	return s.skipped
+}
+
+// Get looks a cell up by key.
+func (s *Store) Get(k CellKey) (Result, bool) {
+	s.imu.RLock()
+	defer s.imu.RUnlock()
+	r, ok := s.index[k]
+	return r, ok
+}
+
+// Put appends a result to its shard and indexes it. Re-putting a result
+// identical to the indexed one is a no-op (no duplicate line); a result
+// with the same key but different contents appends and replaces, so the
+// newest write wins on the next Open too. The line is written with a
+// single write syscall under the shard lock, which keeps concurrent
+// checkpoints from interleaving; a process killed mid-write leaves at
+// most one torn tail line, which the next Open skips.
+func (s *Store) Put(r Result) error {
+	s.imu.RLock()
+	prev, ok := s.index[r.Key]
+	s.imu.RUnlock()
+	if ok && prev == r {
+		return nil
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line = append(line, '\n')
+
+	shard := int(r.Key.hash() % uint64(s.shards))
+	s.fmu[shard].Lock()
+	f, err := s.shardFile(shard)
+	if err == nil {
+		_, err = f.Write(line)
+	}
+	s.fmu[shard].Unlock()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	s.imu.Lock()
+	s.index[r.Key] = r
+	s.imu.Unlock()
+	return nil
+}
+
+// shardFile lazily opens the append handle for a shard. If the file's
+// last line was torn by a crash (no trailing newline), a newline is
+// appended first so the next record starts on its own line instead of
+// concatenating onto the fragment. Callers hold the shard lock.
+func (s *Store) shardFile(shard int) (*os.File, error) {
+	if s.files[shard] != nil {
+		return s.files[shard], nil
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, shardName(shard)),
+		os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if n := st.Size(); n > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], n-1); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	s.files[shard] = f
+	return f, nil
+}
+
+// Results returns every indexed cell sorted by (net, seed, tm, scheme,
+// headroom, key) — a total order, so exports are byte-identical however
+// the cells were computed or recovered.
+func (s *Store) Results() []Result {
+	s.imu.RLock()
+	out := make([]Result, 0, len(s.index))
+	for _, r := range s.index {
+		out = append(out, r)
+	}
+	s.imu.RUnlock()
+	sort.Slice(out, func(a, b int) bool {
+		ra, rb := out[a], out[b]
+		if ra.Meta.Net != rb.Meta.Net {
+			return ra.Meta.Net < rb.Meta.Net
+		}
+		if ra.Meta.Seed != rb.Meta.Seed {
+			return ra.Meta.Seed < rb.Meta.Seed
+		}
+		if ra.Meta.TM != rb.Meta.TM {
+			return ra.Meta.TM < rb.Meta.TM
+		}
+		if ra.Meta.Scheme != rb.Meta.Scheme {
+			return ra.Meta.Scheme < rb.Meta.Scheme
+		}
+		if ra.Meta.Headroom != rb.Meta.Headroom {
+			return ra.Meta.Headroom < rb.Meta.Headroom
+		}
+		return ra.Key.String() < rb.Key.String()
+	})
+	return out
+}
+
+// Compact rewrites the store as exactly one line per indexed cell,
+// dropping superseded duplicates and torn tails. Shards are written to
+// temp files and renamed into place, so a crash mid-compact leaves either
+// the old or the new file, never a half of each; stale shard files
+// outside the configured write-shard set are removed.
+func (s *Store) Compact() error {
+	for i := range s.fmu {
+		s.fmu[i].Lock()
+	}
+	defer func() {
+		for i := range s.fmu {
+			s.fmu[i].Unlock()
+		}
+	}()
+	s.imu.Lock()
+	defer s.imu.Unlock()
+
+	// Close append handles: the files are about to be replaced.
+	for i, f := range s.files {
+		if f != nil {
+			f.Close()
+			s.files[i] = nil
+		}
+	}
+
+	lines := make([][]byte, s.shards)
+	keys := make([]CellKey, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].String() < keys[b].String() })
+	for _, k := range keys {
+		line, err := json.Marshal(s.index[k])
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		shard := int(k.hash() % uint64(s.shards))
+		lines[shard] = append(lines[shard], line...)
+		lines[shard] = append(lines[shard], '\n')
+	}
+
+	existing, err := filepath.Glob(filepath.Join(s.dir, "shard-*.jsonl"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	fresh := make(map[string]bool, s.shards)
+	for i := 0; i < s.shards; i++ {
+		path := filepath.Join(s.dir, shardName(i))
+		fresh[path] = true
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, lines[i], 0o644); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	for _, p := range existing {
+		if !fresh[p] {
+			if err := os.Remove(p); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+		}
+	}
+	s.skipped = 0
+	return nil
+}
+
+// Close releases the append handles. The store must not be used after.
+func (s *Store) Close() error {
+	for i := range s.fmu {
+		s.fmu[i].Lock()
+	}
+	defer func() {
+		for i := range s.fmu {
+			s.fmu[i].Unlock()
+		}
+	}()
+	var first error
+	for i, f := range s.files {
+		if f != nil {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+			s.files[i] = nil
+		}
+	}
+	return first
+}

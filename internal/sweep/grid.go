@@ -1,0 +1,286 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lowlat/internal/graph"
+	"lowlat/internal/routing"
+	"lowlat/internal/topo"
+)
+
+// Grid declares a sweep's cross-product: topologies x matrix seeds x
+// schemes x headroom points, at one (load, locality) operating point.
+// Expansion is deterministic, so the same grid always plans the same
+// cells in the same order.
+type Grid struct {
+	// Nets names the topology set. Each entry is one of:
+	//   - a zoo or named network ("gts-like", "ring-12", "google-like")
+	//   - "zoo" for the whole synthetic zoo
+	//   - "class:<c>" for every zoo network of one structural class
+	//     ("class:grid", "class:intercontinental", ...)
+	//   - "randomgeo:<n>:<seed>" for a generated Waxman mesh family member
+	//   - "multiregion:<R>x<P>:<seed>" for a generated R-region topology
+	//     with P PoPs per region
+	Nets []string
+	// MaxNets caps the expanded topology set (0 = no cap), keeping zoo
+	// order so the class mix survives.
+	MaxNets int
+	// Seeds are the traffic-matrix seeds; each seed generates one
+	// independent calibrated matrix per topology.
+	Seeds []int64
+	// Schemes are routing.ByName names (sp, b4, mplste, minmax,
+	// minmax-k10, ldr).
+	Schemes []string
+	// Headrooms are the reserved-capacity points swept for schemes with
+	// a headroom dial; schemes without one run once regardless. Default
+	// {0}.
+	Headrooms []float64
+	// Load is the target min-cut utilization matrices are calibrated to
+	// (default 1/1.3, the paper's standard point).
+	Load float64
+	// Locality is the traffic locality parameter ℓ (default 1).
+	Locality float64
+}
+
+func (g Grid) withDefaults() Grid {
+	if len(g.Headrooms) == 0 {
+		g.Headrooms = []float64{0}
+	}
+	if g.Load <= 0 {
+		g.Load = 1 / 1.3
+	}
+	if g.Locality == 0 {
+		g.Locality = 1
+	}
+	return g
+}
+
+// validate rejects grids that cannot expand.
+func (g Grid) validate() error {
+	if len(g.Nets) == 0 {
+		return fmt.Errorf("sweep: grid has no nets")
+	}
+	if len(g.Seeds) == 0 {
+		return fmt.Errorf("sweep: grid has no seeds")
+	}
+	if len(g.Schemes) == 0 {
+		return fmt.Errorf("sweep: grid has no schemes")
+	}
+	for _, name := range g.Schemes {
+		if _, err := routing.ByName(name, 0); err != nil {
+			return fmt.Errorf("%w (have %v)", err, routing.SchemeNames())
+		}
+	}
+	return nil
+}
+
+// ParseGrid parses the compact grid syntax the CLI's -grid flag takes:
+// semicolon-separated key=value pairs with comma-separated list values,
+//
+//	nets=gts-like,ring-12;seeds=1,2,3;schemes=sp,ldr;headrooms=0,0.11
+//
+// Keys: nets, max-nets, seeds, schemes, headrooms, load, locality.
+func ParseGrid(spec string) (Grid, error) {
+	var g Grid
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Grid{}, fmt.Errorf("sweep: grid term %q is not key=value", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "nets":
+			g.Nets = splitList(val)
+		case "max-nets":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Grid{}, fmt.Errorf("sweep: bad max-nets %q", val)
+			}
+			g.MaxNets = n
+		case "seeds":
+			for _, s := range splitList(val) {
+				v, err := strconv.ParseInt(s, 10, 64)
+				if err != nil {
+					return Grid{}, fmt.Errorf("sweep: bad seed %q", s)
+				}
+				g.Seeds = append(g.Seeds, v)
+			}
+		case "schemes":
+			g.Schemes = splitList(val)
+		case "headrooms":
+			for _, s := range splitList(val) {
+				v, err := strconv.ParseFloat(s, 64)
+				if err != nil || v < 0 || v >= 1 {
+					return Grid{}, fmt.Errorf("sweep: bad headroom %q", s)
+				}
+				g.Headrooms = append(g.Headrooms, v)
+			}
+		case "load":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || v <= 0 || v > 1 {
+				return Grid{}, fmt.Errorf("sweep: bad load %q", val)
+			}
+			g.Load = v
+		case "locality":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || v < 0 {
+				return Grid{}, fmt.Errorf("sweep: bad locality %q", val)
+			}
+			g.Locality = v
+		default:
+			return Grid{}, fmt.Errorf("sweep: unknown grid key %q", key)
+		}
+	}
+	return g, nil
+}
+
+func splitList(val string) []string {
+	var out []string
+	for _, s := range strings.Split(val, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// netSpec is one resolved topology of the sweep.
+type netSpec struct {
+	Name  string
+	Class string
+	Graph *graph.Graph
+}
+
+// resolveNets expands the grid's topology terms into built graphs,
+// deduplicated by name, preserving first-mention order.
+func resolveNets(g Grid) ([]netSpec, error) {
+	var out []netSpec
+	seen := make(map[string]bool)
+	full := func() bool { return g.MaxNets > 0 && len(out) >= g.MaxNets }
+	add := func(name, class string, build func() *graph.Graph) {
+		// Checking the cap before build keeps "nets=zoo;max-nets=5" from
+		// constructing the 111 graphs it would immediately discard.
+		if !seen[name] && !full() {
+			seen[name] = true
+			out = append(out, netSpec{Name: name, Class: class, Graph: build()})
+		}
+	}
+	for _, term := range g.Nets {
+		switch {
+		case term == "zoo":
+			for _, e := range topo.Zoo() {
+				add(e.Name, string(e.Class), e.Build)
+			}
+		case strings.HasPrefix(term, "class:"):
+			class := topo.Class(strings.TrimPrefix(term, "class:"))
+			matched := false
+			for _, e := range topo.Zoo() {
+				if e.Class == class {
+					matched = true
+					add(e.Name, string(e.Class), e.Build)
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("sweep: no zoo networks of class %q", class)
+			}
+		case strings.HasPrefix(term, "randomgeo:"):
+			name, build, err := parseRandomGeo(term)
+			if err != nil {
+				return nil, err
+			}
+			add(name, "generated", build)
+		case strings.HasPrefix(term, "multiregion:"):
+			name, build, err := parseMultiRegion(term)
+			if err != nil {
+				return nil, err
+			}
+			add(name, "generated", build)
+		default:
+			e, ok := topo.ByName(term)
+			if !ok {
+				return nil, fmt.Errorf("sweep: unknown network %q", term)
+			}
+			add(e.Name, string(e.Class), e.Build)
+		}
+		if full() {
+			break
+		}
+	}
+	return out, nil
+}
+
+// parseRandomGeo expands "randomgeo:<n>:<seed>" into a deterministic
+// Waxman mesh from the zoo generators' family (zoo "mesh" parameters).
+func parseRandomGeo(term string) (string, func() *graph.Graph, error) {
+	parts := strings.Split(term, ":")
+	if len(parts) != 3 {
+		return "", nil, fmt.Errorf("sweep: want randomgeo:<n>:<seed>, got %q", term)
+	}
+	n, err1 := strconv.Atoi(parts[1])
+	seed, err2 := strconv.ParseInt(parts[2], 10, 64)
+	if err1 != nil || err2 != nil || n < 3 {
+		return "", nil, fmt.Errorf("sweep: bad randomgeo spec %q", term)
+	}
+	name := fmt.Sprintf("randomgeo-%d-s%d", n, seed)
+	return name, func() *graph.Graph {
+		return topo.RandomGeo(name, n, 3200, 2300, 0.4, 0.3, topo.Cap10G, seed)
+	}, nil
+}
+
+// parseMultiRegion expands "multiregion:<R>x<P>:<seed>" into a
+// deterministic intercontinental topology (3 long-haul links per adjacent
+// region pair, the zoo's middle setting).
+func parseMultiRegion(term string) (string, func() *graph.Graph, error) {
+	parts := strings.Split(term, ":")
+	if len(parts) != 3 {
+		return "", nil, fmt.Errorf("sweep: want multiregion:<R>x<P>:<seed>, got %q", term)
+	}
+	rp := strings.Split(parts[1], "x")
+	if len(rp) != 2 {
+		return "", nil, fmt.Errorf("sweep: bad multiregion shape %q", parts[1])
+	}
+	regions, err1 := strconv.Atoi(rp[0])
+	per, err2 := strconv.Atoi(rp[1])
+	seed, err3 := strconv.ParseInt(parts[2], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || regions < 2 || per < 2 {
+		return "", nil, fmt.Errorf("sweep: bad multiregion spec %q", term)
+	}
+	name := fmt.Sprintf("multiregion-%dx%d-s%d", regions, per, seed)
+	return name, func() *graph.Graph {
+		return topo.MultiRegion(name, regions, per, 1600, 5200, 3, topo.Cap40G, topo.Cap100G, seed)
+	}, nil
+}
+
+// schemePoints expands schemes x headrooms, collapsing the headroom axis
+// for schemes without a dial so they appear exactly once.
+func schemePoints(g Grid) ([]routing.Scheme, error) {
+	headrooms := append([]float64(nil), g.Headrooms...)
+	sort.Float64s(headrooms)
+	var out []routing.Scheme
+	for _, name := range g.Schemes {
+		probe, err := routing.ByName(name, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		dialed := routing.Headroom(probe) != 0
+		if !dialed {
+			out = append(out, probe)
+			continue
+		}
+		for _, h := range headrooms {
+			s, err := routing.ByName(name, h)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}

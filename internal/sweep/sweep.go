@@ -1,0 +1,222 @@
+// Package sweep is the resumable sweep orchestrator: it expands a
+// declarative Grid into scenario cells, consults the persistent result
+// store for cells that already ran, dispatches only the missing ones
+// through the parallel engine, and checkpoints each result the moment it
+// lands. A sweep killed mid-run (power loss, kill -9, ctrl-C) is rerun
+// against the same store and completes without recomputing a single
+// finished cell — the property the paper's ~100x100xschemes landscape
+// study needs to grow toward production scale one interrupted batch at a
+// time.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"lowlat/internal/engine"
+	"lowlat/internal/routing"
+	"lowlat/internal/store"
+	"lowlat/internal/tmgen"
+)
+
+// Cell is one planned unit of sweep work with its resolved inputs and
+// precomputed store key.
+type Cell struct {
+	Key  store.CellKey
+	Meta store.Meta
+	// Scenario holds the built graph, generated matrix and configured
+	// scheme.
+	Scenario engine.Scenario
+}
+
+// Plan expands a grid into cells in deterministic nested order (net x
+// seed x scheme-point). Matrix generation — the calibration LP solves —
+// fans out through a pool of the given width, but the returned order
+// never depends on it.
+//
+// Because cell keys are content-derived, planning must regenerate every
+// (net, seed) matrix to digest it, so a resume reuses all placement
+// solves but still pays the calibration solves. A derivation-keyed
+// digest memo could make resume near-free; it is deliberately left out
+// until the calibration share of sweep time warrants trading away
+// pure content addressing.
+func Plan(ctx context.Context, grid Grid, workers int) ([]Cell, error) {
+	grid = grid.withDefaults()
+	if err := grid.validate(); err != nil {
+		return nil, err
+	}
+	nets, err := resolveNets(grid)
+	if err != nil {
+		return nil, err
+	}
+	schemes, err := schemePoints(grid)
+	if err != nil {
+		return nil, err
+	}
+
+	// One calibrated matrix per (net, seed), generated concurrently.
+	type job struct {
+		net  int
+		seed int64
+	}
+	var jobs []job
+	for i := range nets {
+		for _, seed := range grid.Seeds {
+			jobs = append(jobs, job{net: i, seed: seed})
+		}
+	}
+	mats, err := engine.Map(ctx, workers, jobs,
+		func(_ context.Context, _ int, j job) (*tmgen.Result, error) {
+			res, err := tmgen.Generate(nets[j.net].Graph, tmgen.Config{
+				Seed:          j.seed,
+				Locality:      grid.Locality,
+				NoLocality:    grid.Locality == 0,
+				TargetMaxUtil: grid.Load,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s seed %d: %w", nets[j.net].Name, j.seed, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	var cells []Cell
+	for ji, j := range jobs {
+		n := nets[j.net]
+		m := mats[ji].Matrix
+		for _, scheme := range schemes {
+			cells = append(cells, Cell{
+				Key: store.KeyFor(n.Graph, m, scheme),
+				Meta: store.Meta{
+					Net:      n.Name,
+					Class:    n.Class,
+					Seed:     j.seed,
+					Scheme:   scheme.Name(),
+					Headroom: routing.Headroom(scheme),
+					Load:     grid.Load,
+					Locality: grid.Locality,
+				},
+				Scenario: engine.Scenario{
+					Tag:    fmt.Sprintf("%s/s%d/%s", n.Name, j.seed, scheme.Name()),
+					Graph:  n.Graph,
+					Matrix: m,
+					Scheme: scheme,
+				},
+			})
+		}
+	}
+	return cells, nil
+}
+
+// Report summarizes one orchestrator run.
+type Report struct {
+	// Planned is the grid's total cell count.
+	Planned int
+	// Reused cells were already in the store and never reached the
+	// engine.
+	Reused int
+	// Computed cells went through a placement solve this run.
+	Computed int
+	// Failed cells errored; their errors are joined into Run's returned
+	// error.
+	Failed int
+	// SkippedLines reports unparseable store lines tolerated when the
+	// store was opened (a torn tail after a kill), surfaced here so
+	// resuming callers see the recovery happen.
+	SkippedLines int
+}
+
+// Options tunes Run.
+type Options struct {
+	// Workers bounds the engine pool (0 = one per CPU).
+	Workers int
+	// Recompute ignores store hits and re-places every cell (results
+	// still checkpoint, superseding the stored ones).
+	Recompute bool
+	// OnResult, when non-nil, is called after each computed cell has
+	// been checkpointed, with the count of cells computed so far this
+	// run. Calls arrive in completion order, one at a time.
+	OnResult func(computed int, r store.Result)
+	// OnPlace, when non-nil, is called from a worker goroutine just
+	// before each placement solve starts — the precise count of engine
+	// invocations. Progress meters and interruption tests hang off it;
+	// cancelling the run context inside OnPlace aborts the cell before
+	// it computes.
+	OnPlace func(c Cell)
+}
+
+// Run plans the grid, skips cells the store already holds, places the
+// missing ones through the engine and checkpoints every result as it
+// lands. The returned report counts reused versus computed cells; on
+// cancellation or per-cell failure the error is returned *after* all
+// landed results were persisted, so a rerun resumes instead of starting
+// over.
+func Run(ctx context.Context, st *store.Store, grid Grid, opts Options) (*Report, error) {
+	cells, err := Plan(ctx, grid, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Planned: len(cells), SkippedLines: st.Skipped()}
+
+	var missing []Cell
+	for _, c := range cells {
+		if !opts.Recompute {
+			if _, ok := st.Get(c.Key); ok {
+				rep.Reused++
+				continue
+			}
+		}
+		missing = append(missing, c)
+	}
+	if len(missing) == 0 {
+		return rep, nil
+	}
+
+	// Cells go through engine.Stream against one shared solver cache (the
+	// same fan-out shape Runner gives the figure drivers), with the
+	// OnPlace probe ahead of each solve so the engine-invocation count is
+	// observable and a cancellation between cells skips the solve.
+	cache := engine.NewRunner(opts.Workers).Cache()
+	place := func(ctx context.Context, _ int, c Cell) (store.Result, error) {
+		if opts.OnPlace != nil {
+			opts.OnPlace(c)
+		}
+		if err := ctx.Err(); err != nil {
+			return store.Result{}, err
+		}
+		p, err := cache.Place(c.Scenario.Scheme, c.Scenario.Graph, c.Scenario.Matrix)
+		if err != nil {
+			return store.Result{}, fmt.Errorf("%s: %w", c.Scenario.Tag, err)
+		}
+		return store.Result{Key: c.Key, Meta: c.Meta, Metrics: store.MetricsOf(p)}, nil
+	}
+	var errs []error
+	for res := range engine.Stream(ctx, opts.Workers, missing, place) {
+		if res.Err != nil {
+			if !errors.Is(res.Err, context.Canceled) && !errors.Is(res.Err, context.DeadlineExceeded) {
+				rep.Failed++
+				errs = append(errs, res.Err)
+			}
+			continue
+		}
+		result := res.Value
+		if err := st.Put(result); err != nil {
+			// A checkpoint failure poisons resumability; stop the sweep.
+			return rep, fmt.Errorf("sweep: checkpoint: %w", err)
+		}
+		rep.Computed++
+		if opts.OnResult != nil {
+			opts.OnResult(rep.Computed, result)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	if len(errs) > 0 {
+		return rep, fmt.Errorf("sweep: %d of %d cells failed: %w", rep.Failed, rep.Planned, errors.Join(errs...))
+	}
+	return rep, nil
+}
