@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck build short bench race sweep-smoke clean
+.PHONY: ci vet staticcheck build short bench race sweep-smoke serve-smoke clean
 
 ci: vet staticcheck build short bench
 
@@ -45,6 +45,13 @@ sweep-smoke:
 	$(GO) run ./cmd/lowlat sweep -store $(SWEEP_STORE) -grid "nets=star-6,ring-8;seeds=1,2;schemes=sp,minmax"
 	$(GO) run ./cmd/lowlat export -store $(SWEEP_STORE) -format csv
 
+# Serving smoke test: seed a tiny store, boot lowlatd on an ephemeral
+# port, curl query/place/stats end to end, and require a clean SIGTERM
+# shutdown. The store directory is gitignored; `make clean` removes it.
+SERVE_STORE ?= .servestore
+serve-smoke:
+	sh ./scripts/serve_smoke.sh $(SERVE_STORE)
+
 clean:
 	rm -f BENCH_ci.json
-	rm -rf $(SWEEP_STORE)
+	rm -rf $(SWEEP_STORE) $(SERVE_STORE)

@@ -465,10 +465,27 @@ func openStore(dir string, stderr io.Writer) (*store.Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	reportSkipped(st, dir, stderr)
+	return st, nil
+}
+
+// openStoreReadOnly is openStore for the pure readers (query, export):
+// nothing is created or healed, so they can run beside a writing sweep or
+// daemon, and a mistyped store path errors instead of materializing an
+// empty directory.
+func openStoreReadOnly(dir string, stderr io.Writer) (*store.Store, error) {
+	st, err := store.OpenReadOnly(dir)
+	if err != nil {
+		return nil, err
+	}
+	reportSkipped(st, dir, stderr)
+	return st, nil
+}
+
+func reportSkipped(st *store.Store, dir string, stderr io.Writer) {
 	if n := st.Skipped(); n > 0 {
 		fmt.Fprintf(stderr, "lowlat: store %s: skipped %d corrupt line(s) from an interrupted run\n", dir, n)
 	}
-	return st, nil
 }
 
 func cmdSweep(args []string, stdout, stderr io.Writer) error {
@@ -506,8 +523,9 @@ func cmdSweep(args []string, stdout, stderr io.Writer) error {
 		Recompute: !*resume,
 	})
 	if rep != nil {
-		fmt.Fprintf(stdout, "sweep: %d cells planned, %d reused, %d computed, %d failed (store %s: %d cells)\n",
-			rep.Planned, rep.Reused, rep.Computed, rep.Failed, *storeDir, st.Len())
+		fmt.Fprintf(stdout, "sweep: %d cells planned, %d reused, %d computed, %d failed (store %s: %d cells; %d matrices generated, %d memo hits)\n",
+			rep.Planned, rep.Reused, rep.Computed, rep.Failed, *storeDir, st.Len(),
+			rep.Generated, rep.MemoHits)
 	}
 	if runErr != nil {
 		return runErr
@@ -554,7 +572,7 @@ func cmdQuery(args []string, stdout, stderr io.Writer) error {
 	if *storeDir == "" {
 		return fmt.Errorf("-store is required")
 	}
-	st, err := openStore(*storeDir, stderr)
+	st, err := openStoreReadOnly(*storeDir, stderr)
 	if err != nil {
 		return err
 	}
@@ -583,7 +601,7 @@ func cmdExport(args []string, stdout, stderr io.Writer) error {
 	if *storeDir == "" {
 		return fmt.Errorf("-store is required")
 	}
-	st, err := openStore(*storeDir, stderr)
+	st, err := openStoreReadOnly(*storeDir, stderr)
 	if err != nil {
 		return err
 	}

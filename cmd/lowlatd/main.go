@@ -1,0 +1,109 @@
+// Command lowlatd is the query-serving daemon: it mounts a result store
+// and answers landscape questions over HTTP — filtered cell listings,
+// per-class CDF summaries, and on-demand placement of cells no sweep has
+// computed yet, which it persists so the next request (from any client)
+// is a hit.
+//
+// Usage:
+//
+//	lowlatd -store results                        serve on 127.0.0.1:8080
+//	lowlatd -store results -addr 127.0.0.1:0      ephemeral port (printed)
+//	lowlatd -store results -readonly              never write the store
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz                       liveness + store cell count
+//	GET  /v1/query?net=&class=&scheme=&seed=&headroom=
+//	GET  /v1/cell?key=<cell key>
+//	GET  /v1/summary?points=11&...      per-class CDFs over the filter
+//	POST /v1/place                      {"net","seed","scheme","headroom","load","locality"}
+//	GET  /v1/stats                      hit/miss/coalesce/in-flight counters
+//
+// SIGINT/SIGTERM shut the daemon down gracefully, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lowlat/internal/serve"
+	"lowlat/internal/store"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes one daemon invocation and returns the process exit code:
+// 0 on clean shutdown, 1 on runtime errors, 2 on usage errors. Keeping
+// every exit path in a context-cancellable function makes the daemon
+// testable end to end without processes or signals.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lowlatd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", "", "result-store directory (required)")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks one; the bound address is printed)")
+	readonly := fs.Bool("readonly", false, "mount the store read-only: /v1/place serves stored cells but never computes")
+	workers := fs.Int("workers", 0, "engine worker pool size (0 = one per CPU)")
+	maxInflight := fs.Int("max-inflight", 0, "admitted place computations before 429 (0 = 4x workers)")
+	cacheSize := fs.Int("cache", 0, "LRU response-cache entries (0 = 512)")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *storeDir == "" {
+		fmt.Fprintln(stderr, "lowlatd: -store is required")
+		return 1
+	}
+
+	var st *store.Store
+	var err error
+	if *readonly {
+		st, err = store.OpenReadOnly(*storeDir)
+	} else {
+		st, err = store.Open(*storeDir)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "lowlatd: %v\n", err)
+		return 1
+	}
+	defer st.Close()
+	if n := st.Skipped(); n > 0 {
+		fmt.Fprintf(stderr, "lowlatd: store %s: skipped %d corrupt line(s) from an interrupted run\n", *storeDir, n)
+	}
+
+	srv := serve.New(st, serve.Options{
+		Workers:      *workers,
+		MaxInflight:  *maxInflight,
+		CacheSize:    *cacheSize,
+		DrainTimeout: *drain,
+	})
+	mode := "read-write"
+	if *readonly {
+		mode = "read-only"
+	}
+	err = srv.ListenAndServe(ctx, *addr, func(bound net.Addr) {
+		fmt.Fprintf(stdout, "lowlatd: serving store %s (%d cells, %d memo entries, %s) on http://%s\n",
+			*storeDir, st.Len(), st.MemoLen(), mode, bound)
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "lowlatd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "lowlatd: shut down cleanly")
+	return 0
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lowlat/internal/store"
+	"lowlat/internal/sweep"
+)
+
+// syncBuffer is a goroutine-safe writer: the daemon goroutine writes
+// while the test polls for the bound address.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestExitCodes(t *testing.T) {
+	ctx := context.Background()
+	var out, errOut bytes.Buffer
+	if code := run(ctx, []string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+	if code := run(ctx, []string{"-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h exit = %d, want 0", code)
+	}
+	errOut.Reset()
+	if code := run(ctx, nil, &out, &errOut); code != 1 {
+		t.Fatalf("missing -store exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "-store is required") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+	// A read-only mount of a store that does not exist must fail loudly
+	// instead of serving an empty directory.
+	errOut.Reset()
+	missing := t.TempDir() + "/no-such-store"
+	if code := run(ctx, []string{"-store", missing, "-readonly"}, &out, &errOut); code != 1 {
+		t.Fatalf("missing read-only store exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), missing) {
+		t.Fatalf("stderr does not name the store: %q", errOut.String())
+	}
+}
+
+var urlRE = regexp.MustCompile(`http://[0-9.:]+`)
+
+// TestServeEndToEnd boots the daemon on an ephemeral port, seeds the
+// store through a sweep first, then exercises query, place (a stored and
+// a computed cell), stats, and clean SIGTERM-equivalent shutdown via
+// context cancellation — the in-process twin of scripts/serve_smoke.sh.
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := sweep.Grid{Nets: []string{"star-6"}, Seeds: []int64{1}, Schemes: []string{"sp"}}
+	if _, err := sweep.Run(context.Background(), st, grid, sweep.Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	var errOut syncBuffer
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run(ctx, []string{"-store", dir, "-addr", "127.0.0.1:0", "-workers", "1"}, &out, &errOut)
+	}()
+
+	var base string
+	deadline := time.After(30 * time.Second)
+	for base == "" {
+		if m := urlRE.FindString(out.String()); m != "" {
+			base = m
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("daemon never printed its address; stdout=%q stderr=%q", out.String(), errOut.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	getJSON := func(path string, into any) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, body)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var q struct {
+		Count int `json:"count"`
+	}
+	getJSON("/v1/query", &q)
+	if q.Count != 1 {
+		t.Fatalf("query count = %d, want 1 swept cell", q.Count)
+	}
+
+	place := func(scheme string) string {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/place", "application/json",
+			strings.NewReader(`{"net":"star-6","seed":1,"scheme":"`+scheme+`"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var pr struct {
+			Source string `json:"source"`
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("place %s = %d: %s", scheme, resp.StatusCode, body)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr.Source
+	}
+	if src := place("sp"); src != "store" {
+		t.Fatalf("swept cell source = %q, want store", src)
+	}
+	if src := place("minmax"); src != "computed" {
+		t.Fatalf("new cell source = %q, want computed", src)
+	}
+	if src := place("minmax"); src != "cache" {
+		t.Fatalf("repeat cell source = %q, want cache", src)
+	}
+
+	var stats struct {
+		StoreCells int   `json:"store_cells"`
+		Computed   int64 `json:"computed"`
+		CacheHits  int64 `json:"cache_hits"`
+	}
+	getJSON("/v1/stats", &stats)
+	if stats.StoreCells != 2 || stats.Computed != 1 || stats.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want 2 cells, 1 computed, 1 cache hit", stats)
+	}
+
+	cancel()
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("daemon exit = %d, want 0; stderr=%q", code, errOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "shut down cleanly") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+
+	// The computed cell persisted: a fresh read-only open sees it.
+	ro, err := store.OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if ro.Len() != 2 {
+		t.Fatalf("store has %d cells after daemon exit, want 2", ro.Len())
+	}
+}

@@ -16,7 +16,10 @@
 // crash-tolerant scenario-result store (OpenResultStore) with a
 // resumable sweep orchestrator over it (RunSweep) that recomputes only
 // the cells a previous — possibly killed — run never finished, and
-// slices the accumulated results into CSV/JSON (ExportSweep).
+// slices the accumulated results into CSV/JSON (ExportSweep); and the
+// serving layer: an always-on HTTP query daemon over a result store
+// (Serve, cmd/lowlatd) with request coalescing, LRU caching, bounded
+// on-demand computation and a typed client (NewServeClient).
 //
 // The implementation lives under internal/:
 //
@@ -47,8 +50,14 @@
 //     by (graph fingerprint, matrix digest, scheme name, scheme config),
 //     with torn-tail recovery and compaction
 //   - internal/sweep — the declarative sweep grid, the resumable
-//     orchestrator that dispatches only store-missing cells, and the
-//     CSV/JSON exporters
+//     orchestrator that dispatches only store-missing cells (consulting
+//     the store's calibration memo to skip matrix regeneration), and
+//     the CSV/JSON exporters
+//   - internal/serve — the query-serving daemon: an HTTP API over a
+//     result store with singleflight-coalesced on-demand placement, an
+//     LRU over content keys, 429 backpressure beyond a bounded
+//     in-flight computation limit, per-class CDF summaries, stats
+//     counters, graceful drain, and the typed client
 //   - internal/experiments — one driver per results figure plus
 //     fig_dynamics, all routed through the engine; the landscape and
 //     headroom drivers optionally checkpoint into a result store

@@ -1,0 +1,108 @@
+// Query daemon: the serving layer end to end in one process. Seeds a
+// result store with a small sweep, mounts it under an HTTP query server
+// on an ephemeral port, then talks to it through the typed client the
+// way an operator's tooling would: filtered listing, a place request a
+// sweep already answered (store hit), a place request nothing computed
+// yet (computed on demand and persisted), the same request again (LRU
+// cache hit), a per-class landscape summary, and the daemon's counters.
+//
+// Against a long-running deployment the client half is all you need:
+//
+//	c := lowlat.NewServeClient("http://lowlatd.internal:8080")
+//	cell, err := c.Place(ctx, lowlat.PlaceRequest{Net: "gts-like", Seed: 1, Scheme: "ldr", Headroom: 0.1})
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+
+	"lowlat"
+)
+
+func main() {
+	dir := "query-daemon.store"
+	st, err := lowlat.OpenResultStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Seed the store the batch way: one swept scheme.
+	grid, err := lowlat.ParseSweepGrid("nets=star-6,ring-8;seeds=1;schemes=sp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := lowlat.RunSweep(ctx, st, grid, lowlat.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("seeded store: %d cells (%d computed this run)\n\n", st.Len(), rep.Computed)
+
+	// Serve it. Port 0 picks a free port; notify hands it back.
+	bound := make(chan net.Addr, 1)
+	served := make(chan error, 1)
+	go func() {
+		served <- lowlat.Serve(ctx, st, "127.0.0.1:0", lowlat.ServeOptions{},
+			func(a net.Addr) { bound <- a })
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-bound:
+	case err := <-served:
+		log.Fatal(err)
+	}
+	c := lowlat.NewServeClient("http://" + addr.String())
+	fmt.Printf("daemon listening on http://%s\n\n", addr)
+
+	results, err := c.Query(ctx, lowlat.SweepFilter{Scheme: "sp"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query scheme=sp: %d cells\n", len(results))
+
+	show := func(req lowlat.PlaceRequest) {
+		resp, err := c.Place(ctx, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("place %-22s seed %d %-8s -> %-8s stretch %.3f, max-util %.3f, fits %v\n",
+			req.Net, req.Seed, req.Scheme, resp.Source,
+			resp.Result.Metrics.Stretch, resp.Result.Metrics.MaxUtil, resp.Result.Metrics.Fits)
+	}
+	// Swept cell: served from the store, key derived from the
+	// calibration memo with no matrix regeneration.
+	show(lowlat.PlaceRequest{Net: "star-6", Seed: 1, Scheme: "sp"})
+	// New cell: computed on demand, persisted for every later client.
+	show(lowlat.PlaceRequest{Net: "star-6", Seed: 1, Scheme: "minmax"})
+	// Same cell again: response-cache hit.
+	show(lowlat.PlaceRequest{Net: "star-6", Seed: 1, Scheme: "minmax"})
+
+	sum, err := c.Summary(ctx, lowlat.SweepFilter{}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsummary: %d cells in %d classes\n", sum.Cells, len(sum.Classes))
+	for class, cs := range sum.Classes {
+		fmt.Printf("  %-10s %d cells, %d nets, fit %.0f%%, stretch median %.3f\n",
+			class, cs.Cells, cs.Nets, cs.FitFraction*100, cs.Metrics["stretch"][2].V)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstats: %d store cells | hits: cache %d, store %d, memo %d | coalesced %d, computed %d, rejected %d\n",
+		stats.StoreCells, stats.CacheHits, stats.StoreHits, stats.MemoHits,
+		stats.Coalesced, stats.Computed, stats.Rejected)
+
+	cancel()
+	if err := <-served; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("daemon drained and stopped")
+}

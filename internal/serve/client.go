@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"lowlat/internal/store"
+	"lowlat/internal/sweep"
+)
+
+// Client is a typed client for a running daemon, mirroring the server's
+// endpoints one method each. The zero HTTPClient means
+// http.DefaultClient.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (timeouts, test servers).
+	HTTPClient *http.Client
+}
+
+// NewClient returns a Client for the daemon at baseURL.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+// StatusError is a non-2xx daemon response: the HTTP status code plus the
+// server's error message. Callers distinguish backpressure
+// (http.StatusTooManyRequests) from hard failures through Code.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes a 2xx JSON body into out.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<26))
+	if err != nil {
+		return fmt.Errorf("serve: read response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := string(bytes.TrimSpace(body))
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &StatusError{Code: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("serve: decode response: %w", err)
+	}
+	return nil
+}
+
+func (c *Client) get(ctx context.Context, path string, query url.Values, out any) error {
+	u := c.BaseURL + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return c.do(req, out)
+}
+
+// filterValues renders a sweep.Filter as the query parameters the server
+// parses back with the same presence semantics.
+func filterValues(f sweep.Filter) url.Values {
+	q := url.Values{}
+	if f.Net != "" {
+		q.Set("net", f.Net)
+	}
+	if f.Class != "" {
+		q.Set("class", f.Class)
+	}
+	if f.Scheme != "" {
+		q.Set("scheme", f.Scheme)
+	}
+	if f.Seed != nil {
+		q.Set("seed", strconv.FormatInt(*f.Seed, 10))
+	}
+	if f.Headroom != nil {
+		q.Set("headroom", strconv.FormatFloat(*f.Headroom, 'g', -1, 64))
+	}
+	return q
+}
+
+// Query lists stored cells matching the filter.
+func (c *Client) Query(ctx context.Context, f sweep.Filter) ([]store.Result, error) {
+	var out QueryResponse
+	if err := c.get(ctx, "/v1/query", filterValues(f), &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Cell looks one cell up by its canonical key string.
+func (c *Client) Cell(ctx context.Context, key string) (store.Result, error) {
+	q := url.Values{}
+	q.Set("key", key)
+	var out CellResponse
+	if err := c.get(ctx, "/v1/cell", q, &out); err != nil {
+		return store.Result{}, err
+	}
+	return out.Result, nil
+}
+
+// Summary fetches the per-class CDF aggregate for the filter slice.
+// points <= 0 takes the server default.
+func (c *Client) Summary(ctx context.Context, f sweep.Filter, points int) (*Summary, error) {
+	q := filterValues(f)
+	if points > 0 {
+		q.Set("points", strconv.Itoa(points))
+	}
+	var out Summary
+	if err := c.get(ctx, "/v1/summary", q, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Place asks the daemon for one cell, computing it if no run has stored
+// it yet. A *StatusError with Code 429 means the daemon's computation
+// limit is reached — retry later.
+func (c *Client) Place(ctx context.Context, preq PlaceRequest) (*PlaceResponse, error) {
+	body, err := json.Marshal(preq)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/place", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out PlaceResponse
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the daemon's counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var out Stats
+	if err := c.get(ctx, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded map with least-recently-used eviction. The
+// server runs two: the hot-path response cache (content key -> stored
+// result, ahead of the store index and, under a future larger-than-
+// memory store, the disk) and the request-key -> content-key shortcut
+// that lets a repeat /v1/place skip graph construction. Both must stay
+// bounded on a long-running daemon — request coordinates are
+// client-supplied, so an unbounded index would grow monotonically under
+// a varied workload.
+type lruCache[V any] struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached value for key, promoting it to most recent.
+func (c *lruCache[V]) get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEntry[V]).val, true
+}
+
+// add inserts or refreshes an entry, evicting the least recently used
+// beyond capacity.
+func (c *lruCache[V]) add(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		e.Value.(*lruEntry[V]).val = val
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*lruEntry[V]).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *lruCache[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,576 @@
+// Package serve is the query-serving daemon layer: a long-running HTTP
+// API over a persistent result store, turning the batch landscape study
+// into an online service — the operator's "how latency-capable is my
+// topology, and what does scheme X buy me?" asked as a request instead of
+// a sweep. Related always-on systems (cISP's latency service, the
+// latency-aware inter-domain routing daemon) answer path/latency queries
+// the same way: mostly from precomputed state, computing on demand when a
+// query misses.
+//
+// The server mounts one store and answers JSON queries: cell lookup and
+// filtered listing (/v1/cell, /v1/query, reusing sweep.Filter), aggregate
+// per-class CDF summaries (/v1/summary), and on-demand placement
+// (/v1/place) that computes store-missing cells through the engine over a
+// shared solver cache and appends them to the store, so the next request
+// — from any client — is a hit.
+//
+// The hot path is production-shaped rather than a bare mux:
+//
+//   - requests for the same content coalesce through a singleflight
+//     group, so N concurrent misses on one cell trigger one computation;
+//   - finished cells sit in a bounded LRU keyed by content key, ahead of
+//     the store index;
+//   - admitted computations are bounded by a semaphore — beyond it
+//     /v1/place answers 429 immediately instead of queueing without
+//     bound — and actual solves run on a bounded worker pool;
+//   - shutdown drains in-flight work (http.Server.Shutdown semantics);
+//   - /v1/stats exposes the hit/miss/coalesce/in-flight counters.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"lowlat/internal/engine"
+	"lowlat/internal/routing"
+	"lowlat/internal/store"
+	"lowlat/internal/sweep"
+)
+
+// Options tunes a Server. The zero value serves with defaults.
+type Options struct {
+	// Workers bounds concurrent engine work — matrix generation and
+	// placement solves (0 = one per CPU). Workers:1 makes the compute
+	// side fully sequential, which is what the coalescing acceptance
+	// test runs under.
+	Workers int
+	// MaxInflight bounds how many place computations may be admitted at
+	// once (computing or waiting for a worker); beyond it /v1/place
+	// answers 429 Too Many Requests. Default 4x the resolved worker
+	// count. Requests served from cache or store never consume a slot,
+	// and neither do requests coalescing onto an admitted flight.
+	MaxInflight int
+	// CacheSize bounds the LRU response cache in entries (default 512).
+	CacheSize int
+	// DrainTimeout bounds graceful shutdown: how long Serve waits for
+	// in-flight requests after its context is cancelled (default 15s).
+	DrainTimeout time.Duration
+	// OnPlace, when non-nil, runs just before each engine invocation —
+	// the precise computation count, mirroring sweep.Options.OnPlace.
+	// Tests hang invocation counting and deterministic barriers off it.
+	OnPlace func(key store.CellKey)
+}
+
+func (o Options) withDefaults() Options {
+	o.Workers = engine.DefaultWorkers(o.Workers)
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 4 * o.Workers
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 512
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 15 * time.Second
+	}
+	return o
+}
+
+// Stats is the /v1/stats payload: monotonic counters since the server
+// started, plus store gauges. Field order is the wire order.
+type Stats struct {
+	// StoreCells and MemoEntries gauge the mounted store.
+	StoreCells  int  `json:"store_cells"`
+	MemoEntries int  `json:"memo_entries"`
+	ReadOnly    bool `json:"read_only"`
+	// Queries, CellLookups and PlaceRequests count requests per endpoint.
+	Queries       int64 `json:"queries"`
+	CellLookups   int64 `json:"cell_lookups"`
+	PlaceRequests int64 `json:"place_requests"`
+	// CacheHits were answered by the LRU, StoreHits by the store index,
+	// MemoHits derived their cell key from the calibration memo without
+	// regenerating the matrix.
+	CacheHits int64 `json:"cache_hits"`
+	StoreHits int64 `json:"store_hits"`
+	MemoHits  int64 `json:"memo_hits"`
+	// Coalesced requests joined another request's in-flight computation;
+	// Computed counts engine invocations; Rejected counts 429s.
+	Coalesced int64 `json:"coalesced"`
+	Computed  int64 `json:"computed"`
+	Rejected  int64 `json:"rejected"`
+	// InFlight gauges currently admitted computations; CachedEntries
+	// gauges the LRU.
+	InFlight      int64 `json:"in_flight"`
+	CachedEntries int   `json:"cached_entries"`
+}
+
+// counters is the server's atomic counter block.
+type counters struct {
+	queries   atomic.Int64
+	cells     atomic.Int64
+	places    atomic.Int64
+	cacheHits atomic.Int64
+	storeHits atomic.Int64
+	memoHits  atomic.Int64
+	coalesced atomic.Int64
+	computed  atomic.Int64
+	rejected  atomic.Int64
+	inflight  atomic.Int64
+}
+
+// PlaceRequest asks for one scenario cell by its coordinates. Net takes
+// any single-network sweep grid term (a zoo name, "randomgeo:<n>:<seed>",
+// "multiregion:<RxP>:<seed>").
+type PlaceRequest struct {
+	Net      string  `json:"net"`
+	Seed     int64   `json:"seed"`
+	Scheme   string  `json:"scheme"`
+	Headroom float64 `json:"headroom,omitempty"`
+	// Load is the target min-cut utilization (0 = the paper's 1/1.3).
+	Load float64 `json:"load,omitempty"`
+	// Locality is the traffic locality ℓ; nil = 1, explicit 0 = pure
+	// gravity.
+	Locality *float64 `json:"locality,omitempty"`
+}
+
+// PlaceResponse carries the cell and where it came from: "cache" (LRU),
+// "store" (persisted by an earlier run or request), or "computed" (placed
+// by this request — and now persisted for the next one).
+type PlaceResponse struct {
+	Source string       `json:"source"`
+	Result store.Result `json:"result"`
+}
+
+// QueryResponse lists stored cells matching a filter.
+type QueryResponse struct {
+	Count   int            `json:"count"`
+	Results []store.Result `json:"results"`
+}
+
+// CellResponse is one cell lookup.
+type CellResponse struct {
+	Source string       `json:"source"`
+	Result store.Result `json:"result"`
+}
+
+// apiError is an error with an HTTP status.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(code int, format string, args ...any) *apiError {
+	return &apiError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// Server serves one result store over HTTP. Create with New, mount via
+// Handler, or run with Serve / ListenAndServe.
+type Server struct {
+	st      *store.Store
+	opts    Options
+	solver  *routing.SolverCache
+	lru     *lruCache[store.Result]  // content key -> response
+	keys    *lruCache[store.CellKey] // request key -> content key shortcut
+	flights *flightGroup
+	sem     chan struct{} // admission slots (MaxInflight)
+	work    chan struct{} // compute slots (Workers)
+	c       counters
+	mux     *http.ServeMux
+}
+
+// New builds a Server over an open store. The store may be writable (a
+// computed cell persists) or read-only (OpenReadOnly; /v1/place then
+// serves hits and answers 403 for cells that would need computing).
+func New(st *store.Store, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		st:      st,
+		opts:    opts,
+		solver:  routing.NewSolverCache(),
+		lru:     newLRU[store.Result](opts.CacheSize),
+		keys:    newLRU[store.CellKey](opts.CacheSize),
+		flights: newFlightGroup(),
+		sem:     make(chan struct{}, opts.MaxInflight),
+		work:    make(chan struct{}, opts.Workers),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/cell", s.handleCell)
+	s.mux.HandleFunc("GET /v1/summary", s.handleSummary)
+	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		StoreCells:    s.st.Len(),
+		MemoEntries:   s.st.MemoLen(),
+		ReadOnly:      s.st.ReadOnly(),
+		Queries:       s.c.queries.Load(),
+		CellLookups:   s.c.cells.Load(),
+		PlaceRequests: s.c.places.Load(),
+		CacheHits:     s.c.cacheHits.Load(),
+		StoreHits:     s.c.storeHits.Load(),
+		MemoHits:      s.c.memoHits.Load(),
+		Coalesced:     s.c.coalesced.Load(),
+		Computed:      s.c.computed.Load(),
+		Rejected:      s.c.rejected.Load(),
+		InFlight:      s.c.inflight.Load(),
+		CachedEntries: s.lru.len(),
+	}
+}
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts down
+// gracefully: no new connections, in-flight requests (and therefore
+// in-flight computations, which run inside their leader's handler) drain
+// within DrainTimeout. A clean drain returns nil.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drain, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drain); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// ListenAndServe binds addr and calls Serve. notify, when non-nil,
+// receives the bound address before serving starts — how callers (and the
+// smoke test) learn the port when addr ends in ":0".
+func (s *Server) ListenAndServe(ctx context.Context, addr string, notify func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if notify != nil {
+		notify(ln.Addr())
+	}
+	return s.Serve(ctx, ln)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "store_cells": s.st.Len()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// parseFilter builds a sweep.Filter from query parameters. Like the CLI,
+// presence (not a sentinel value) decides whether seed/headroom filter.
+func parseFilter(r *http.Request) (sweep.Filter, error) {
+	q := r.URL.Query()
+	f := sweep.Filter{
+		Net:    q.Get("net"),
+		Class:  q.Get("class"),
+		Scheme: q.Get("scheme"),
+	}
+	if q.Has("seed") {
+		v, err := strconv.ParseInt(q.Get("seed"), 10, 64)
+		if err != nil {
+			return f, errf(http.StatusBadRequest, "bad seed %q", q.Get("seed"))
+		}
+		f.Seed = &v
+	}
+	if q.Has("headroom") {
+		v, err := strconv.ParseFloat(q.Get("headroom"), 64)
+		if err != nil {
+			return f, errf(http.StatusBadRequest, "bad headroom %q", q.Get("headroom"))
+		}
+		f.Headroom = &v
+	}
+	return f, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.c.queries.Add(1)
+	f, err := parseFilter(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	results := sweep.Query(s.st, f)
+	if results == nil {
+		results = []store.Result{}
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Count: len(results), Results: results})
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	s.c.queries.Add(1)
+	f, err := parseFilter(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	points := 11
+	if v := r.URL.Query().Get("points"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 2 || n > 1001 {
+			writeError(w, errf(http.StatusBadRequest, "bad points %q (want 2..1001)", v))
+			return
+		}
+		points = n
+	}
+	writeJSON(w, http.StatusOK, Summarize(sweep.Query(s.st, f), points))
+}
+
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	s.c.cells.Add(1)
+	keyStr := r.URL.Query().Get("key")
+	key, err := store.ParseCellKey(keyStr)
+	if err != nil {
+		writeError(w, errf(http.StatusBadRequest, "%v", err))
+		return
+	}
+	ks := key.String()
+	if res, ok := s.lru.get(ks); ok {
+		s.c.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, CellResponse{Source: "cache", Result: res})
+		return
+	}
+	res, ok := s.st.Get(key)
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, "cell %s not stored", ks))
+		return
+	}
+	s.c.storeHits.Add(1)
+	s.lru.add(ks, res)
+	writeJSON(w, http.StatusOK, CellResponse{Source: "store", Result: res})
+}
+
+// reqKey canonicalizes a validated place request for coalescing: requests
+// that would compute the same cell collide on the same flight before any
+// graph or matrix exists to digest.
+func reqKey(req PlaceRequest, load, locality float64) string {
+	return fmt.Sprintf("%s|%d|%s|%g|%g|%g", req.Net, req.Seed, req.Scheme, req.Headroom, load, locality)
+}
+
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	s.c.places.Add(1)
+	var req PlaceRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, errf(http.StatusBadRequest, "bad request body: %v", err))
+		return
+	}
+	if req.Net == "" || req.Scheme == "" {
+		writeError(w, errf(http.StatusBadRequest, "net and scheme are required"))
+		return
+	}
+	if req.Headroom < 0 || req.Headroom >= 1 {
+		writeError(w, errf(http.StatusBadRequest, "bad headroom %g (want 0 <= h < 1)", req.Headroom))
+		return
+	}
+	scheme, err := routing.ByName(req.Scheme, req.Headroom)
+	if err != nil {
+		writeError(w, errf(http.StatusBadRequest, "%v (have %v)", err, routing.SchemeNames()))
+		return
+	}
+	load := req.Load
+	if load < 0 || load > 1 {
+		writeError(w, errf(http.StatusBadRequest, "bad load %g (want 0 < l <= 1)", req.Load))
+		return
+	}
+	if load == 0 {
+		load = 1 / 1.3
+	}
+	locality := 1.0
+	if req.Locality != nil {
+		locality = *req.Locality
+	}
+	if locality < 0 {
+		writeError(w, errf(http.StatusBadRequest, "bad locality %g", locality))
+		return
+	}
+
+	rk := reqKey(req, load, locality)
+	// Hot path: a request key served before maps straight to its content
+	// key — LRU lookup with no graph build, no flight.
+	if ck, ok := s.keys.get(rk); ok {
+		if res, hit := s.lru.get(ck.String()); hit {
+			s.c.cacheHits.Add(1)
+			writeJSON(w, http.StatusOK, PlaceResponse{Source: "cache", Result: res})
+			return
+		}
+	}
+
+	out, err := s.flights.do(r.Context(), rk,
+		func() (outcome, error) { return s.placeMiss(rk, req, scheme, load, locality) },
+		func() { s.c.coalesced.Add(1) })
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PlaceResponse{Source: out.source, Result: out.result})
+}
+
+// placeMiss resolves one place request as the leader of its flight:
+// derive the cell key as cheaply as possible (calibration memo before
+// matrix generation), serve LRU/store hits without consuming a
+// computation slot, and otherwise generate + place under the admission
+// semaphore and worker pool, persisting the result.
+func (s *Server) placeMiss(rk string, req PlaceRequest, scheme routing.Scheme, load, locality float64) (outcome, error) {
+	spec, err := sweep.ResolveNet(req.Net)
+	if err != nil {
+		return outcome{}, errf(http.StatusBadRequest, "%v", err)
+	}
+	g := spec.Graph
+
+	// Calibration memo: the stored matrix digest yields the content key
+	// without re-running the generation LPs — daemon warm-up over a store
+	// a sweep filled stays compute-free. A memo hit only counts when it
+	// actually spared the generation, i.e. when the cell itself is held;
+	// otherwise the fall-through pays the solves regardless.
+	if md, ok := s.st.Memo(store.MemoKeyFor(g, req.Seed, load, locality)); ok {
+		ck := store.CellKey{
+			Graph:  store.Digest(g.Fingerprint()),
+			Matrix: md,
+			Scheme: scheme.Name(),
+			Config: store.ConfigDigest(scheme),
+		}
+		s.keys.add(rk, ck)
+		ks := ck.String()
+		if res, hit := s.lru.get(ks); hit {
+			s.c.memoHits.Add(1)
+			s.c.cacheHits.Add(1)
+			return outcome{source: "cache", result: res}, nil
+		}
+		if res, hit := s.st.Get(ck); hit {
+			s.c.memoHits.Add(1)
+			s.c.storeHits.Add(1)
+			s.lru.add(ks, res)
+			return outcome{source: "store", result: res}, nil
+		}
+	}
+
+	// The cell needs computing (or at least its matrix generating, which
+	// costs the same calibration solves): admission-control it.
+	if s.st.ReadOnly() {
+		return outcome{}, errf(http.StatusForbidden,
+			"store is read-only: cell for %s is not stored and cannot be computed", req.Net)
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.c.rejected.Add(1)
+		return outcome{}, errf(http.StatusTooManyRequests,
+			"computation limit reached (%d in flight); retry later", s.opts.MaxInflight)
+	}
+	defer func() { <-s.sem }()
+	s.c.inflight.Add(1)
+	defer s.c.inflight.Add(-1)
+
+	// Worker slot: bounds actual engine work to Workers, however many
+	// computations were admitted.
+	s.work <- struct{}{}
+	defer func() { <-s.work }()
+
+	m, err := sweep.GenerateMatrix(g, req.Seed, load, locality, s.st)
+	if err != nil {
+		return outcome{}, errf(http.StatusInternalServerError, "generate matrix: %v", err)
+	}
+	ck := store.KeyFor(g, m, scheme)
+	s.keys.add(rk, ck)
+	ks := ck.String()
+	// A store predating its memo can hold the cell even on a memo miss.
+	if res, hit := s.st.Get(ck); hit {
+		s.c.storeHits.Add(1)
+		s.lru.add(ks, res)
+		return outcome{source: "store", result: res}, nil
+	}
+
+	res, err := s.compute(sweep.Cell{
+		Key: ck,
+		Meta: store.Meta{
+			Net:      spec.Name,
+			Class:    spec.Class,
+			Seed:     req.Seed,
+			Scheme:   scheme.Name(),
+			Headroom: routing.Headroom(scheme),
+			Load:     load,
+			Locality: locality,
+		},
+		Scenario: engine.Scenario{
+			Tag:    fmt.Sprintf("%s/s%d/%s", spec.Name, req.Seed, scheme.Name()),
+			Graph:  g,
+			Matrix: m,
+			Scheme: scheme,
+		},
+	})
+	if err != nil {
+		return outcome{}, errf(http.StatusInternalServerError, "%v", err)
+	}
+	if err := s.st.Put(res); err != nil {
+		return outcome{}, errf(http.StatusInternalServerError, "persist cell: %v", err)
+	}
+	s.lru.add(ks, res)
+	return outcome{source: "computed", result: res}, nil
+}
+
+// compute runs one placement through the engine (panic recovery: a solver
+// crash surfaces as a 500, not a dead daemon) against the server's shared
+// solver cache.
+func (s *Server) compute(c sweep.Cell) (store.Result, error) {
+	out := <-engine.Stream(context.Background(), 1, []sweep.Cell{c},
+		func(_ context.Context, _ int, c sweep.Cell) (store.Result, error) {
+			if s.opts.OnPlace != nil {
+				s.opts.OnPlace(c.Key)
+			}
+			s.c.computed.Add(1)
+			p, err := s.solver.Place(c.Scenario.Scheme, c.Scenario.Graph, c.Scenario.Matrix)
+			if err != nil {
+				return store.Result{}, fmt.Errorf("%s: %w", c.Scenario.Tag, err)
+			}
+			return store.Result{Key: c.Key, Meta: c.Meta, Metrics: store.MetricsOf(p)}, nil
+		})
+	return out.Value, out.Err
+}
+
+// writeJSON encodes v with a trailing newline (curl-friendly).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// An encode failure here means the connection is gone; the status is
+	// already committed, so there is nothing useful left to report.
+	_ = enc.Encode(v)
+}
+
+// writeError renders an error as {"error": ...} with its HTTP status
+// (500 for errors that don't carry one).
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var ae *apiError
+	if errors.As(err, &ae) {
+		code = ae.code
+	} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+
+	"lowlat/internal/store"
+)
+
+// outcome is what one place flight resolves to: the stored result and
+// where it came from ("cache", "store", "computed").
+type outcome struct {
+	source string
+	result store.Result
+}
+
+// flight is one in-progress computation shared by every request that
+// asked for the same key while it ran.
+type flight struct {
+	done chan struct{}
+	val  outcome
+	err  error
+}
+
+// flightGroup coalesces duplicate work: for each key, at most one fn runs
+// at a time, and callers that arrive while it runs wait for its result
+// instead of starting their own. This is the property the daemon's
+// acceptance test pins — N concurrent requests for one missing cell, one
+// engine invocation.
+//
+// Unlike a memoizing cache, a finished flight is forgotten immediately;
+// permanence is the store's and the LRU's job.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// do runs fn once per key across concurrent callers. The follower hook
+// runs (outside the lock) for each caller that joined an existing flight
+// rather than leading its own; followers stop waiting when their own ctx
+// dies, but the flight itself runs on — the leader owns it.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (outcome, error), follower func()) (outcome, error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		if follower != nil {
+			follower()
+		}
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			return outcome{}, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	// The flight must resolve even if fn panics (net/http recovers the
+	// leader's goroutine, but nothing would recover the followers):
+	// convert the panic into an error for them, release the key so the
+	// next request retries, and let the panic keep propagating.
+	completed := false
+	defer func() {
+		if !completed {
+			f.err = errf(http.StatusInternalServerError, "request leader panicked; see server log")
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.err = fn()
+	completed = true
+	return f.val, f.err
+}

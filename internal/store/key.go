@@ -60,6 +60,36 @@ func (k CellKey) String() string {
 	return "g" + k.Graph.String() + "-m" + k.Matrix.String() + "-c" + k.Config.String() + "-" + k.Scheme
 }
 
+// ParseCellKey parses the canonical form String renders
+// ("g<16hex>-m<16hex>-c<16hex>-<scheme>"), for callers — the daemon's
+// /v1/cell endpoint, scripts over export output — that address cells by
+// the key strings earlier runs printed.
+func ParseCellKey(s string) (CellKey, error) {
+	fail := func() (CellKey, error) {
+		return CellKey{}, fmt.Errorf("store: bad cell key %q (want g<hex16>-m<hex16>-c<hex16>-<scheme>)", s)
+	}
+	var k CellKey
+	for _, part := range []struct {
+		prefix byte
+		dst    *Digest
+	}{{'g', &k.Graph}, {'m', &k.Matrix}, {'c', &k.Config}} {
+		if len(s) < 18 || s[0] != part.prefix || s[17] != '-' {
+			return fail()
+		}
+		v, err := strconv.ParseUint(s[1:17], 16, 64)
+		if err != nil {
+			return fail()
+		}
+		*part.dst = Digest(v)
+		s = s[18:]
+	}
+	if s == "" {
+		return fail()
+	}
+	k.Scheme = s
+	return k, nil
+}
+
 // hash spreads keys across shards.
 func (k CellKey) hash() uint64 {
 	h := fnv.New64a()

@@ -1,0 +1,192 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"lowlat/internal/graph"
+)
+
+// MemoKey addresses one calibration memo entry: the matrix digest that a
+// seeded gravity-model generation produces for one topology at one
+// (load, locality) operating point. Matrix generation is deterministic in
+// these four inputs (the seeded-generator determinism tests pin it), so
+// the memo lets sweep resume and daemon warm-up derive content-addressed
+// cell keys without re-running the calibration LP solves.
+type MemoKey struct {
+	// Graph is graph.Fingerprint of the topology.
+	Graph Digest `json:"graph"`
+	// Seed is the traffic-matrix seed.
+	Seed int64 `json:"seed"`
+	// Load is the target min-cut utilization the matrix was calibrated to.
+	Load float64 `json:"load"`
+	// Locality is the traffic locality parameter ℓ.
+	Locality float64 `json:"locality"`
+}
+
+// MemoKeyFor computes the memo key of one (graph, seed, load, locality)
+// calibration point.
+func MemoKeyFor(g *graph.Graph, seed int64, load, locality float64) MemoKey {
+	return MemoKey{
+		Graph:    Digest(g.Fingerprint()),
+		Seed:     seed,
+		Load:     load,
+		Locality: locality,
+	}
+}
+
+// memoRecord is one persisted memo line.
+type memoRecord struct {
+	Key    MemoKey `json:"key"`
+	Matrix Digest  `json:"matrix"`
+}
+
+// memoName is the memo file, separate from the shard files so the shard
+// glob (and tools iterating result lines) never see memo records.
+const memoName = "memo.jsonl"
+
+// Memo looks up the memoized matrix digest for one calibration point.
+func (s *Store) Memo(k MemoKey) (Digest, bool) {
+	s.imu.RLock()
+	defer s.imu.RUnlock()
+	d, ok := s.memo[k]
+	return d, ok
+}
+
+// MemoLen reports how many calibration points are memoized.
+func (s *Store) MemoLen() int {
+	s.imu.RLock()
+	defer s.imu.RUnlock()
+	return len(s.memo)
+}
+
+// PutMemo appends a calibration memo entry and indexes it. Like Put, an
+// entry identical to the indexed one is a no-op, the line is written with
+// a single write syscall under the memo lock, and the newest write wins
+// on the next Open.
+func (s *Store) PutMemo(k MemoKey, matrix Digest) error {
+	if s.readonly {
+		return fmt.Errorf("store: %s: put memo: %w", s.dir, ErrReadOnly)
+	}
+	s.imu.RLock()
+	prev, ok := s.memo[k]
+	s.imu.RUnlock()
+	if ok && prev == matrix {
+		return nil
+	}
+	line, err := json.Marshal(memoRecord{Key: k, Matrix: matrix})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line = append(line, '\n')
+
+	s.mmu.Lock()
+	f, err := s.memoHandle()
+	if err == nil {
+		_, err = f.Write(line)
+	}
+	s.mmu.Unlock()
+	if err != nil {
+		return fmt.Errorf("store: memo %s: %w", filepath.Join(s.dir, memoName), err)
+	}
+
+	s.imu.Lock()
+	s.memo[k] = matrix
+	s.imu.Unlock()
+	return nil
+}
+
+// memoHandle lazily opens the memo append handle, healing a torn tail the
+// same way shardFile does. Callers hold mmu.
+func (s *Store) memoHandle() (*os.File, error) {
+	if s.memoFile != nil {
+		return s.memoFile, nil
+	}
+	f, err := openAppend(filepath.Join(s.dir, memoName))
+	if err != nil {
+		return nil, err
+	}
+	s.memoFile = f
+	return f, nil
+}
+
+// loadMemo scans the memo file (if present) and rebuilds the memo index.
+// Unparseable lines — a tail torn by a killed writer — are counted into
+// the same Skipped total the shard loader uses.
+func (s *Store) loadMemo() error {
+	path := filepath.Join(s.dir, memoName)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: memo %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r memoRecord
+		if err := json.Unmarshal(line, &r); err != nil || r.Key == (MemoKey{}) {
+			s.skipped++
+			continue
+		}
+		s.memo[r.Key] = r.Matrix
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: memo %s: %w", path, err)
+	}
+	return nil
+}
+
+// compactMemo rewrites the memo file as exactly one line per indexed
+// entry, sorted, via temp+rename. Callers hold mmu and imu.
+func (s *Store) compactMemo() error {
+	if s.memoFile != nil {
+		s.memoFile.Close()
+		s.memoFile = nil
+	}
+	keys := make([]MemoKey, 0, len(s.memo))
+	for k := range s.memo {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
+		if ka.Graph != kb.Graph {
+			return ka.Graph < kb.Graph
+		}
+		if ka.Seed != kb.Seed {
+			return ka.Seed < kb.Seed
+		}
+		if ka.Load != kb.Load {
+			return ka.Load < kb.Load
+		}
+		return ka.Locality < kb.Locality
+	})
+	var buf []byte
+	for _, k := range keys {
+		line, err := json.Marshal(memoRecord{Key: k, Matrix: s.memo[k]})
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	path := filepath.Join(s.dir, memoName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("store: memo %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: memo %s: %w", path, err)
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ package store
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -25,6 +26,10 @@ import (
 
 	"lowlat/internal/routing"
 )
+
+// ErrReadOnly is returned (wrapped) by mutating methods of a store opened
+// with OpenReadOnly.
+var ErrReadOnly = errors.New("store is read-only")
 
 // DefaultShards is the shard-file count Open uses. Sharding bounds
 // per-file lock contention when the engine's workers checkpoint
@@ -78,14 +83,19 @@ type Result struct {
 // are safe for concurrent use within one process; concurrent writers from
 // separate processes are not supported (last Open wins on Compact).
 type Store struct {
-	dir    string
-	shards int
+	dir      string
+	shards   int
+	readonly bool
 
 	fmu   []sync.Mutex // one per write shard, ordered before imu
 	files []*os.File   // lazily opened append handles
 
+	mmu      sync.Mutex // memo-file lock, ordered before imu
+	memoFile *os.File   // lazily opened memo append handle
+
 	imu     sync.RWMutex
 	index   map[CellKey]Result
+	memo    map[MemoKey]Digest
 	skipped int // unparseable lines tolerated at Open
 }
 
@@ -108,12 +118,44 @@ func OpenSharded(dir string, shards int) (*Store, error) {
 		fmu:    make([]sync.Mutex, shards),
 		files:  make([]*os.File, shards),
 		index:  make(map[CellKey]Result),
+		memo:   make(map[MemoKey]Digest),
 	}
 	if err := s.load(); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
+
+// OpenReadOnly opens an existing store for reading only: the directory is
+// not created, no append handles are opened, and no byte of the store is
+// ever written (in particular, a torn tail is skipped but not healed), so
+// any number of read-only opens can safely run beside one writing
+// process — each sees the consistent prefix of every shard that existed
+// at its Open. Put, PutMemo and Compact return errors wrapping
+// ErrReadOnly.
+func OpenReadOnly(dir string) (*Store, error) {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("store: open %s: not a directory", dir)
+	}
+	s := &Store{
+		dir:      dir,
+		shards:   DefaultShards,
+		readonly: true,
+		index:    make(map[CellKey]Result),
+		memo:     make(map[MemoKey]Digest),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReadOnly reports whether the store was opened with OpenReadOnly.
+func (s *Store) ReadOnly() bool { return s.readonly }
 
 // shardName returns the shard file name for write shard i.
 func shardName(i int) string { return fmt.Sprintf("shard-%03d.jsonl", i) }
@@ -134,13 +176,16 @@ func (s *Store) load() error {
 			return err
 		}
 	}
-	return nil
+	return s.loadMemo()
 }
 
+// loadShard reads one shard file into the index. Every failure is wrapped
+// with the shard path: a daemon refusing to start over one unreadable
+// shard must name the file, not just the syscall.
 func (s *Store) loadShard(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return fmt.Errorf("store: shard %s: %w", path, err)
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
@@ -158,7 +203,7 @@ func (s *Store) loadShard(path string) error {
 		s.index[r.Key] = r
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("store: %s: %w", path, err)
+		return fmt.Errorf("store: shard %s: %w", path, err)
 	}
 	return nil
 }
@@ -198,6 +243,9 @@ func (s *Store) Get(k CellKey) (Result, bool) {
 // checkpoints from interleaving; a process killed mid-write leaves at
 // most one torn tail line, which the next Open skips.
 func (s *Store) Put(r Result) error {
+	if s.readonly {
+		return fmt.Errorf("store: %s: put: %w", s.dir, ErrReadOnly)
+	}
 	s.imu.RLock()
 	prev, ok := s.index[r.Key]
 	s.imu.RUnlock()
@@ -235,8 +283,20 @@ func (s *Store) shardFile(shard int) (*os.File, error) {
 	if s.files[shard] != nil {
 		return s.files[shard], nil
 	}
-	f, err := os.OpenFile(filepath.Join(s.dir, shardName(shard)),
-		os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	f, err := openAppend(filepath.Join(s.dir, shardName(shard)))
+	if err != nil {
+		return nil, err
+	}
+	s.files[shard] = f
+	return f, nil
+}
+
+// openAppend opens a JSONL file for appending, first appending a newline
+// if the existing last line was torn by a crash (no trailing newline), so
+// the next record starts on its own line instead of concatenating onto
+// the fragment.
+func openAppend(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +318,6 @@ func (s *Store) shardFile(shard int) (*os.File, error) {
 			}
 		}
 	}
-	s.files[shard] = f
 	return f, nil
 }
 
@@ -300,6 +359,9 @@ func (s *Store) Results() []Result {
 // the old or the new file, never a half of each; stale shard files
 // outside the configured write-shard set are removed.
 func (s *Store) Compact() error {
+	if s.readonly {
+		return fmt.Errorf("store: %s: compact: %w", s.dir, ErrReadOnly)
+	}
 	for i := range s.fmu {
 		s.fmu[i].Lock()
 	}
@@ -308,6 +370,8 @@ func (s *Store) Compact() error {
 			s.fmu[i].Unlock()
 		}
 	}()
+	s.mmu.Lock()
+	defer s.mmu.Unlock()
 	s.imu.Lock()
 	defer s.imu.Unlock()
 
@@ -358,6 +422,9 @@ func (s *Store) Compact() error {
 			}
 		}
 	}
+	if err := s.compactMemo(); err != nil {
+		return err
+	}
 	s.skipped = 0
 	return nil
 }
@@ -372,6 +439,8 @@ func (s *Store) Close() error {
 			s.fmu[i].Unlock()
 		}
 	}()
+	s.mmu.Lock()
+	defer s.mmu.Unlock()
 	var first error
 	for i, f := range s.files {
 		if f != nil {
@@ -380,6 +449,12 @@ func (s *Store) Close() error {
 			}
 			s.files[i] = nil
 		}
+	}
+	if s.memoFile != nil {
+		if err := s.memoFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.memoFile = nil
 	}
 	return first
 }

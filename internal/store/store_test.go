@@ -1,8 +1,10 @@
 package store
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -357,6 +359,209 @@ func TestResultsDeterministicOrder(t *testing.T) {
 	wantOrder := "1/minmax 1/sp 2/minmax 2/sp 3/minmax 3/sp"
 	if strings.Join(got, " ") != wantOrder {
 		t.Fatalf("Results order = %v, want %s", got, wantOrder)
+	}
+}
+
+// TestMemoRoundTrip pins the calibration memo contract: entries persist
+// across reopens, identical re-puts don't append, a torn memo tail is
+// skipped without losing intact entries, and Compact dedupes the file.
+func TestMemoRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topo.Ring("ring-8", 8, 1400, topo.Cap10G)
+	k1 := MemoKeyFor(g, 1, 0.6, 1)
+	k2 := MemoKeyFor(g, 2, 0.6, 1)
+	if k1 == k2 {
+		t.Fatal("seed change did not change the memo key")
+	}
+	if _, ok := s.Memo(k1); ok {
+		t.Fatal("empty store reported a memo hit")
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.PutMemo(k1, Digest(0xaaaa)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.PutMemo(k2, Digest(0xbbbb)); err != nil {
+		t.Fatal(err)
+	}
+	// Supersede k1: newest write wins in memory and on reopen.
+	if err := s.PutMemo(k1, Digest(0xcccc)); err != nil {
+		t.Fatal(err)
+	}
+	if n := countLines(t, filepath.Join(dir, memoName)); n != 3 {
+		t.Fatalf("memo file has %d lines, want 3 (idempotent re-puts)", n)
+	}
+	s.Close()
+
+	s2, err := OpenSharded(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := s2.Memo(k1); !ok || d != Digest(0xcccc) {
+		t.Fatalf("reopened memo k1 = %v, %v; want cccc", d, ok)
+	}
+	if s2.MemoLen() != 2 {
+		t.Fatalf("MemoLen = %d, want 2", s2.MemoLen())
+	}
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countLines(t, filepath.Join(dir, memoName)); n != 2 {
+		t.Fatalf("compacted memo has %d lines, want 2", n)
+	}
+	s2.Close()
+
+	// Tear the memo tail as a kill -9 mid-append would: the intact entry
+	// survives, the torn one is counted skipped, and appends still work.
+	path := filepath.Join(dir, memoName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := OpenSharded(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.MemoLen() != 1 || s3.Skipped() != 1 {
+		t.Fatalf("after tear: MemoLen=%d Skipped=%d, want 1, 1", s3.MemoLen(), s3.Skipped())
+	}
+	if err := s3.PutMemo(k2, Digest(0xbbbb)); err != nil {
+		t.Fatal(err)
+	}
+	s4, err := OpenSharded(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s4.Close()
+	if s4.MemoLen() != 2 {
+		t.Fatalf("post-heal MemoLen=%d, want 2", s4.MemoLen())
+	}
+}
+
+// TestOpenReadOnly pins the reader-side contract: an existing store opens
+// without writing a byte (even with a torn tail), every mutation reports
+// ErrReadOnly, and a missing directory is an error instead of a silently
+// created empty store.
+func TestOpenReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testCell(t, 1, routing.SP{})
+	if err := s.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testCell(t, 2, routing.MinMax{})); err != nil {
+		t.Fatal(err)
+	}
+	g := topo.Ring("ring-8", 8, 1400, topo.Cap10G)
+	if err := s.PutMemo(MemoKeyFor(g, 1, 0.6, 1), Digest(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Tear the tail: a read-only open must tolerate it WITHOUT healing.
+	shard := filepath.Join(dir, shardName(0))
+	data, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := data[:len(data)-9]
+	if err := os.WriteFile(shard, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if !ro.ReadOnly() {
+		t.Fatal("ReadOnly() = false")
+	}
+	if ro.Len() != 1 || ro.Skipped() != 1 || ro.MemoLen() != 1 {
+		t.Fatalf("read-only open: Len=%d Skipped=%d MemoLen=%d, want 1, 1, 1",
+			ro.Len(), ro.Skipped(), ro.MemoLen())
+	}
+	if _, ok := ro.Get(r.Key); !ok {
+		t.Fatal("intact record missing from read-only open")
+	}
+	if err := ro.Put(r); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Put on read-only store: %v, want ErrReadOnly", err)
+	}
+	if err := ro.PutMemo(MemoKeyFor(g, 9, 0.6, 1), Digest(9)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("PutMemo on read-only store: %v, want ErrReadOnly", err)
+	}
+	if err := ro.Compact(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Compact on read-only store: %v, want ErrReadOnly", err)
+	}
+	// No byte of the store changed: the torn tail was not healed.
+	after, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, torn) {
+		t.Fatalf("read-only open modified the shard (%d -> %d bytes)", len(torn), len(after))
+	}
+
+	if _, err := OpenReadOnly(filepath.Join(dir, "no-such-store")); err == nil {
+		t.Fatal("OpenReadOnly on a missing directory succeeded")
+	}
+}
+
+// TestOpenNamesUnreadableShard pins the diagnosability fix: a shard that
+// cannot be read fails Open with the shard path in the error, so a daemon
+// refusing to start names the bad file.
+func TestOpenNamesUnreadableShard(t *testing.T) {
+	dir := t.TempDir()
+	// A directory named like a shard defeats the line scanner for any
+	// user, root included (a chmod-000 file would be readable to root).
+	bad := filepath.Join(dir, "shard-000.jsonl")
+	if err := os.Mkdir(bad, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, open := range []func() (*Store, error){
+		func() (*Store, error) { return Open(dir) },
+		func() (*Store, error) { return OpenReadOnly(dir) },
+	} {
+		_, err := open()
+		if err == nil {
+			t.Fatal("Open over an unreadable shard succeeded")
+		}
+		if !strings.Contains(err.Error(), bad) {
+			t.Fatalf("error %q does not name the shard path %q", err, bad)
+		}
+	}
+}
+
+func TestParseCellKey(t *testing.T) {
+	r := testCell(t, 1, routing.LatencyOpt{Headroom: 0.11})
+	s := r.Key.String()
+	back, err := ParseCellKey(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != r.Key {
+		t.Fatalf("ParseCellKey(%q) = %+v, want %+v", s, back, r.Key)
+	}
+	for _, bad := range []string{
+		"", "latopt", "g1234-m1234-c1234-sp",
+		"m0000000000000000-g0000000000000000-c0000000000000000-sp",
+		"g0000000000000000-m0000000000000000-c0000000000000000-",
+		"gzzzzzzzzzzzzzzzz-m0000000000000000-c0000000000000000-sp",
+	} {
+		if _, err := ParseCellKey(bad); err == nil {
+			t.Errorf("ParseCellKey(%q) accepted", bad)
+		}
 	}
 }
 

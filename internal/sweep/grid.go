@@ -151,17 +151,35 @@ func splitList(val string) []string {
 	return out
 }
 
-// netSpec is one resolved topology of the sweep.
-type netSpec struct {
+// NetSpec is one resolved topology of a sweep (or of a daemon place
+// request): the grid term expanded into a name, a structural class label
+// and a built graph.
+type NetSpec struct {
 	Name  string
 	Class string
 	Graph *graph.Graph
 }
 
+// ResolveNet expands one grid nets term into exactly one built topology —
+// the resolution path the serving daemon uses, so a cell requested online
+// lands on the same content key a sweep over the same term produces.
+// Terms that expand to several networks ("zoo", "class:<c>") are
+// rejected.
+func ResolveNet(term string) (NetSpec, error) {
+	nets, err := resolveNets(Grid{Nets: []string{term}})
+	if err != nil {
+		return NetSpec{}, err
+	}
+	if len(nets) != 1 {
+		return NetSpec{}, fmt.Errorf("sweep: net term %q expands to %d networks, want exactly one", term, len(nets))
+	}
+	return nets[0], nil
+}
+
 // resolveNets expands the grid's topology terms into built graphs,
 // deduplicated by name, preserving first-mention order.
-func resolveNets(g Grid) ([]netSpec, error) {
-	var out []netSpec
+func resolveNets(g Grid) ([]NetSpec, error) {
+	var out []NetSpec
 	seen := make(map[string]bool)
 	full := func() bool { return g.MaxNets > 0 && len(out) >= g.MaxNets }
 	add := func(name, class string, build func() *graph.Graph) {
@@ -169,7 +187,7 @@ func resolveNets(g Grid) ([]netSpec, error) {
 		// constructing the 111 graphs it would immediately discard.
 		if !seen[name] && !full() {
 			seen[name] = true
-			out = append(out, netSpec{Name: name, Class: class, Graph: build()})
+			out = append(out, NetSpec{Name: name, Class: class, Graph: build()})
 		}
 	}
 	for _, term := range g.Nets {

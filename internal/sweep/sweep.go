@@ -15,8 +15,10 @@ import (
 	"fmt"
 
 	"lowlat/internal/engine"
+	"lowlat/internal/graph"
 	"lowlat/internal/routing"
 	"lowlat/internal/store"
+	"lowlat/internal/tm"
 	"lowlat/internal/tmgen"
 )
 
@@ -30,32 +32,78 @@ type Cell struct {
 	Scenario engine.Scenario
 }
 
+// GenerateMatrix builds the calibrated traffic matrix for one (graph,
+// seed) pair at a (load, locality) operating point exactly the way sweep
+// planning does, so cells computed elsewhere (the serving daemon's
+// /v1/place path) land on the same content keys a sweep produces. When
+// st is a writable store, the matrix digest is memoized under
+// store.MemoKeyFor so later plans can derive this cell's keys without
+// re-running the calibration solves; generation is deterministic in
+// (graph, seed, load, locality), which is what makes the memo sound.
+func GenerateMatrix(g *graph.Graph, seed int64, load, locality float64, st *store.Store) (*tm.Matrix, error) {
+	res, err := tmgen.Generate(g, tmgen.Config{
+		Seed:          seed,
+		Locality:      locality,
+		NoLocality:    locality == 0,
+		TargetMaxUtil: load,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st != nil && !st.ReadOnly() {
+		if err := st.PutMemo(store.MemoKeyFor(g, seed, load, locality),
+			store.MatrixDigest(g, res.Matrix)); err != nil {
+			return nil, err
+		}
+	}
+	return res.Matrix, nil
+}
+
 // Plan expands a grid into cells in deterministic nested order (net x
-// seed x scheme-point). Matrix generation — the calibration LP solves —
-// fans out through a pool of the given width, but the returned order
-// never depends on it.
-//
-// Because cell keys are content-derived, planning must regenerate every
-// (net, seed) matrix to digest it, so a resume reuses all placement
-// solves but still pays the calibration solves. A derivation-keyed
-// digest memo could make resume near-free; it is deliberately left out
-// until the calibration share of sweep time warrants trading away
-// pure content addressing.
+// seed x scheme-point), regenerating every (net, seed) matrix. Matrix
+// generation — the calibration LP solves — fans out through a pool of
+// the given width, but the returned order never depends on it. Run uses
+// the store-aware planner instead, which consults the calibration memo
+// to skip regeneration for fully-stored groups.
 func Plan(ctx context.Context, grid Grid, workers int) ([]Cell, error) {
+	cells, _, err := planWithStore(ctx, grid, workers, nil, false)
+	return cells, err
+}
+
+// planStats counts what planning cost and what the memo saved.
+type planStats struct {
+	// generated counts (net, seed) matrices that went through the
+	// calibration solves this plan.
+	generated int
+	// memoHits counts (net, seed) groups whose keys came from the
+	// calibration memo with every cell already stored, skipping
+	// generation entirely.
+	memoHits int
+}
+
+// planWithStore is Plan with a store consult. For each (net, seed) group
+// it first tries the store's calibration memo: a memoized matrix digest
+// yields every cell key in the group without generating the matrix, and
+// when all of those keys are already stored (and the caller is not
+// recomputing), the group's cells are planned with a nil Scenario.Matrix
+// — they can never reach the engine, so the matrix is dead weight. Any
+// group with a memo miss or a missing cell regenerates its matrix (and
+// refreshes the memo). Cell order is identical either way.
+func planWithStore(ctx context.Context, grid Grid, workers int, st *store.Store, skipStored bool) ([]Cell, planStats, error) {
+	var stats planStats
 	grid = grid.withDefaults()
 	if err := grid.validate(); err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	nets, err := resolveNets(grid)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	schemes, err := schemePoints(grid)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 
-	// One calibrated matrix per (net, seed), generated concurrently.
 	type job struct {
 		net  int
 		seed int64
@@ -66,30 +114,80 @@ func Plan(ctx context.Context, grid Grid, workers int) ([]Cell, error) {
 			jobs = append(jobs, job{net: i, seed: seed})
 		}
 	}
-	mats, err := engine.Map(ctx, workers, jobs,
-		func(_ context.Context, _ int, j job) (*tmgen.Result, error) {
-			res, err := tmgen.Generate(nets[j.net].Graph, tmgen.Config{
-				Seed:          j.seed,
-				Locality:      grid.Locality,
-				NoLocality:    grid.Locality == 0,
-				TargetMaxUtil: grid.Load,
-			})
+
+	// Memo pass: groups whose every cell is already stored keep their
+	// memoized matrix digest and skip generation.
+	memoed := make([]store.Digest, len(jobs))
+	needGen := make([]bool, len(jobs))
+	var genJobs []int
+	for ji, j := range jobs {
+		needGen[ji] = true
+		if st == nil || !skipStored {
+			genJobs = append(genJobs, ji)
+			continue
+		}
+		n := nets[j.net]
+		md, ok := st.Memo(store.MemoKeyFor(n.Graph, j.seed, grid.Load, grid.Locality))
+		if ok {
+			allStored := true
+			for _, scheme := range schemes {
+				k := store.CellKey{
+					Graph:  store.Digest(n.Graph.Fingerprint()),
+					Matrix: md,
+					Scheme: scheme.Name(),
+					Config: store.ConfigDigest(scheme),
+				}
+				if _, found := st.Get(k); !found {
+					allStored = false
+					break
+				}
+			}
+			if allStored {
+				memoed[ji] = md
+				needGen[ji] = false
+				stats.memoHits++
+				continue
+			}
+		}
+		genJobs = append(genJobs, ji)
+	}
+
+	// One calibrated matrix per remaining (net, seed), generated
+	// concurrently.
+	mats := make([]*tm.Matrix, len(jobs))
+	gen, err := engine.Map(ctx, workers, genJobs,
+		func(_ context.Context, _ int, ji int) (*tm.Matrix, error) {
+			j := jobs[ji]
+			m, err := GenerateMatrix(nets[j.net].Graph, j.seed, grid.Load, grid.Locality, st)
 			if err != nil {
 				return nil, fmt.Errorf("%s seed %d: %w", nets[j.net].Name, j.seed, err)
 			}
-			return res, nil
+			return m, nil
 		})
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
+	for gi, ji := range genJobs {
+		mats[ji] = gen[gi]
+	}
+	stats.generated = len(genJobs)
 
 	var cells []Cell
 	for ji, j := range jobs {
 		n := nets[j.net]
-		m := mats[ji].Matrix
+		m := mats[ji]
 		for _, scheme := range schemes {
+			key := store.CellKey{
+				Graph:  store.Digest(n.Graph.Fingerprint()),
+				Matrix: memoed[ji],
+				Scheme: scheme.Name(),
+				Config: store.ConfigDigest(scheme),
+			}
+			if needGen[ji] {
+				key = store.KeyFor(n.Graph, m, scheme)
+			}
 			cells = append(cells, Cell{
-				Key: store.KeyFor(n.Graph, m, scheme),
+				Key: key,
 				Meta: store.Meta{
 					Net:      n.Name,
 					Class:    n.Class,
@@ -108,7 +206,7 @@ func Plan(ctx context.Context, grid Grid, workers int) ([]Cell, error) {
 			})
 		}
 	}
-	return cells, nil
+	return cells, stats, nil
 }
 
 // Report summarizes one orchestrator run.
@@ -123,6 +221,14 @@ type Report struct {
 	// Failed cells errored; their errors are joined into Run's returned
 	// error.
 	Failed int
+	// Generated counts (net, seed) matrices that went through the
+	// calibration solves this run.
+	Generated int
+	// MemoHits counts (net, seed) groups whose cell keys came from the
+	// store's calibration memo with every cell already stored, so the
+	// group skipped matrix regeneration entirely — what makes resuming a
+	// finished (or nearly finished) sweep near-free.
+	MemoHits int
 	// SkippedLines reports unparseable store lines tolerated when the
 	// store was opened (a torn tail after a kill), surfaced here so
 	// resuming callers see the recovery happen.
@@ -155,11 +261,16 @@ type Options struct {
 // landed results were persisted, so a rerun resumes instead of starting
 // over.
 func Run(ctx context.Context, st *store.Store, grid Grid, opts Options) (*Report, error) {
-	cells, err := Plan(ctx, grid, opts.Workers)
+	cells, stats, err := planWithStore(ctx, grid, opts.Workers, st, !opts.Recompute)
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{Planned: len(cells), SkippedLines: st.Skipped()}
+	rep := &Report{
+		Planned:      len(cells),
+		Generated:    stats.generated,
+		MemoHits:     stats.memoHits,
+		SkippedLines: st.Skipped(),
+	}
 
 	var missing []Cell
 	for _, c := range cells {

@@ -228,6 +228,98 @@ func TestKillAndResume(t *testing.T) {
 	}
 }
 
+// TestMemoSkipsRegeneration pins the calibration-memo satellite: a rerun
+// of a finished sweep derives every cell key from the store's memo and
+// performs zero matrix generations, yet plans exactly the keys a fresh,
+// fully generating Plan produces — the seeded-generator determinism that
+// anchors the memo's soundness.
+func TestMemoSkipsRegeneration(t *testing.T) {
+	ctx := context.Background()
+	grid := testGrid()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	rep1, err := Run(ctx, st, grid, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 nets x 2 seeds = 4 calibration groups, all generated cold.
+	if rep1.Generated != 4 || rep1.MemoHits != 0 {
+		t.Fatalf("cold run: Generated=%d MemoHits=%d, want 4, 0", rep1.Generated, rep1.MemoHits)
+	}
+	if st.MemoLen() != 4 {
+		t.Fatalf("MemoLen=%d after cold run, want 4", st.MemoLen())
+	}
+
+	rep2, err := Run(ctx, st, grid, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Generated != 0 || rep2.MemoHits != 4 || rep2.Reused != 8 || rep2.Computed != 0 {
+		t.Fatalf("warm run: %+v, want 0 generated, 4 memo hits, 8 reused", rep2)
+	}
+
+	// Memoized keys must be exactly the keys full regeneration derives.
+	fresh, err := Plan(ctx, grid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memoed, stats, err := planWithStore(ctx, grid, 1, st, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.generated != 0 || stats.memoHits != 4 {
+		t.Fatalf("memo plan stats = %+v, want 0 generated, 4 memo hits", stats)
+	}
+	for i := range fresh {
+		if fresh[i].Key != memoed[i].Key || fresh[i].Meta != memoed[i].Meta {
+			t.Fatalf("memoized plan diverges at %d: %+v vs %+v", i, memoed[i], fresh[i])
+		}
+		if memoed[i].Scenario.Matrix != nil {
+			t.Fatalf("memoized cell %d carries a matrix it should have skipped", i)
+		}
+	}
+
+	// A widened grid invalidates its groups (new scheme point missing),
+	// so those groups regenerate — and only the new cells compute.
+	wide := grid
+	wide.Schemes = append(append([]string(nil), grid.Schemes...), "ldr")
+	rep3, err := Run(ctx, st, wide, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Generated != 4 || rep3.MemoHits != 0 || rep3.Reused != 8 || rep3.Computed != 4 {
+		t.Fatalf("widened run: %+v, want 4 generated, 8 reused, 4 computed", rep3)
+	}
+
+	// Recompute bypasses the memo shortcut entirely.
+	rep4, err := Run(ctx, st, grid, Options{Workers: 1, Recompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep4.Generated != 4 || rep4.MemoHits != 0 || rep4.Computed != 8 {
+		t.Fatalf("recompute run: %+v, want 4 generated, 8 computed", rep4)
+	}
+}
+
+func TestResolveNet(t *testing.T) {
+	n, err := ResolveNet("randomgeo:12:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "randomgeo-12-s7" || n.Class != "generated" || n.Graph == nil {
+		t.Fatalf("ResolveNet = %+v", n)
+	}
+	for _, bad := range []string{"zoo", "class:ring", "no-such-net"} {
+		if _, err := ResolveNet(bad); err == nil {
+			t.Errorf("ResolveNet(%q) accepted", bad)
+		}
+	}
+}
+
 func TestRecomputeOverridesStore(t *testing.T) {
 	ctx := context.Background()
 	st, err := store.Open(t.TempDir())

@@ -1,0 +1,69 @@
+package lowlat
+
+import (
+	"context"
+	"net"
+
+	"lowlat/internal/serve"
+	"lowlat/internal/store"
+)
+
+// This file is the serving half of the public facade: the query daemon
+// that turns a result store into an always-on HTTP service, and the typed
+// client for talking to one. The batch layers fill the store (RunSweep,
+// the figure drivers); Serve answers questions about it online and
+// computes missing cells on demand.
+
+// ServeOptions tunes a query server: engine width, the in-flight
+// computation bound behind 429 backpressure, the LRU size, the shutdown
+// drain timeout.
+type ServeOptions = serve.Options
+
+// ServeStats is the /v1/stats counter block.
+type ServeStats = serve.Stats
+
+// QueryServer is the HTTP query-serving daemon over one result store.
+type QueryServer = serve.Server
+
+// ServeClient is the typed client for a running daemon.
+type ServeClient = serve.Client
+
+// PlaceRequest asks a daemon for one scenario cell by coordinates.
+type PlaceRequest = serve.PlaceRequest
+
+// PlaceResponse is the daemon's answer: the cell plus its source
+// ("cache", "store" or "computed").
+type PlaceResponse = serve.PlaceResponse
+
+// LandscapeSummary is the per-class CDF aggregate /v1/summary returns.
+type LandscapeSummary = serve.Summary
+
+// NewQueryServer builds a query server over an open result store (opened
+// with OpenResultStore, or read-only with OpenResultStoreReadOnly — a
+// read-only daemon serves stored cells but refuses to compute).
+func NewQueryServer(st *ResultStore, opts ServeOptions) *QueryServer {
+	return serve.New(st, opts)
+}
+
+// Serve mounts the store at addr and serves until ctx is cancelled, then
+// drains in-flight requests and returns. notify, when non-nil, receives
+// the bound address before serving starts (how callers learn the port
+// when addr ends in ":0").
+func Serve(ctx context.Context, st *ResultStore, addr string, opts ServeOptions, notify func(net.Addr)) error {
+	return serve.New(st, opts).ListenAndServe(ctx, addr, notify)
+}
+
+// NewServeClient returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func NewServeClient(baseURL string) *ServeClient { return serve.NewClient(baseURL) }
+
+// OpenResultStoreReadOnly opens an existing result store without ever
+// writing to it, so any number of readers (query CLIs, read-only
+// daemons) can run beside one writing process.
+func OpenResultStoreReadOnly(dir string) (*ResultStore, error) { return store.OpenReadOnly(dir) }
+
+// SummarizeResults aggregates a result slice into per-class metric CDFs
+// — the same computation the daemon's /v1/summary endpoint serves.
+func SummarizeResults(results []CellResult, points int) *LandscapeSummary {
+	return serve.Summarize(results, points)
+}
