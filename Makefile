@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck build short bench race sweep-smoke serve-smoke clean
+.PHONY: ci vet staticcheck build short bench race sweep-smoke serve-smoke cluster-smoke clean
 
 ci: vet staticcheck build short bench
 
@@ -52,6 +52,15 @@ SERVE_STORE ?= .servestore
 serve-smoke:
 	sh ./scripts/serve_smoke.sh $(SERVE_STORE)
 
+# Cluster smoke test: seed two disjoint stores, boot two lowlatd
+# replicas on ephemeral ports, drive `lowlat query/export/sweep
+# -cluster` through the consistent-hash ring, kill one replica, and
+# verify rerouted answers. The store directories are gitignored;
+# `make clean` removes them.
+CLUSTER_STORE ?= .clusterstore
+cluster-smoke:
+	sh ./scripts/cluster_smoke.sh $(CLUSTER_STORE)
+
 clean:
 	rm -f BENCH_ci.json
-	rm -rf $(SWEEP_STORE) $(SERVE_STORE)
+	rm -rf $(SWEEP_STORE) $(SERVE_STORE) $(CLUSTER_STORE)-a $(CLUSTER_STORE)-b $(CLUSTER_STORE)-sweep

@@ -1,0 +1,107 @@
+package lowlat
+
+import (
+	"context"
+	"net"
+
+	"lowlat/internal/backend"
+	"lowlat/internal/cluster"
+	"lowlat/internal/serve"
+	"lowlat/internal/store"
+)
+
+// This file is the placement-backend half of the public facade: the one
+// API every consumer of the scenario landscape goes through — "give me
+// the result for this cell, computing it if needed" — with four
+// interchangeable implementations. A LocalBackend computes through the
+// in-process engine over a writable store; a StoreBackend serves a store
+// read-only; a RemoteBackend talks to a running lowlatd daemon (with
+// client-side 429 backoff); a ClusterBackend fronts N backends with a
+// consistent-hash ring, rerouting around down replicas. They compose: a
+// sweep can farm compute out to a cluster, a daemon can serve a cluster
+// of daemons, and all of them answer the same Lookup/Place/Query/Stats
+// calls.
+
+// PlacementBackend is the placement-access interface: Lookup by content
+// key, Place by request coordinates (computing if needed), Query by
+// metadata filter, Stats for counters. All four backend types implement
+// it.
+type PlacementBackend = backend.Backend
+
+// CellSpec addresses one scenario cell by request coordinates — the
+// complement of CellKey, the content-derived address. Deterministic
+// generation maps a normalized spec to exactly one key, which is why
+// every backend (and every replica of a cluster) agrees where a cell
+// lives.
+type CellSpec = store.CellSpec
+
+// BackendStats is a backend's counter/gauge snapshot; cluster backends
+// nest per-replica snapshots under Replicas.
+type BackendStats = backend.Stats
+
+// LocalBackendOptions tunes a LocalBackend (engine width, admission
+// bound, invocation hook).
+type LocalBackendOptions = backend.LocalOptions
+
+// LocalBackend is the compute-capable backend over a writable store.
+type LocalBackend = backend.Local
+
+// StoreBackend is the read-only backend: lookups and queries, never
+// computation.
+type StoreBackend = backend.Store
+
+// RemoteBackend adapts the typed daemon client to the backend interface,
+// with bounded, seeded, jittered retry on 429 backpressure.
+type RemoteBackend = serve.Remote
+
+// RemoteBackendOptions tunes a RemoteBackend (retry policy, timeout for
+// context-less calls).
+type RemoteBackendOptions = serve.RemoteOptions
+
+// RetryBackoff is the bounded exponential backoff policy RemoteBackend
+// retries 429s with (seeded jitter, context-aware).
+type RetryBackoff = serve.Backoff
+
+// ClusterBackend fronts N backends with consistent hashing on the
+// content key: deterministic key→replica routing, per-replica health
+// marks with rerouting to the ring successor, fan-out + merge queries.
+type ClusterBackend = cluster.Backend
+
+// ClusterOptions tunes a ClusterBackend (virtual nodes, replica labels,
+// probe/query timeouts).
+type ClusterOptions = cluster.Options
+
+// NewLocalBackend builds the compute-capable backend over an open result
+// store.
+func NewLocalBackend(st *ResultStore, opts LocalBackendOptions) *LocalBackend {
+	return backend.NewLocal(st, opts)
+}
+
+// NewStoreBackend builds the read-only backend over an open result store
+// (typically one opened with OpenResultStoreReadOnly).
+func NewStoreBackend(st *ResultStore) *StoreBackend { return backend.NewStore(st) }
+
+// NewRemoteBackend builds a backend talking to the daemon at baseURL
+// (e.g. "http://127.0.0.1:8080").
+func NewRemoteBackend(baseURL string, opts RemoteBackendOptions) *RemoteBackend {
+	return serve.NewRemote(serve.NewClient(baseURL), opts)
+}
+
+// NewClusterBackend fronts the given replicas with a consistent-hash
+// ring.
+func NewClusterBackend(replicas []PlacementBackend, opts ClusterOptions) (*ClusterBackend, error) {
+	return cluster.New(replicas, opts)
+}
+
+// NewBackendQueryServer builds an HTTP query server over any placement
+// backend — how a lowlatd fronts a ClusterBackend of other lowlatds.
+func NewBackendQueryServer(b PlacementBackend, opts ServeOptions) *QueryServer {
+	return serve.NewBackendServer(b, opts)
+}
+
+// ServeBackend mounts a backend at addr and serves until ctx is
+// cancelled, then drains in-flight requests and returns. notify, when
+// non-nil, receives the bound address before serving starts.
+func ServeBackend(ctx context.Context, b PlacementBackend, addr string, opts ServeOptions, notify func(net.Addr)) error {
+	return serve.NewBackendServer(b, opts).ListenAndServe(ctx, addr, notify)
+}

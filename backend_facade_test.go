@@ -1,0 +1,110 @@
+package lowlat
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestBackendFacade drives the placement-backend facade end to end: two
+// stores served by two daemons, a ClusterBackend over RemoteBackends
+// fronting them, itself served by a third (storeless) daemon — the
+// daemons-compose deployment — queried and placed through the typed
+// client, and compared against a LocalBackend for provenance.
+func TestBackendFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs placements")
+	}
+	seed := func(nets string) *ResultStore {
+		t.Helper()
+		st, err := OpenResultStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		grid, err := ParseSweepGrid("nets=" + nets + ";seeds=1;schemes=sp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunSweep(context.Background(), st, grid, SweepOptions{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boot := func(b PlacementBackend) string {
+		t.Helper()
+		bound := make(chan net.Addr, 1)
+		served := make(chan error, 1)
+		go func() {
+			served <- ServeBackend(ctx, b, "127.0.0.1:0", ServeOptions{Workers: 1}, func(a net.Addr) { bound <- a })
+		}()
+		t.Cleanup(func() {
+			select {
+			case err := <-served:
+				if err != nil {
+					t.Errorf("ServeBackend = %v after shutdown", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Error("ServeBackend did not return after cancel")
+			}
+		})
+		select {
+		case a := <-bound:
+			return "http://" + a.String()
+		case err := <-served:
+			t.Fatalf("ServeBackend exited early: %v", err)
+			return ""
+		}
+	}
+
+	urlA := boot(NewLocalBackend(seed("star-6"), LocalBackendOptions{Workers: 1}))
+	urlB := boot(NewLocalBackend(seed("ring-8"), LocalBackendOptions{Workers: 1}))
+
+	cb, err := NewClusterBackend([]PlacementBackend{
+		NewRemoteBackend(urlA, RemoteBackendOptions{}),
+		NewRemoteBackend(urlB, RemoteBackendOptions{}),
+	}, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The cluster's merged query sees both shards.
+	if results := cb.Query(SweepFilter{Scheme: "sp"}); len(results) != 2 {
+		t.Fatalf("cluster query returned %d cells, want 2", len(results))
+	}
+
+	// A place through the cluster routes to one replica and persists
+	// there; Lookup resolves it cluster-wide.
+	res, err := cb.Place(ctx, CellSpec{Net: "star-6", Seed: 2, Scheme: "sp", Locality: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := cb.Lookup(res.Key); !ok || got != res {
+		t.Fatalf("cluster lookup = %+v, %v", got, ok)
+	}
+
+	// Daemons compose: a third daemon serves the cluster itself, and the
+	// typed client reads through the whole stack.
+	front := boot(cb)
+	c := NewServeClient(front)
+	results, err := c.Query(ctx, SweepFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("front-daemon query returned %d cells, want 3", len(results))
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Backend != "cluster" || len(stats.Replicas) != 2 {
+		t.Fatalf("front stats = %+v, want cluster backend with 2 replicas", stats)
+	}
+
+	cancel()
+}

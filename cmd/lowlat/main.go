@@ -25,11 +25,14 @@ import (
 	"sort"
 	"time"
 
+	"lowlat/internal/backend"
+	"lowlat/internal/cluster"
 	"lowlat/internal/dynamics"
 	"lowlat/internal/engine"
 	"lowlat/internal/experiments"
 	"lowlat/internal/metrics"
 	"lowlat/internal/routing"
+	"lowlat/internal/serve"
 	"lowlat/internal/store"
 	"lowlat/internal/sweep"
 	"lowlat/internal/tm"
@@ -141,10 +144,15 @@ func usage(w io.Writer) {
          flags: -resume=<bool> (default true: reuse stored cells)
                 -compact (rewrite the store after the sweep)
                 -workers <n> -timeout <d>
-  lowlat query -store <dir>                   list stored cells
+                -addr <url> | -cluster <url,...> (farm placement solves out
+                to running lowlatd daemons; results still checkpoint locally)
+  lowlat query [-store <dir>]                 list stored cells
          flags: -net <substr> -class <c> -scheme <s> -seed <n> -headroom <f>
-  lowlat export -store <dir> -format csv|json write a result slice
-         flags: -o <file> (default stdout) + the query filters`)
+                -addr <url> | -cluster <url,...> (query running daemons
+                instead of a local store; CSV/JSON always include the
+                header / an empty array, even for zero matches)
+  lowlat export [-store <dir>] -format csv|json write a result slice
+         flags: -o <file> (default stdout) + the query/remote flags`)
 }
 
 func cmdZoo(args []string, stdout, stderr io.Writer) error {
@@ -450,7 +458,7 @@ func cmdExp(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		defer st.Close()
-		cfg.Store = st
+		cfg.Backend = st
 	}
 	if *name == "all" {
 		return experiments.RunAll(cfg, stdout)
@@ -496,6 +504,7 @@ func cmdSweep(args []string, stdout, stderr io.Writer) error {
 	compact := fs.Bool("compact", false, "compact the store after the sweep")
 	workers := fs.Int("workers", 0, "engine worker pool size (0 = one per CPU)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	mkRemote := backendFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -509,6 +518,13 @@ func cmdSweep(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// With -addr/-cluster the missing cells are farmed out to remote
+	// daemons instead of solved in-process; results still checkpoint
+	// into the local store, so the sweep stays resumable either way.
+	remote, err := mkRemote()
+	if err != nil {
+		return err
+	}
 	ctx, cancel := runContext(*timeout)
 	defer cancel()
 
@@ -518,10 +534,14 @@ func cmdSweep(args []string, stdout, stderr io.Writer) error {
 	}
 	defer st.Close()
 
-	rep, runErr := sweep.Run(ctx, st, grid, sweep.Options{
+	opts := sweep.Options{
 		Workers:   *workers,
 		Recompute: !*resume,
-	})
+	}
+	if remote != nil {
+		opts.Backend = remote
+	}
+	rep, runErr := sweep.Run(ctx, st, grid, opts)
 	if rep != nil {
 		fmt.Fprintf(stdout, "sweep: %d cells planned, %d reused, %d computed, %d failed (store %s: %d cells; %d matrices generated, %d memo hits)\n",
 			rep.Planned, rep.Reused, rep.Computed, rep.Failed, *storeDir, st.Len(),
@@ -536,6 +556,37 @@ func cmdSweep(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// backendFlags registers the remote-access flags on fs — -addr for one
+// daemon, -cluster for a consistent-hash ring of them — and returns a
+// closure that builds the placement backend after parsing (nil when
+// neither flag was given, i.e. local-store mode).
+func backendFlags(fs *flag.FlagSet) func() (backend.Backend, error) {
+	addr := fs.String("addr", "", "base URL of a running lowlatd (e.g. http://127.0.0.1:8080); replaces -store")
+	clusterSpec := fs.String("cluster", "", "comma-separated lowlatd base URLs fronted by a consistent-hash ring; replaces -store")
+	return func() (backend.Backend, error) {
+		if *addr != "" && *clusterSpec != "" {
+			return nil, fmt.Errorf("-addr and -cluster are mutually exclusive")
+		}
+		if *addr != "" {
+			return serve.NewRemote(serve.NewClient(cluster.NormalizeBaseURL(*addr)), serve.RemoteOptions{}), nil
+		}
+		if *clusterSpec != "" {
+			return cluster.FromSpec(*clusterSpec, serve.RemoteOptions{}, cluster.Options{})
+		}
+		return nil, nil
+	}
+}
+
+// backendQuery lists the backend's cells matching f, failing loudly for
+// backends that can report delivery errors: a dead daemon must exit
+// non-zero, not print an empty (but well-formed) answer.
+func backendQuery(b backend.Backend, f sweep.Filter) ([]store.Result, error) {
+	if cq, ok := b.(backend.ContextQuerier); ok {
+		return cq.QueryContext(context.Background(), f)
+	}
+	return b.Query(f), nil
 }
 
 // filterFlags registers the query/export filter flags on fs and returns a
@@ -562,22 +613,49 @@ func filterFlags(fs *flag.FlagSet) func() sweep.Filter {
 	}
 }
 
+// resolveReadBackend builds the read path query/export share: a
+// read-only store mount (so it can run beside a writing sweep or
+// daemon), one remote daemon, or a cluster of them. Exactly one source
+// must be named. The returned closer releases the store mount, if any.
+func resolveReadBackend(storeDir string, mkRemote func() (backend.Backend, error), stderr io.Writer) (backend.Backend, func() error, error) {
+	b, err := mkRemote()
+	if err != nil {
+		return nil, nil, err
+	}
+	noop := func() error { return nil }
+	if b != nil {
+		if storeDir != "" {
+			return nil, nil, fmt.Errorf("-store and -addr/-cluster are mutually exclusive")
+		}
+		return b, noop, nil
+	}
+	if storeDir == "" {
+		return nil, nil, fmt.Errorf("-store is required (or -addr/-cluster for a remote daemon)")
+	}
+	st, err := openStoreReadOnly(storeDir, stderr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return backend.NewStore(st), st.Close, nil
+}
+
 func cmdQuery(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("query", stderr)
-	storeDir := fs.String("store", "", "result-store directory (required)")
+	storeDir := fs.String("store", "", "result-store directory")
+	mkRemote := backendFlags(fs)
 	filter := filterFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	if *storeDir == "" {
-		return fmt.Errorf("-store is required")
-	}
-	st, err := openStoreReadOnly(*storeDir, stderr)
+	b, done, err := resolveReadBackend(*storeDir, mkRemote, stderr)
 	if err != nil {
 		return err
 	}
-	defer st.Close()
-	results := sweep.Query(st, filter())
+	defer done()
+	results, err := backendQuery(b, filter())
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(stdout, "%-22s %-16s %6s %4s %-12s %9s %9s %9s %9s %9s %5s\n",
 		"network", "class", "seed", "tm", "scheme", "headroom", "congested", "stretch", "max-str", "max-util", "fits")
 	for _, r := range results {
@@ -585,27 +663,29 @@ func cmdQuery(args []string, stdout, stderr io.Writer) error {
 			r.Meta.Net, r.Meta.Class, r.Meta.Seed, r.Meta.TM, r.Meta.Scheme, r.Meta.Headroom,
 			r.Metrics.Congested, r.Metrics.Stretch, r.Metrics.MaxStretch, r.Metrics.MaxUtil, r.Metrics.Fits)
 	}
-	fmt.Fprintf(stdout, "%d of %d stored cells matched\n", len(results), st.Len())
+	fmt.Fprintf(stdout, "%d of %d stored cells matched\n", len(results), b.Stats().Cells)
 	return nil
 }
 
 func cmdExport(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("export", stderr)
-	storeDir := fs.String("store", "", "result-store directory (required)")
+	storeDir := fs.String("store", "", "result-store directory")
 	format := fs.String("format", "csv", "output format: csv or json")
 	out := fs.String("o", "", "output file (default stdout)")
+	mkRemote := backendFlags(fs)
 	filter := filterFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	if *storeDir == "" {
-		return fmt.Errorf("-store is required")
-	}
-	st, err := openStoreReadOnly(*storeDir, stderr)
+	b, done, err := resolveReadBackend(*storeDir, mkRemote, stderr)
 	if err != nil {
 		return err
 	}
-	defer st.Close()
+	defer done()
+	results, err := backendQuery(b, filter())
+	if err != nil {
+		return err
+	}
 	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -615,5 +695,7 @@ func cmdExport(args []string, stdout, stderr io.Writer) error {
 		defer f.Close()
 		w = f
 	}
-	return sweep.Export(w, st, filter(), *format)
+	// Both formats render an empty slice as a well-formed empty document
+	// (CSV: header row only; JSON: "[]"), local store or remote alike.
+	return sweep.ExportResults(w, results, *format)
 }

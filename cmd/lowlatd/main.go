@@ -1,14 +1,19 @@
-// Command lowlatd is the query-serving daemon: it mounts a result store
-// and answers landscape questions over HTTP — filtered cell listings,
-// per-class CDF summaries, and on-demand placement of cells no sweep has
-// computed yet, which it persists so the next request (from any client)
-// is a hit.
+// Command lowlatd is the query-serving daemon: it mounts a placement
+// backend — a result store, or a consistent-hash cluster of other
+// lowlatds — and answers landscape questions over HTTP: filtered cell
+// listings, per-class CDF summaries, and on-demand placement of cells no
+// sweep has computed yet, which it persists so the next request (from
+// any client) is a hit.
 //
 // Usage:
 //
 //	lowlatd -store results                        serve on 127.0.0.1:8080
 //	lowlatd -store results -addr 127.0.0.1:0      ephemeral port (printed)
 //	lowlatd -store results -readonly              never write the store
+//	lowlatd -cluster http://h1:8080,http://h2:8080
+//	                                              front a sharded cluster:
+//	                                              this daemon holds no store,
+//	                                              it routes by content key
 //
 // Endpoints (all JSON):
 //
@@ -32,9 +37,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"lowlat/internal/cluster"
 	"lowlat/internal/serve"
 	"lowlat/internal/store"
 )
@@ -52,7 +59,8 @@ func main() {
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lowlatd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	storeDir := fs.String("store", "", "result-store directory (required)")
+	storeDir := fs.String("store", "", "result-store directory (required unless -cluster)")
+	clusterSpec := fs.String("cluster", "", "comma-separated lowlatd base URLs to front with a consistent-hash ring (replaces -store)")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks one; the bound address is printed)")
 	readonly := fs.Bool("readonly", false, "mount the store read-only: /v1/place serves stored cells but never computes")
 	workers := fs.Int("workers", 0, "engine worker pool size (0 = one per CPU)")
@@ -65,40 +73,61 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
-	if *storeDir == "" {
-		fmt.Fprintln(stderr, "lowlatd: -store is required")
+	if *storeDir != "" && *clusterSpec != "" {
+		fmt.Fprintln(stderr, "lowlatd: -store and -cluster are mutually exclusive")
+		return 1
+	}
+	if *storeDir == "" && *clusterSpec == "" {
+		fmt.Fprintln(stderr, "lowlatd: -store is required (or -cluster to front other daemons)")
 		return 1
 	}
 
-	var st *store.Store
-	var err error
-	if *readonly {
-		st, err = store.OpenReadOnly(*storeDir)
-	} else {
-		st, err = store.Open(*storeDir)
-	}
-	if err != nil {
-		fmt.Fprintf(stderr, "lowlatd: %v\n", err)
-		return 1
-	}
-	defer st.Close()
-	if n := st.Skipped(); n > 0 {
-		fmt.Fprintf(stderr, "lowlatd: store %s: skipped %d corrupt line(s) from an interrupted run\n", *storeDir, n)
-	}
-
-	srv := serve.New(st, serve.Options{
+	opts := serve.Options{
 		Workers:      *workers,
 		MaxInflight:  *maxInflight,
 		CacheSize:    *cacheSize,
 		DrainTimeout: *drain,
-	})
-	mode := "read-write"
-	if *readonly {
-		mode = "read-only"
 	}
-	err = srv.ListenAndServe(ctx, *addr, func(bound net.Addr) {
-		fmt.Fprintf(stdout, "lowlatd: serving store %s (%d cells, %d memo entries, %s) on http://%s\n",
-			*storeDir, st.Len(), st.MemoLen(), mode, bound)
+	var srv *serve.Server
+	var serving string
+	if *clusterSpec != "" {
+		// Cluster front: this daemon holds no store of its own — every
+		// request routes to the replica owning its content key, so
+		// daemons compose into a sharded serving tier.
+		cb, err := cluster.FromSpec(*clusterSpec, serve.RemoteOptions{}, cluster.Options{})
+		if err != nil {
+			fmt.Fprintf(stderr, "lowlatd: %v\n", err)
+			return 1
+		}
+		srv = serve.NewBackendServer(cb, opts)
+		serving = fmt.Sprintf("cluster of %d replicas (%s)", len(cb.Labels()), strings.Join(cb.Labels(), ", "))
+	} else {
+		var st *store.Store
+		var err error
+		if *readonly {
+			st, err = store.OpenReadOnly(*storeDir)
+		} else {
+			st, err = store.Open(*storeDir)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "lowlatd: %v\n", err)
+			return 1
+		}
+		defer st.Close()
+		if n := st.Skipped(); n > 0 {
+			fmt.Fprintf(stderr, "lowlatd: store %s: skipped %d corrupt line(s) from an interrupted run\n", *storeDir, n)
+		}
+		srv = serve.New(st, opts)
+		mode := "read-write"
+		if *readonly {
+			mode = "read-only"
+		}
+		serving = fmt.Sprintf("store %s (%d cells, %d memo entries, %s)",
+			*storeDir, st.Len(), st.MemoLen(), mode)
+	}
+
+	err := srv.ListenAndServe(ctx, *addr, func(bound net.Addr) {
+		fmt.Fprintf(stdout, "lowlatd: serving %s on http://%s\n", serving, bound)
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "lowlatd: %v\n", err)

@@ -16,10 +16,19 @@
 // crash-tolerant scenario-result store (OpenResultStore) with a
 // resumable sweep orchestrator over it (RunSweep) that recomputes only
 // the cells a previous — possibly killed — run never finished, and
-// slices the accumulated results into CSV/JSON (ExportSweep); and the
+// slices the accumulated results into CSV/JSON (ExportSweep); the
 // serving layer: an always-on HTTP query daemon over a result store
 // (Serve, cmd/lowlatd) with request coalescing, LRU caching, bounded
-// on-demand computation and a typed client (NewServeClient).
+// on-demand computation and a typed client (NewServeClient); and the
+// placement-backend layer: one access API (PlacementBackend — Lookup by
+// content key, Place by request spec, Query, Stats) with four
+// interchangeable implementations — in-process compute over a writable
+// store (NewLocalBackend), a read-only store mount (NewStoreBackend), a
+// remote daemon with client-side 429 backoff (NewRemoteBackend), and a
+// consistent-hash sharded cluster of backends with health-marked
+// failover (NewClusterBackend) — so sweeps, figure drivers, daemons and
+// CLIs all scale from one process to a replicated serving tier without
+// changing call sites (ServeBackend composes daemons over clusters).
 //
 // The implementation lives under internal/:
 //
@@ -53,14 +62,25 @@
 //     orchestrator that dispatches only store-missing cells (consulting
 //     the store's calibration memo to skip matrix regeneration), and
 //     the CSV/JSON exporters
-//   - internal/serve — the query-serving daemon: an HTTP API over a
-//     result store with singleflight-coalesced on-demand placement, an
-//     LRU over content keys, 429 backpressure beyond a bounded
-//     in-flight computation limit, per-class CDF summaries, stats
-//     counters, graceful drain, and the typed client
+//   - internal/backend — the placement-backend API (Lookup / Place /
+//     Query / Stats) and its Local (engine over a writable store) and
+//     Store (read-only) implementations: the seam every consumer —
+//     sweeps, figure drivers, daemons, CLIs — accesses the landscape
+//     through
+//   - internal/serve — the query-serving daemon: a thin HTTP skin over
+//     any placement backend with singleflight-coalesced on-demand
+//     placement, an LRU over content keys, 429 backpressure from the
+//     backend's bounded in-flight computation limit, per-class CDF
+//     summaries, stats counters, graceful drain, the typed client, and
+//     the Remote backend adapting that client (with seeded-jitter 429
+//     backoff) back to the interface
+//   - internal/cluster — the consistent-hash sharded cluster backend:
+//     virtual-node ring on the content key, deterministic key→replica
+//     assignment, per-replica health marks with rerouting to the ring
+//     successor, fan-out + merge queries
 //   - internal/experiments — one driver per results figure plus
 //     fig_dynamics, all routed through the engine; the landscape and
-//     headroom drivers optionally checkpoint into a result store
+//     headroom drivers optionally checkpoint through a result backend
 //
 // The benchmarks in bench_test.go regenerate every results figure, and
 // bench_new_test.go covers the simulator, file I/O, wire protocol, and

@@ -1,0 +1,161 @@
+// Package backend defines the one placement-access API every consumer of
+// the scenario landscape talks through: "give me the result for this
+// cell, computing it if needed". The paper's landscape study is,
+// operationally, a huge content-addressed table of placement cells; this
+// interface is the seam that lets that table live anywhere — in-process
+// over a writable store (Local), in a store mounted read-only (Store), on
+// the far side of a daemon's HTTP API (serve.Remote), or sharded across N
+// replicas by consistent hashing on the content key (cluster.Backend) —
+// without the fig drivers, the sweep orchestrator, the CLI or the serving
+// daemon knowing which.
+//
+// The interface is deliberately small and symmetric with the store's two
+// addressing forms: Lookup takes a content key (the answer's identity),
+// Place takes a request spec (the question's coordinates), Query takes a
+// filter over the stored metadata. Everything else — caching, request
+// coalescing, retry, replica health — is an implementation concern layered
+// by the individual backends and by internal/serve's HTTP skin.
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"lowlat/internal/store"
+	"lowlat/internal/sweep"
+)
+
+// Backend is the placement-access API. Implementations must be safe for
+// concurrent use; Place blocks until the cell is resolved (or the context
+// dies), Lookup and Query never compute.
+type Backend interface {
+	// Lookup returns the stored result for a content key, if this backend
+	// holds it. It never triggers computation.
+	Lookup(k store.CellKey) (store.Result, bool)
+	// Place resolves one cell by request coordinates, computing and
+	// persisting it if no prior run has. Specs are normalized internally;
+	// invalid specs fail with a *SpecError.
+	Place(ctx context.Context, spec store.CellSpec) (store.Result, error)
+	// Query lists the backend's stored cells matching a filter, in the
+	// store's deterministic order.
+	Query(f sweep.Filter) []store.Result
+	// Stats snapshots the backend's counters and gauges.
+	Stats() Stats
+}
+
+// Source says where a Place answer came from. The serving layer surfaces
+// it in the HTTP response so clients (and smoke tests) can tell a recall
+// from a computation.
+type Source string
+
+const (
+	// SourceStore means the cell was already persisted.
+	SourceStore Source = "store"
+	// SourceComputed means this request ran the placement engine.
+	SourceComputed Source = "computed"
+	// SourceCache means a cache in front of the backend answered (the
+	// HTTP layer's LRU; backends themselves never report it).
+	SourceCache Source = "cache"
+	// SourceBackend is the fallback for backends that don't report
+	// provenance.
+	SourceBackend Source = "backend"
+)
+
+// Sourced is the optional extension backends implement to report where a
+// Place answer came from. All backends in this repository implement it;
+// the plain Place method is the interface contract, PlaceSourced the
+// richer internal form.
+type Sourced interface {
+	PlaceSourced(ctx context.Context, spec store.CellSpec) (store.Result, Source, error)
+}
+
+// PlaceSourced resolves a cell through b, reporting provenance when b can
+// (SourceBackend otherwise).
+func PlaceSourced(ctx context.Context, b Backend, spec store.CellSpec) (store.Result, Source, error) {
+	if s, ok := b.(Sourced); ok {
+		return s.PlaceSourced(ctx, spec)
+	}
+	r, err := b.Place(ctx, spec)
+	return r, SourceBackend, err
+}
+
+// Prober is the optional health-check extension. A cluster uses it to
+// distinguish "replica answered: miss" from "replica is down" on the
+// methods whose signatures cannot carry an error.
+type Prober interface {
+	Probe(ctx context.Context) error
+}
+
+// ContextQuerier is the optional error-aware form of Query. Backends that
+// do I/O (remote daemons) implement it so callers that care — a cluster
+// merging a fan-out — can tell an empty answer from a failed one.
+type ContextQuerier interface {
+	QueryContext(ctx context.Context, f sweep.Filter) ([]store.Result, error)
+}
+
+// ErrOverloaded marks a Place rejected by admission control: the
+// backend's computation limit is reached and the caller should retry
+// later. The HTTP layer renders it as 429.
+var ErrOverloaded = errors.New("computation limit reached; retry later")
+
+// ErrNotStored marks a Place that cannot be satisfied without computing
+// on a backend that will not compute (a read-only store mount). The HTTP
+// layer renders it as 403.
+var ErrNotStored = errors.New("cell is not stored and cannot be computed")
+
+// ErrUnavailable marks a backend that could not be reached at all — a
+// dead daemon, a refused connection — as opposed to one that answered
+// with an application error. Cluster routing reroutes on it.
+var ErrUnavailable = errors.New("backend unavailable")
+
+// SpecError is an invalid request spec — unresolvable net term, unknown
+// scheme, out-of-range knob. The HTTP layer renders it as 400.
+type SpecError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *SpecError) Error() string { return e.Msg }
+
+// specf builds a *SpecError.
+func specf(format string, args ...any) *SpecError {
+	return &SpecError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Stats is a backend's counter/gauge snapshot. Aggregating backends (the
+// cluster) roll their replicas' stats up into the top-level counters and
+// keep the per-replica snapshots in Replicas.
+type Stats struct {
+	// Backend names the implementation: "local", "store", "remote",
+	// "cluster".
+	Backend string `json:"backend"`
+	// Cells and MemoEntries gauge the visible store; ReadOnly reports a
+	// mount that will never compute.
+	Cells       int  `json:"cells"`
+	MemoEntries int  `json:"memo_entries"`
+	ReadOnly    bool `json:"read_only"`
+	// Lookups, Places and Queries count interface calls.
+	Lookups int64 `json:"lookups"`
+	Places  int64 `json:"places"`
+	Queries int64 `json:"queries"`
+	// StoreHits answered from persisted cells; MemoHits derived a content
+	// key from the calibration memo without regenerating a matrix.
+	StoreHits int64 `json:"store_hits"`
+	MemoHits  int64 `json:"memo_hits"`
+	// Computed counts engine invocations, Rejected admission-control
+	// refusals, InFlight currently admitted computations.
+	Computed int64 `json:"computed"`
+	Rejected int64 `json:"rejected"`
+	InFlight int64 `json:"in_flight"`
+	// Errors counts failed calls (transport failures, failed places);
+	// Retried counts backoff retries after 429; Rerouted counts requests
+	// a cluster moved off their ring owner because it was down.
+	Errors   int64 `json:"errors"`
+	Retried  int64 `json:"retried"`
+	Rerouted int64 `json:"rerouted"`
+	// Down counts replicas currently marked unhealthy (cluster only).
+	Down int `json:"down,omitempty"`
+	// Replicas carries per-replica snapshots (cluster only).
+	Replicas []Stats `json:"replicas,omitempty"`
+}

@@ -1,0 +1,175 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"lowlat/internal/store"
+	"lowlat/internal/sweep"
+)
+
+func openStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.OpenSharded(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func spec(net string, seed int64, scheme string) store.CellSpec {
+	return store.CellSpec{Net: net, Seed: seed, Scheme: scheme, Locality: 1}
+}
+
+// TestLocalPlaceLifecycle pins the Local backend's whole contract on one
+// cell: a first Place computes and persists, the repeat is a store hit
+// via the calibration memo (no second engine invocation), Lookup finds
+// the key, Query filters it, and Stats counts every step.
+func TestLocalPlaceLifecycle(t *testing.T) {
+	st := openStore(t)
+	var invocations atomic.Int64
+	l := NewLocal(st, LocalOptions{Workers: 1, OnPlace: func(store.CellKey) { invocations.Add(1) }})
+
+	res, src, err := l.PlaceSourced(context.Background(), spec("star-6", 1, "sp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceComputed || invocations.Load() != 1 {
+		t.Fatalf("first place: source %q, %d invocations", src, invocations.Load())
+	}
+	if res.Meta.Net != "star-6" || res.Meta.Load == 0 {
+		t.Fatalf("result meta %+v", res.Meta)
+	}
+
+	again, src, err := l.PlaceSourced(context.Background(), spec("star-6", 1, "sp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceStore || again != res || invocations.Load() != 1 {
+		t.Fatalf("repeat place: source %q, %d invocations", src, invocations.Load())
+	}
+
+	if got, ok := l.Lookup(res.Key); !ok || got != res {
+		t.Fatalf("lookup: %+v, %v", got, ok)
+	}
+	if n := len(l.Query(sweep.Filter{Scheme: "sp"})); n != 1 {
+		t.Fatalf("query matched %d cells", n)
+	}
+	s := l.Stats()
+	if s.Backend != "local" || s.Cells != 1 || s.Computed != 1 || s.MemoHits != 1 || s.StoreHits != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestLocalSpecErrors pins that malformed specs fail with *SpecError —
+// the kind the HTTP layer renders as 400 — before any engine work.
+func TestLocalSpecErrors(t *testing.T) {
+	l := NewLocal(openStore(t), LocalOptions{Workers: 1})
+	for name, s := range map[string]store.CellSpec{
+		"missing net":    {Scheme: "sp", Locality: 1},
+		"missing scheme": {Net: "star-6", Locality: 1},
+		"unknown scheme": spec("star-6", 1, "frob"),
+		"unknown net":    spec("no-such-net", 1, "sp"),
+		"multi net":      spec("zoo", 1, "sp"),
+		"bad headroom":   {Net: "star-6", Scheme: "ldr", Headroom: 1.5, Locality: 1},
+		"bad load":       {Net: "star-6", Scheme: "sp", Load: 7, Locality: 1},
+		"bad locality":   {Net: "star-6", Scheme: "sp", Locality: -1},
+	} {
+		_, err := l.Place(context.Background(), s)
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("%s: err = %v, want *SpecError", name, err)
+		}
+	}
+	if n := l.Stats().Computed; n != 0 {
+		t.Fatalf("%d engine invocations from invalid specs", n)
+	}
+}
+
+// TestLocalOverload pins admission control: with the one slot held by a
+// parked computation, a Place for a different cell fails ErrOverloaded
+// without queueing.
+func TestLocalOverload(t *testing.T) {
+	st := openStore(t)
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	l := NewLocal(st, LocalOptions{
+		Workers:     1,
+		MaxInflight: 1,
+		OnPlace: func(store.CellKey) {
+			select {
+			case entered <- struct{}{}:
+				<-release
+			default:
+			}
+		},
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Place(context.Background(), spec("star-6", 1, "sp"))
+		done <- err
+	}()
+	<-entered
+
+	_, err := l.Place(context.Background(), spec("ring-8", 1, "sp"))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-limit place: %v, want ErrOverloaded", err)
+	}
+	if got := l.Stats().Rejected; got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("held place: %v", err)
+	}
+}
+
+// TestStoreBackendNeverComputes pins the read-only backend: swept cells
+// serve through the memo, anything else fails ErrNotStored, and the
+// store is never written.
+func TestStoreBackendNeverComputes(t *testing.T) {
+	st := openStore(t)
+	grid := sweep.Grid{Nets: []string{"star-6"}, Seeds: []int64{1}, Schemes: []string{"sp"}}
+	if _, err := sweep.Run(context.Background(), st, grid, sweep.Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewStore(st)
+
+	res, src, err := b.PlaceSourced(context.Background(), spec("star-6", 1, "sp"))
+	if err != nil || src != SourceStore {
+		t.Fatalf("stored place: %v, source %q", err, src)
+	}
+	if _, err := b.Place(context.Background(), spec("star-6", 1, "minmax")); !errors.Is(err, ErrNotStored) {
+		t.Fatalf("unstored place: %v, want ErrNotStored", err)
+	}
+	if got, ok := b.Lookup(res.Key); !ok || got != res {
+		t.Fatalf("lookup: %+v, %v", got, ok)
+	}
+	s := b.Stats()
+	if !s.ReadOnly || s.Cells != 1 || s.Errors != 1 || s.MemoHits != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store grew to %d cells under a read-only backend", st.Len())
+	}
+}
+
+// TestLocalPut pins the experiments checkpoint seam: Put persists an
+// externally computed cell that Lookup then recalls.
+func TestLocalPut(t *testing.T) {
+	l := NewLocal(openStore(t), LocalOptions{Workers: 1})
+	r := store.Result{
+		Key:     store.CellKey{Graph: 1, Matrix: 2, Scheme: "sp", Config: 3},
+		Meta:    store.Meta{Net: "synthetic"},
+		Metrics: store.Metrics{Stretch: 1.5},
+	}
+	if err := l.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := l.Lookup(r.Key); !ok || got != r {
+		t.Fatalf("lookup after put: %+v, %v", got, ok)
+	}
+}

@@ -1,0 +1,32 @@
+package backend
+
+import (
+	"lowlat/internal/routing"
+	"lowlat/internal/store"
+)
+
+// CheckSpec validates a normalized spec's cheap invariants — required
+// fields, knob ranges, scheme name — without building a graph, returning
+// the configured scheme on success. Every failure is a *SpecError, so
+// the HTTP layer can answer 400 before admitting any work. Net-term
+// resolution (which constructs the topology) happens later, inside
+// Place.
+func CheckSpec(spec store.CellSpec) (routing.Scheme, error) {
+	if spec.Net == "" || spec.Scheme == "" {
+		return nil, specf("net and scheme are required")
+	}
+	if spec.Headroom < 0 || spec.Headroom >= 1 {
+		return nil, specf("bad headroom %g (want 0 <= h < 1)", spec.Headroom)
+	}
+	scheme, err := routing.ByName(spec.Scheme, spec.Headroom)
+	if err != nil {
+		return nil, specf("%v (have %v)", err, routing.SchemeNames())
+	}
+	if spec.Load <= 0 || spec.Load > 1 {
+		return nil, specf("bad load %g (want 0 < l <= 1)", spec.Load)
+	}
+	if spec.Locality < 0 {
+		return nil, specf("bad locality %g", spec.Locality)
+	}
+	return scheme, nil
+}

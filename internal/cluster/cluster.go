@@ -1,0 +1,397 @@
+// Package cluster shards the placement landscape across N backends with
+// consistent hashing on the content key — the ROADMAP's "fronting several
+// lowlatd replicas with consistent hashing" step made concrete. A
+// cluster.Backend implements the same placement-backend interface it
+// fronts, so everything composes: a sweep can farm its missing cells out
+// to a cluster, a lowlatd can serve a cluster of other lowlatds, and a
+// cluster member can itself be a cluster.
+//
+// Routing is deterministic: a Place request hashes its normalized spec,
+// a Lookup hashes its content key, and the ring maps the hash to one
+// owning replica — so repeated requests for one cell always land on the
+// same store, caches stay hot, and the daemon-side singleflight still
+// collapses concurrent duplicates cluster-wide. When a replica is marked
+// down (a dispatch failed with backend.ErrUnavailable, or Probe said so)
+// its keys reroute to the ring successor until Probe marks it back up;
+// Query fans out to every healthy replica and merges in store order.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lowlat/internal/backend"
+	"lowlat/internal/store"
+	"lowlat/internal/sweep"
+)
+
+// Options tunes a cluster backend.
+type Options struct {
+	// VNodes is the virtual-node count per replica (default 64). More
+	// vnodes flatten the key distribution at the cost of a bigger ring.
+	VNodes int
+	// Labels name the replicas for ring placement (default: a replica's
+	// BaseURL when it has one, else "replica-<i>"). Ownership is a pure
+	// function of (labels, vnodes, key): clusters sharing labels route
+	// identically, and stable labels keep ownership stable across
+	// restarts.
+	Labels []string
+	// ProbeTimeout bounds each health probe (default 2s).
+	ProbeTimeout time.Duration
+	// QueryTimeout bounds each replica's share of a Query fan-out
+	// (default 30s).
+	QueryTimeout time.Duration
+	// ReprobeInterval is how long a down mark sticks before the next
+	// request touching that replica re-probes it (default 5s). A
+	// restarted replica rejoins the ring within one interval without any
+	// operator action; the re-probe is synchronous but happens at most
+	// once per interval per replica, bounded by ProbeTimeout.
+	ReprobeInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.VNodes <= 0 {
+		o.VNodes = 64
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.QueryTimeout <= 0 {
+		o.QueryTimeout = 30 * time.Second
+	}
+	if o.ReprobeInterval <= 0 {
+		o.ReprobeInterval = 5 * time.Second
+	}
+	return o
+}
+
+// Backend fronts N placement backends behind one consistent-hash ring.
+// Create with New; all methods are safe for concurrent use.
+type Backend struct {
+	replicas []backend.Backend
+	labels   []string
+	ring     *ring
+	opts     Options
+	down     []atomic.Bool
+	// lastProbe is the unix-nano time each replica was last probed,
+	// rate-limiting the automatic re-probe of down replicas.
+	lastProbe []atomic.Int64
+
+	lookups  atomic.Int64
+	places   atomic.Int64
+	queries  atomic.Int64
+	rerouted atomic.Int64
+	errs     atomic.Int64
+}
+
+// labeled is implemented by backends that carry a natural stable name
+// (serve.Remote's BaseURL).
+type labeled interface {
+	BaseURL() string
+}
+
+// New builds a cluster over the given replicas.
+func New(replicas []backend.Backend, opts Options) (*Backend, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("cluster: no replicas")
+	}
+	opts = opts.withDefaults()
+	labels := opts.Labels
+	if labels == nil {
+		labels = make([]string, len(replicas))
+		for i, r := range replicas {
+			if l, ok := r.(labeled); ok {
+				labels[i] = l.BaseURL()
+			} else {
+				labels[i] = fmt.Sprintf("replica-%d", i)
+			}
+		}
+	}
+	if len(labels) != len(replicas) {
+		return nil, fmt.Errorf("cluster: %d labels for %d replicas", len(labels), len(replicas))
+	}
+	seen := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		if seen[l] {
+			return nil, fmt.Errorf("cluster: duplicate replica label %q", l)
+		}
+		seen[l] = true
+	}
+	return &Backend{
+		replicas:  replicas,
+		labels:    labels,
+		ring:      newRing(labels, opts.VNodes),
+		opts:      opts,
+		down:      make([]atomic.Bool, len(replicas)),
+		lastProbe: make([]atomic.Int64, len(replicas)),
+	}, nil
+}
+
+// Owner reports which replica index the ring assigns a key string to
+// (health marks ignored) — exported for tests and operator tooling that
+// reason about placement.
+func (c *Backend) Owner(key string) int { return c.ring.owner(key) }
+
+// Labels returns the replica labels in index order.
+func (c *Backend) Labels() []string { return append([]string(nil), c.labels...) }
+
+// MarkDown flags replica i as unhealthy: its keys reroute to ring
+// successors until MarkUp or a successful Probe.
+func (c *Backend) MarkDown(i int) { c.down[i].Store(true) }
+
+// MarkUp clears replica i's health mark.
+func (c *Backend) MarkUp(i int) { c.down[i].Store(false) }
+
+// Down reports replica i's health mark.
+func (c *Backend) Down(i int) bool { return c.down[i].Load() }
+
+// healthy reports whether replica i should receive traffic. A replica
+// marked down stays skipped until its ReprobeInterval elapses; then the
+// first request to touch it re-probes (bounded by ProbeTimeout, at most
+// one prober at a time via the timestamp CAS) and marks it back up on
+// success — the automatic recovery path after a replica restart, with
+// no operator in the loop.
+func (c *Backend) healthy(i int) bool {
+	if !c.down[i].Load() {
+		return true
+	}
+	now := time.Now().UnixNano()
+	last := c.lastProbe[i].Load()
+	if now-last < int64(c.opts.ReprobeInterval) || !c.lastProbe[i].CompareAndSwap(last, now) {
+		return false
+	}
+	p, ok := c.replicas[i].(backend.Prober)
+	if !ok {
+		// Non-probeable replicas are in-process; a down mark on one can
+		// only have come from MarkDown, and expires by re-probe time.
+		c.down[i].Store(false)
+		return true
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.ProbeTimeout)
+	defer cancel()
+	if p.Probe(ctx) != nil {
+		return false
+	}
+	c.down[i].Store(false)
+	return true
+}
+
+// Probe health-checks every replica that can be probed and updates the
+// marks: a failing probe marks down, a passing one marks back up — the
+// forced version of the automatic re-probe, for operators and tests
+// that don't want to wait out ReprobeInterval. Replicas that implement
+// no Prober are assumed healthy. It returns the number of replicas
+// marked down afterwards.
+func (c *Backend) Probe(ctx context.Context) int {
+	down := 0
+	for i, r := range c.replicas {
+		p, ok := r.(backend.Prober)
+		if !ok {
+			c.down[i].Store(false)
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, c.opts.ProbeTimeout)
+		err := p.Probe(pctx)
+		cancel()
+		c.down[i].Store(err != nil)
+		if err != nil {
+			down++
+		}
+	}
+	return down
+}
+
+// Lookup resolves a content key, asking the key's ring owner first and
+// then the remaining healthy replicas in ring order. The walk is what
+// keeps by-key reads correct whatever partitioned the data: stores
+// seeded by independent sweeps, cells that landed on their *spec*-hash
+// owner via Place, or cells a failover recomputed on a successor — in
+// every case the hit is at worst a short fan-out away, and when the
+// cluster's stores were sharded by content key the owner answers in one
+// round trip. A replica that is down (marked, or simply unreachable —
+// its lookup reads as a miss) contributes nothing and costs no failure.
+func (c *Backend) Lookup(k store.CellKey) (store.Result, bool) {
+	c.lookups.Add(1)
+	for _, i := range c.ring.seq(k.String()) {
+		if !c.healthy(i) {
+			continue
+		}
+		if res, ok := c.replicas[i].Lookup(k); ok {
+			return res, true
+		}
+	}
+	return store.Result{}, false
+}
+
+// Place routes a spec to its owning replica; a replica that fails with
+// backend.ErrUnavailable is marked down and the request reroutes to the
+// ring successor, so a mid-flight replica kill costs zero failed
+// requests. Application-level failures (bad spec, overload after the
+// remote's own retries, a solver error) surface unchanged — rerouting a
+// 400 would just fail twice.
+func (c *Backend) Place(ctx context.Context, spec store.CellSpec) (store.Result, error) {
+	res, _, err := c.PlaceSourced(ctx, spec)
+	return res, err
+}
+
+// PlaceSourced is Place with the serving replica's provenance.
+func (c *Backend) PlaceSourced(ctx context.Context, spec store.CellSpec) (store.Result, backend.Source, error) {
+	c.places.Add(1)
+	spec = spec.Normalized()
+	seq := c.ring.seq(spec.String())
+	owner := seq[0]
+	var lastErr error
+	for _, i := range seq {
+		if !c.healthy(i) {
+			continue
+		}
+		res, src, err := backend.PlaceSourced(ctx, c.replicas[i], spec)
+		if err != nil {
+			if errors.Is(err, backend.ErrUnavailable) {
+				c.down[i].Store(true)
+				lastErr = err
+				continue
+			}
+			c.errs.Add(1)
+			return store.Result{}, "", err
+		}
+		if i != owner {
+			c.rerouted.Add(1)
+		}
+		return res, src, nil
+	}
+	c.errs.Add(1)
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: %w: all %d replicas marked down", backend.ErrUnavailable, len(c.replicas))
+	}
+	return store.Result{}, "", lastErr
+}
+
+// Query fans the filter out to every healthy replica concurrently and
+// merges the answers: deduplicated by content key (replicas may overlap
+// after a failover) and sorted in store order, so a cluster's answer is
+// byte-identical to a single store holding the union. A replica that
+// fails its share is marked down and contributes nothing; callers that
+// need to distinguish "empty" from "nobody answered" use QueryContext.
+func (c *Backend) Query(f sweep.Filter) []store.Result {
+	res, _ := c.QueryContext(context.Background(), f)
+	return res
+}
+
+// QueryContext is the error-aware Query: it returns an error only when
+// no replica delivered an answer at all — a cluster that is entirely
+// unreachable must not read as an empty landscape. Partial answers (one
+// replica down, the rest merged) succeed, which is the availability the
+// ring is for; the Stats Down gauge says when that is happening.
+func (c *Backend) QueryContext(ctx context.Context, f sweep.Filter) ([]store.Result, error) {
+	c.queries.Add(1)
+	type part struct {
+		asked   bool
+		results []store.Result
+		err     error
+	}
+	parts := make([]part, len(c.replicas))
+	var wg sync.WaitGroup
+	for i, r := range c.replicas {
+		if !c.healthy(i) {
+			continue
+		}
+		parts[i].asked = true
+		wg.Add(1)
+		go func(i int, r backend.Backend) {
+			defer wg.Done()
+			if q, ok := r.(backend.ContextQuerier); ok {
+				qctx, cancel := context.WithTimeout(ctx, c.opts.QueryTimeout)
+				defer cancel()
+				res, err := q.QueryContext(qctx, f)
+				parts[i].results, parts[i].err = res, err
+				return
+			}
+			parts[i].results = r.Query(f)
+		}(i, r)
+	}
+	wg.Wait()
+
+	merged := make(map[store.CellKey]store.Result)
+	answered := 0
+	var errs []error
+	for i, p := range parts {
+		if !p.asked {
+			continue
+		}
+		if p.err != nil {
+			c.errs.Add(1)
+			errs = append(errs, fmt.Errorf("%s: %w", c.labels[i], p.err))
+			if errors.Is(p.err, backend.ErrUnavailable) {
+				c.down[i].Store(true)
+			}
+			continue
+		}
+		answered++
+		for _, r := range p.results {
+			// First replica in index order wins a duplicate key; the
+			// records are content-addressed so duplicates are identical
+			// in practice, this just keeps the merge deterministic.
+			if _, ok := merged[r.Key]; !ok {
+				merged[r.Key] = r
+			}
+		}
+	}
+	if answered == 0 {
+		if len(errs) == 0 {
+			return nil, fmt.Errorf("cluster: %w: all %d replicas marked down", backend.ErrUnavailable, len(c.replicas))
+		}
+		return nil, fmt.Errorf("cluster: no replica answered: %w", errors.Join(errs...))
+	}
+	out := make([]store.Result, 0, len(merged))
+	for _, r := range merged {
+		out = append(out, r)
+	}
+	store.SortResults(out)
+	return out, nil
+}
+
+// Stats aggregates the cluster's own routing counters with every
+// replica's snapshot (kept individually under Replicas). Cells sums the
+// replicas' gauges — an upper bound when stores overlap after
+// failovers. Remote snapshots are fetched concurrently, so the call
+// costs one slow replica, not the sum of them.
+func (c *Backend) Stats() backend.Stats {
+	out := backend.Stats{
+		Backend:  "cluster",
+		Lookups:  c.lookups.Load(),
+		Places:   c.places.Load(),
+		Queries:  c.queries.Load(),
+		Rerouted: c.rerouted.Load(),
+		Errors:   c.errs.Load(),
+	}
+	snaps := make([]backend.Stats, len(c.replicas))
+	var wg sync.WaitGroup
+	for i, r := range c.replicas {
+		wg.Add(1)
+		go func(i int, r backend.Backend) {
+			defer wg.Done()
+			snaps[i] = r.Stats()
+		}(i, r)
+	}
+	wg.Wait()
+	for i, rs := range snaps {
+		out.Cells += rs.Cells
+		out.MemoEntries += rs.MemoEntries
+		out.StoreHits += rs.StoreHits
+		out.MemoHits += rs.MemoHits
+		out.Computed += rs.Computed
+		out.Rejected += rs.Rejected
+		out.InFlight += rs.InFlight
+		out.Retried += rs.Retried
+		if c.down[i].Load() {
+			out.Down++
+		}
+		out.Replicas = append(out.Replicas, rs)
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"lowlat/internal/backend"
+	"lowlat/internal/serve"
+)
+
+// NormalizeBaseURL lets daemon addresses be given as bare host:port —
+// "127.0.0.1:8080" becomes "http://127.0.0.1:8080".
+func NormalizeBaseURL(u string) string {
+	if !strings.Contains(u, "://") {
+		return "http://" + u
+	}
+	return u
+}
+
+// FromSpec builds a cluster of Remote backends from the comma-separated
+// daemon base URLs both CLIs' -cluster flags take ("http://h1:8080,
+// h2:8080"); entries are trimmed, empty entries dropped, bare host:port
+// normalized. One parser for every binary, so the flag can never drift
+// between lowlat and lowlatd.
+func FromSpec(spec string, ropts serve.RemoteOptions, opts Options) (*Backend, error) {
+	var replicas []backend.Backend
+	for _, u := range strings.Split(spec, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			replicas = append(replicas, serve.NewRemote(serve.NewClient(NormalizeBaseURL(u)), ropts))
+		}
+	}
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("cluster: spec %q names no replicas", spec)
+	}
+	return New(replicas, opts)
+}

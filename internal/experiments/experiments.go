@@ -57,12 +57,23 @@ type Config struct {
 	// Context, when non-nil, cancels long experiment runs (the CLI wires
 	// its -timeout flag here). Nil means context.Background().
 	Context context.Context
-	// Store, when non-nil, makes the landscape and headroom drivers
+	// Backend, when non-nil, makes the landscape and headroom drivers
 	// (fig3, fig4, fig8, fig19, fig20's before/after sweeps) persistent
 	// and resumable: every (network, matrix, scheme) cell is checkpointed
-	// as it lands, and cells the store already holds are recalled instead
-	// of re-placed. Output is byte-identical with or without a store.
-	Store *store.Store
+	// as it lands, and cells the backend already holds are recalled
+	// instead of re-placed. Output is byte-identical with or without a
+	// backend. A bare *store.Store satisfies the interface, as does any
+	// writable placement backend (backend.Local).
+	Backend ResultBackend
+}
+
+// ResultBackend is the slice of the placement-backend API the figure
+// drivers need: recall a cell by content key, checkpoint a computed one.
+// The drivers generate their own matrices (several per topology), so
+// they address cells by content, never by request spec.
+type ResultBackend interface {
+	Lookup(k store.CellKey) (store.Result, bool)
+	Put(r store.Result) error
 }
 
 func (c Config) withDefaults() Config {
@@ -240,14 +251,15 @@ func (c Config) cellMeta(n Network, tmIndex int, scheme routing.Scheme) store.Me
 }
 
 // metricsFor resolves every scenario to its metric summary, out[i] for
-// scs[i]. Without a store this is r.Run plus a summarization pass. With
-// cfg.Store set, cells already stored are recalled without touching the
-// engine, and each newly placed cell is checkpointed the moment it lands,
-// so an interrupted figure run rerun against the same store computes only
-// what is missing. Results are identical either way.
+// scs[i]. Without a backend this is r.Run plus a summarization pass.
+// With cfg.Backend set, cells already stored are recalled without
+// touching the engine, and each newly placed cell is checkpointed the
+// moment it lands, so an interrupted figure run rerun against the same
+// backend computes only what is missing. Results are identical either
+// way.
 func metricsFor(ctx context.Context, r *engine.Runner, cfg Config, scs []engine.Scenario, metas []store.Meta) ([]store.Metrics, error) {
 	out := make([]store.Metrics, len(scs))
-	if cfg.Store == nil {
+	if cfg.Backend == nil {
 		results, err := r.Run(ctx, scs)
 		if err != nil {
 			return nil, err
@@ -263,7 +275,7 @@ func metricsFor(ctx context.Context, r *engine.Runner, cfg Config, scs []engine.
 	var missIdx []int
 	for i, sc := range scs {
 		keys[i] = store.KeyFor(sc.Graph, sc.Matrix, sc.Scheme)
-		if hit, ok := cfg.Store.Get(keys[i]); ok {
+		if hit, ok := cfg.Backend.Lookup(keys[i]); ok {
 			out[i] = hit.Metrics
 			continue
 		}
@@ -286,7 +298,7 @@ func metricsFor(ctx context.Context, r *engine.Runner, cfg Config, scs []engine.
 		}
 		i := missIdx[res.Value.Index]
 		out[i] = store.MetricsOf(res.Value.Placement)
-		if err := cfg.Store.Put(store.Result{Key: keys[i], Meta: metas[i], Metrics: out[i]}); err != nil {
+		if err := cfg.Backend.Put(store.Result{Key: keys[i], Meta: metas[i], Metrics: out[i]}); err != nil {
 			return nil, fmt.Errorf("experiments: checkpoint: %w", err)
 		}
 	}

@@ -47,7 +47,7 @@ func TestFig3StoreBackedParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := storeTestConfig(t)
-	cfg.Store = st
+	cfg.Backend = st
 	backed := fig3Table(t, cfg)
 	if !bytes.Equal(plain, backed) {
 		t.Fatalf("store-backed output differs:\n--- plain\n%s\n--- backed\n%s", plain, backed)
@@ -78,7 +78,7 @@ func TestFig3StoreBackedParity(t *testing.T) {
 	if err := st2.Put(victim); err != nil {
 		t.Fatal(err)
 	}
-	cfg.Store = st2
+	cfg.Backend = st2
 	poisoned := fig3Table(t, cfg)
 	if bytes.Equal(plain, poisoned) {
 		t.Fatal("poisoned store did not change the output: cells were recomputed, not recalled")
@@ -112,7 +112,7 @@ func TestFig8StoreBackedParity(t *testing.T) {
 	}
 	defer st.Close()
 	cfg := storeTestConfig(t)
-	cfg.Store = st
+	cfg.Backend = st
 	if backed := run(cfg); !bytes.Equal(plain, backed) {
 		t.Fatalf("store-backed fig8 differs:\n--- plain\n%s\n--- backed\n%s", plain, backed)
 	}

@@ -165,6 +165,11 @@ func (c *Client) Place(ctx context.Context, preq PlaceRequest) (*PlaceResponse, 
 	return &out, nil
 }
 
+// Health checks the daemon's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.get(ctx, "/healthz", nil, nil)
+}
+
 // Stats fetches the daemon's counters.
 func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	var out Stats

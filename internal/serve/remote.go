@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"lowlat/internal/backend"
+	"lowlat/internal/store"
+	"lowlat/internal/sweep"
+)
+
+// RemoteOptions tunes a Remote backend. The zero value retries 429s with
+// the default Backoff and bounds context-less calls at 30 seconds.
+type RemoteOptions struct {
+	// Retry is the 429 backoff policy (zero value = defaults).
+	Retry Backoff
+	// Timeout bounds the interface methods whose signatures carry no
+	// context — Lookup, Query, Stats (default 30s).
+	Timeout time.Duration
+}
+
+func (o RemoteOptions) withDefaults() RemoteOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+// Remote adapts the typed daemon client to the placement-backend
+// interface: every method is one HTTP round trip (Place with bounded,
+// jittered retry on 429 backpressure). A Remote is how one process's
+// sweep or daemon composes onto another daemon's store and engine — and
+// N Remotes behind a consistent-hash ring are a cluster.
+type Remote struct {
+	c    *Client
+	opts RemoteOptions
+
+	lookups atomic.Int64
+	places  atomic.Int64
+	queries atomic.Int64
+	errs    atomic.Int64
+	retried atomic.Int64
+}
+
+// NewRemote wraps a Client in the backend interface.
+func NewRemote(c *Client, opts RemoteOptions) *Remote {
+	return &Remote{c: c, opts: opts.withDefaults()}
+}
+
+// BaseURL returns the daemon root this backend talks to (cluster labels
+// and error messages use it).
+func (r *Remote) BaseURL() string { return r.c.BaseURL }
+
+// wrap classifies an error: application-level daemon answers
+// (StatusError) pass through untouched so callers can re-render their
+// status; anything else — a refused connection, a dead socket — marks the
+// replica unavailable, which is what cluster routing reroutes on.
+func (r *Remote) wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return err
+	}
+	return fmt.Errorf("%s: %w: %v", r.c.BaseURL, backend.ErrUnavailable, err)
+}
+
+// ctx derives the bounded context for the interface methods that carry
+// none.
+func (r *Remote) ctx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), r.opts.Timeout)
+}
+
+// Lookup fetches one cell by content key. Any failure — a 404, a dead
+// daemon — reads as a miss; callers that need to distinguish probe
+// health separately (Prober).
+func (r *Remote) Lookup(k store.CellKey) (store.Result, bool) {
+	r.lookups.Add(1)
+	ctx, cancel := r.ctx()
+	defer cancel()
+	res, err := r.c.Cell(ctx, k.String())
+	if err != nil {
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != 404 {
+			r.errs.Add(1)
+		}
+		return store.Result{}, false
+	}
+	return res, true
+}
+
+// Place asks the daemon for one cell, retrying 429 backpressure with the
+// configured backoff and honoring ctx throughout.
+func (r *Remote) Place(ctx context.Context, spec store.CellSpec) (store.Result, error) {
+	res, _, err := r.PlaceSourced(ctx, spec)
+	return res, err
+}
+
+// PlaceSourced is Place with the daemon-reported provenance.
+func (r *Remote) PlaceSourced(ctx context.Context, spec store.CellSpec) (store.Result, backend.Source, error) {
+	r.places.Add(1)
+	spec = spec.Normalized()
+	loc := spec.Locality
+	req := PlaceRequest{
+		Net:      spec.Net,
+		Seed:     spec.Seed,
+		Scheme:   spec.Scheme,
+		Headroom: spec.Headroom,
+		Load:     spec.Load,
+		Locality: &loc,
+	}
+	var resp *PlaceResponse
+	err := r.opts.Retry.Do(ctx, RetryableStatus,
+		func() { r.retried.Add(1) },
+		func() error {
+			p, err := r.c.Place(ctx, req)
+			if err != nil {
+				return err
+			}
+			resp = p
+			return nil
+		})
+	if err != nil {
+		r.errs.Add(1)
+		return store.Result{}, "", r.wrap(err)
+	}
+	return resp.Result, backend.Source(resp.Source), nil
+}
+
+// Query lists the daemon's cells matching the filter; failures read as
+// an empty answer (QueryContext reports them).
+func (r *Remote) Query(f sweep.Filter) []store.Result {
+	ctx, cancel := r.ctx()
+	defer cancel()
+	res, err := r.QueryContext(ctx, f)
+	if err != nil {
+		return nil
+	}
+	return res
+}
+
+// QueryContext is the error-aware Query the cluster's fan-out uses.
+func (r *Remote) QueryContext(ctx context.Context, f sweep.Filter) ([]store.Result, error) {
+	r.queries.Add(1)
+	res, err := r.c.Query(ctx, f)
+	if err != nil {
+		r.errs.Add(1)
+		return nil, r.wrap(err)
+	}
+	return res, nil
+}
+
+// Probe checks the daemon's liveness endpoint — the health mark cluster
+// routing flips replicas on.
+func (r *Remote) Probe(ctx context.Context) error {
+	if err := r.c.Health(ctx); err != nil {
+		return r.wrap(err)
+	}
+	return nil
+}
+
+// Stats merges the daemon's counters (gauges, hit/compute counts) with
+// this client's own call counters. An unreachable daemon yields zero
+// gauges and a bumped error count rather than an error: Stats is a
+// snapshot, not a health check.
+func (r *Remote) Stats() backend.Stats {
+	out := backend.Stats{
+		Backend: "remote",
+		Lookups: r.lookups.Load(),
+		Places:  r.places.Load(),
+		Queries: r.queries.Load(),
+		Errors:  r.errs.Load(),
+		Retried: r.retried.Load(),
+	}
+	ctx, cancel := r.ctx()
+	defer cancel()
+	st, err := r.c.Stats(ctx)
+	if err != nil {
+		out.Errors = r.errs.Add(1)
+		return out
+	}
+	out.Cells = st.StoreCells
+	out.MemoEntries = st.MemoEntries
+	out.ReadOnly = st.ReadOnly
+	out.StoreHits = st.StoreHits
+	out.MemoHits = st.MemoHits
+	out.Computed = st.Computed
+	out.Rejected = st.Rejected
+	out.InFlight = st.InFlight
+	return out
+}

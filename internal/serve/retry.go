@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Backoff is a bounded exponential retry policy with seeded jitter: the
+// client-side half of the daemon's 429 admission control. The server
+// sheds load by answering "computation limit reached" immediately; a
+// Remote backend turns that into a short, capped, jittered wait instead
+// of surfacing a terminal error — so a burst of concurrent places against
+// a saturated replica spreads out rather than synchronizing into a
+// retry storm.
+//
+// The policy is a value: copying it is cheap, the zero value means the
+// defaults, and the jitter source is seeded so two equal policies produce
+// identical delay sequences — what makes retry behavior assertable in
+// tests rather than flaky.
+type Backoff struct {
+	// Attempts caps how many times the operation runs in total,
+	// including the first try (default 4; 1 disables retrying).
+	Attempts int
+	// Base is the delay before the first retry; each further retry
+	// doubles it (default 50ms).
+	Base time.Duration
+	// Max caps the per-retry delay (default 2s).
+	Max time.Duration
+	// Jitter is the fraction of each delay that is randomized away:
+	// a delay d becomes uniform in ((1-Jitter)·d, d] (default 0.5;
+	// negative or >1 values clamp).
+	Jitter float64
+	// Seed seeds the jitter source (default 1). Each Do call derives its
+	// own stream from (Seed, call ordinal), so concurrent retries against
+	// one saturated replica dither apart instead of synchronizing — while
+	// the schedule stays a pure function of the seed and call order for
+	// tests (Delay with an explicit source pins exact values).
+	Seed int64
+	// Sleep overrides the delay implementation (tests record delays
+	// instead of waiting). The default honors ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Attempts <= 0 {
+		b.Attempts = 4
+	}
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	}
+	if b.Jitter > 1 {
+		b.Jitter = 1
+	}
+	if b.Seed == 0 {
+		b.Seed = 1
+	}
+	if b.Sleep == nil {
+		b.Sleep = sleepCtx
+	}
+	return b
+}
+
+// sleepCtx waits d, returning early with ctx's error if it dies first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Delay returns the backoff delay before retry number n (1-based),
+// jittered by the given source: min(Max, Base·2^(n-1)) shrunk by up to
+// Jitter. Exposed for tests that pin the schedule.
+func (b Backoff) Delay(n int, rng *rand.Rand) time.Duration {
+	b = b.withDefaults()
+	d := b.Base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= b.Max {
+			d = b.Max
+			break
+		}
+	}
+	if d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter > 0 {
+		d = d - time.Duration(rng.Float64()*b.Jitter*float64(d))
+	}
+	return d
+}
+
+// doSeq distinguishes concurrent Do calls: mixing the call ordinal into
+// the jitter seed keeps simultaneous retry loops (8 clients hitting one
+// saturated replica) dithered apart instead of sleeping in lockstep —
+// the synchronization the jitter exists to break.
+var doSeq atomic.Int64
+
+// Do runs fn until it succeeds, fails with a non-retryable error, runs
+// out of attempts, or ctx dies. onRetry (when non-nil) runs before each
+// retry's delay — observability and test hooks. When ctx dies mid-wait
+// the last operation error and the context error are joined, so callers
+// can still see both the 429 and the cancellation.
+func (b Backoff) Do(ctx context.Context, retryable func(error) bool, onRetry func(), fn func() error) error {
+	b = b.withDefaults()
+	rng := rand.New(rand.NewSource(b.Seed + doSeq.Add(1)))
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil || retryable == nil || !retryable(err) || attempt >= b.Attempts {
+			return err
+		}
+		if onRetry != nil {
+			onRetry()
+		}
+		if serr := b.Sleep(ctx, b.Delay(attempt, rng)); serr != nil {
+			return errors.Join(serr, err)
+		}
+	}
+}
+
+// RetryableStatus reports whether err is a daemon backpressure response
+// (429) — the one status a client should retry rather than surface.
+func RetryableStatus(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusTooManyRequests
+}

@@ -1,28 +1,30 @@
 // Package serve is the query-serving daemon layer: a long-running HTTP
-// API over a persistent result store, turning the batch landscape study
-// into an online service — the operator's "how latency-capable is my
-// topology, and what does scheme X buy me?" asked as a request instead of
-// a sweep. Related always-on systems (cISP's latency service, the
-// latency-aware inter-domain routing daemon) answer path/latency queries
-// the same way: mostly from precomputed state, computing on demand when a
-// query misses.
+// API over a placement backend, turning the batch landscape study into an
+// online service — the operator's "how latency-capable is my topology,
+// and what does scheme X buy me?" asked as a request instead of a sweep.
+// Related always-on systems (cISP's latency service, the latency-aware
+// inter-domain routing daemon) answer path/latency queries the same way:
+// mostly from precomputed state, computing on demand when a query misses.
 //
-// The server mounts one store and answers JSON queries: cell lookup and
-// filtered listing (/v1/cell, /v1/query, reusing sweep.Filter), aggregate
-// per-class CDF summaries (/v1/summary), and on-demand placement
-// (/v1/place) that computes store-missing cells through the engine over a
-// shared solver cache and appends them to the store, so the next request
-// — from any client — is a hit.
+// The server is a thin HTTP skin over lowlat's one placement-access API
+// (internal/backend): cell lookup and filtered listing (/v1/cell,
+// /v1/query, reusing sweep.Filter), aggregate per-class CDF summaries
+// (/v1/summary), on-demand placement (/v1/place) and counters
+// (/v1/stats). Mounted over a Local backend it is the classic
+// one-store-one-daemon deployment; mounted over a cluster backend the
+// same daemon is a stateless front for N sharded replicas — daemons
+// compose.
 //
 // The hot path is production-shaped rather than a bare mux:
 //
 //   - requests for the same content coalesce through a singleflight
-//     group, so N concurrent misses on one cell trigger one computation;
+//     group, so N concurrent misses on one cell trigger one backend
+//     dispatch (one computation, wherever the backend routes it);
 //   - finished cells sit in a bounded LRU keyed by content key, ahead of
-//     the store index;
-//   - admitted computations are bounded by a semaphore — beyond it
-//     /v1/place answers 429 immediately instead of queueing without
-//     bound — and actual solves run on a bounded worker pool;
+//     the backend;
+//   - the Local backend bounds admitted computations by a semaphore —
+//     beyond it /v1/place answers 429 immediately instead of queueing
+//     without bound — and runs actual solves on a bounded worker pool;
 //   - shutdown drains in-flight work (http.Server.Shutdown semantics);
 //   - /v1/stats exposes the hit/miss/coalesce/in-flight counters.
 package serve
@@ -39,13 +41,14 @@ import (
 	"sync/atomic"
 	"time"
 
-	"lowlat/internal/engine"
-	"lowlat/internal/routing"
+	"lowlat/internal/backend"
 	"lowlat/internal/store"
 	"lowlat/internal/sweep"
 )
 
-// Options tunes a Server. The zero value serves with defaults.
+// Options tunes a Server. The zero value serves with defaults. Workers,
+// MaxInflight and OnPlace configure the Local backend New builds; a
+// server built over an existing backend (NewBackendServer) ignores them.
 type Options struct {
 	// Workers bounds concurrent engine work — matrix generation and
 	// placement solves (0 = one per CPU). Workers:1 makes the compute
@@ -63,6 +66,12 @@ type Options struct {
 	// DrainTimeout bounds graceful shutdown: how long Serve waits for
 	// in-flight requests after its context is cancelled (default 15s).
 	DrainTimeout time.Duration
+	// PlaceTimeout bounds one /v1/place flight end to end (default 10m).
+	// Local solves rarely approach it; what it actually protects against
+	// is a proxied backend that blackholes — without a deadline a hung
+	// downstream would pin the flight leader, its coalesced followers,
+	// and the request key forever.
+	PlaceTimeout time.Duration
 	// OnPlace, when non-nil, runs just before each engine invocation —
 	// the precise computation count, mirroring sweep.Options.OnPlace.
 	// Tests hang invocation counting and deterministic barriers off it.
@@ -70,23 +79,25 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	o.Workers = engine.DefaultWorkers(o.Workers)
-	if o.MaxInflight <= 0 {
-		o.MaxInflight = 4 * o.Workers
-	}
 	if o.CacheSize <= 0 {
 		o.CacheSize = 512
 	}
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = 15 * time.Second
 	}
+	if o.PlaceTimeout <= 0 {
+		o.PlaceTimeout = 10 * time.Minute
+	}
 	return o
 }
 
 // Stats is the /v1/stats payload: monotonic counters since the server
-// started, plus store gauges. Field order is the wire order.
+// started, plus backend gauges. Field order is the wire order.
 type Stats struct {
-	// StoreCells and MemoEntries gauge the mounted store.
+	// Backend names the implementation serving /v1/place: "local",
+	// "store", "remote", "cluster".
+	Backend string `json:"backend"`
+	// StoreCells and MemoEntries gauge the backend's visible store.
 	StoreCells  int  `json:"store_cells"`
 	MemoEntries int  `json:"memo_entries"`
 	ReadOnly    bool `json:"read_only"`
@@ -94,9 +105,9 @@ type Stats struct {
 	Queries       int64 `json:"queries"`
 	CellLookups   int64 `json:"cell_lookups"`
 	PlaceRequests int64 `json:"place_requests"`
-	// CacheHits were answered by the LRU, StoreHits by the store index,
-	// MemoHits derived their cell key from the calibration memo without
-	// regenerating the matrix.
+	// CacheHits were answered by the LRU, StoreHits by the backend's
+	// store, MemoHits derived their cell key from the calibration memo
+	// without regenerating the matrix.
 	CacheHits int64 `json:"cache_hits"`
 	StoreHits int64 `json:"store_hits"`
 	MemoHits  int64 `json:"memo_hits"`
@@ -109,20 +120,19 @@ type Stats struct {
 	// gauges the LRU.
 	InFlight      int64 `json:"in_flight"`
 	CachedEntries int   `json:"cached_entries"`
+	// Replicas carries per-replica backend snapshots when the server
+	// fronts a cluster.
+	Replicas []backend.Stats `json:"replicas,omitempty"`
 }
 
-// counters is the server's atomic counter block.
+// counters is the server's HTTP-layer atomic counter block; compute-side
+// counters live in the backend.
 type counters struct {
 	queries   atomic.Int64
 	cells     atomic.Int64
 	places    atomic.Int64
 	cacheHits atomic.Int64
-	storeHits atomic.Int64
-	memoHits  atomic.Int64
 	coalesced atomic.Int64
-	computed  atomic.Int64
-	rejected  atomic.Int64
-	inflight  atomic.Int64
 }
 
 // PlaceRequest asks for one scenario cell by its coordinates. Net takes
@@ -172,35 +182,50 @@ func errf(code int, format string, args ...any) *apiError {
 	return &apiError{code: code, msg: fmt.Sprintf(format, args...)}
 }
 
-// Server serves one result store over HTTP. Create with New, mount via
-// Handler, or run with Serve / ListenAndServe.
+// Server serves one placement backend over HTTP. Create with New (over a
+// store) or NewBackendServer (over any backend), mount via Handler, or
+// run with Serve / ListenAndServe.
 type Server struct {
-	st      *store.Store
+	b       backend.Backend
 	opts    Options
-	solver  *routing.SolverCache
 	lru     *lruCache[store.Result]  // content key -> response
 	keys    *lruCache[store.CellKey] // request key -> content key shortcut
 	flights *flightGroup
-	sem     chan struct{} // admission slots (MaxInflight)
-	work    chan struct{} // compute slots (Workers)
 	c       counters
 	mux     *http.ServeMux
 }
 
-// New builds a Server over an open store. The store may be writable (a
-// computed cell persists) or read-only (OpenReadOnly; /v1/place then
-// serves hits and answers 403 for cells that would need computing).
+// New builds a Server over an open store: a Local backend when the store
+// is writable (a computed cell persists), a read-only Store backend when
+// it was opened with OpenReadOnly (/v1/place then serves hits and answers
+// 403 for cells that would need computing).
 func New(st *store.Store, opts Options) *Server {
+	var b backend.Backend
+	if st.ReadOnly() {
+		b = backend.NewStore(st)
+	} else {
+		b = backend.NewLocal(st, backend.LocalOptions{
+			Workers:     opts.Workers,
+			MaxInflight: opts.MaxInflight,
+			OnPlace:     opts.OnPlace,
+		})
+	}
+	return NewBackendServer(b, opts)
+}
+
+// NewBackendServer builds a Server over any placement backend — a remote
+// daemon, a consistent-hash cluster — adding the HTTP skin: LRU response
+// cache, singleflight coalescing, JSON endpoints. Options.Workers,
+// MaxInflight and OnPlace are ignored (they configure a backend New
+// would build).
+func NewBackendServer(b backend.Backend, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		st:      st,
+		b:       b,
 		opts:    opts,
-		solver:  routing.NewSolverCache(),
 		lru:     newLRU[store.Result](opts.CacheSize),
 		keys:    newLRU[store.CellKey](opts.CacheSize),
 		flights: newFlightGroup(),
-		sem:     make(chan struct{}, opts.MaxInflight),
-		work:    make(chan struct{}, opts.Workers),
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -212,26 +237,34 @@ func New(st *store.Store, opts Options) *Server {
 	return s
 }
 
+// Backend exposes the backend the server fronts.
+func (s *Server) Backend() backend.Backend { return s.b }
+
 // Handler returns the server's HTTP handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters: the HTTP layer's own (requests, LRU
+// hits, coalesces) merged with the backend's (store gauges, hit/compute/
+// reject counts).
 func (s *Server) Stats() Stats {
+	bs := s.b.Stats()
 	return Stats{
-		StoreCells:    s.st.Len(),
-		MemoEntries:   s.st.MemoLen(),
-		ReadOnly:      s.st.ReadOnly(),
+		Backend:       bs.Backend,
+		StoreCells:    bs.Cells,
+		MemoEntries:   bs.MemoEntries,
+		ReadOnly:      bs.ReadOnly,
 		Queries:       s.c.queries.Load(),
 		CellLookups:   s.c.cells.Load(),
 		PlaceRequests: s.c.places.Load(),
 		CacheHits:     s.c.cacheHits.Load(),
-		StoreHits:     s.c.storeHits.Load(),
-		MemoHits:      s.c.memoHits.Load(),
+		StoreHits:     bs.StoreHits,
+		MemoHits:      bs.MemoHits,
 		Coalesced:     s.c.coalesced.Load(),
-		Computed:      s.c.computed.Load(),
-		Rejected:      s.c.rejected.Load(),
-		InFlight:      s.c.inflight.Load(),
+		Computed:      bs.Computed,
+		Rejected:      bs.Rejected,
+		InFlight:      bs.InFlight,
 		CachedEntries: s.lru.len(),
+		Replicas:      bs.Replicas,
 	}
 }
 
@@ -273,8 +306,11 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, notify func(ne
 	return s.Serve(ctx, ln)
 }
 
+// handleHealth answers liveness from the server alone — no backend
+// stats call, so a cluster-front daemon's health never depends on (or
+// waits for) its downstream replicas. Cell counts live in /v1/stats.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "store_cells": s.st.Len()})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -314,7 +350,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	results := sweep.Query(s.st, f)
+	results := s.b.Query(f)
 	if results == nil {
 		results = []store.Result{}
 	}
@@ -337,7 +373,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		}
 		points = n
 	}
-	writeJSON(w, http.StatusOK, Summarize(sweep.Query(s.st, f), points))
+	writeJSON(w, http.StatusOK, Summarize(s.b.Query(f), points))
 }
 
 func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
@@ -354,21 +390,13 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, CellResponse{Source: "cache", Result: res})
 		return
 	}
-	res, ok := s.st.Get(key)
+	res, ok := s.b.Lookup(key)
 	if !ok {
 		writeError(w, errf(http.StatusNotFound, "cell %s not stored", ks))
 		return
 	}
-	s.c.storeHits.Add(1)
 	s.lru.add(ks, res)
 	writeJSON(w, http.StatusOK, CellResponse{Source: "store", Result: res})
-}
-
-// reqKey canonicalizes a validated place request for coalescing: requests
-// that would compute the same cell collide on the same flight before any
-// graph or matrix exists to digest.
-func reqKey(req PlaceRequest, load, locality float64) string {
-	return fmt.Sprintf("%s|%d|%s|%g|%g|%g", req.Net, req.Seed, req.Scheme, req.Headroom, load, locality)
 }
 
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
@@ -378,37 +406,27 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusBadRequest, "bad request body: %v", err))
 		return
 	}
-	if req.Net == "" || req.Scheme == "" {
-		writeError(w, errf(http.StatusBadRequest, "net and scheme are required"))
-		return
-	}
-	if req.Headroom < 0 || req.Headroom >= 1 {
-		writeError(w, errf(http.StatusBadRequest, "bad headroom %g (want 0 <= h < 1)", req.Headroom))
-		return
-	}
-	scheme, err := routing.ByName(req.Scheme, req.Headroom)
-	if err != nil {
-		writeError(w, errf(http.StatusBadRequest, "%v (have %v)", err, routing.SchemeNames()))
-		return
-	}
-	load := req.Load
-	if load < 0 || load > 1 {
-		writeError(w, errf(http.StatusBadRequest, "bad load %g (want 0 < l <= 1)", req.Load))
-		return
-	}
-	if load == 0 {
-		load = 1 / 1.3
-	}
 	locality := 1.0
 	if req.Locality != nil {
 		locality = *req.Locality
 	}
-	if locality < 0 {
-		writeError(w, errf(http.StatusBadRequest, "bad locality %g", locality))
+	spec := store.CellSpec{
+		Net:      req.Net,
+		Seed:     req.Seed,
+		Scheme:   req.Scheme,
+		Headroom: req.Headroom,
+		Load:     req.Load,
+		Locality: locality,
+	}.Normalized()
+	// Cheap validation up front: a malformed request answers 400 without
+	// touching the coalescing layer or the backend. Net-term resolution
+	// (graph construction) stays inside the flight.
+	if _, err := backend.CheckSpec(spec); err != nil {
+		writeError(w, err)
 		return
 	}
 
-	rk := reqKey(req, load, locality)
+	rk := spec.String()
 	// Hot path: a request key served before maps straight to its content
 	// key — LRU lookup with no graph build, no flight.
 	if ck, ok := s.keys.get(rk); ok {
@@ -420,7 +438,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 
 	out, err := s.flights.do(r.Context(), rk,
-		func() (outcome, error) { return s.placeMiss(rk, req, scheme, load, locality) },
+		func() (outcome, error) { return s.placeMiss(rk, spec) },
 		func() { s.c.coalesced.Add(1) })
 	if err != nil {
 		writeError(w, err)
@@ -429,126 +447,23 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, PlaceResponse{Source: out.source, Result: out.result})
 }
 
-// placeMiss resolves one place request as the leader of its flight:
-// derive the cell key as cheaply as possible (calibration memo before
-// matrix generation), serve LRU/store hits without consuming a
-// computation slot, and otherwise generate + place under the admission
-// semaphore and worker pool, persisting the result.
-func (s *Server) placeMiss(rk string, req PlaceRequest, scheme routing.Scheme, load, locality float64) (outcome, error) {
-	spec, err := sweep.ResolveNet(req.Net)
+// placeMiss resolves one place request as the leader of its flight: one
+// backend dispatch, then the LRU and key-shortcut caches warm for the
+// next request. The dispatch deliberately does not inherit the leader's
+// request context — the leader computes for its followers, so a
+// disconnecting leader must not abort the flight — but it is bounded by
+// PlaceTimeout so a blackholed downstream cannot pin the flight (and
+// its request key) forever.
+func (s *Server) placeMiss(rk string, spec store.CellSpec) (outcome, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.opts.PlaceTimeout)
+	defer cancel()
+	res, src, err := backend.PlaceSourced(ctx, s.b, spec)
 	if err != nil {
-		return outcome{}, errf(http.StatusBadRequest, "%v", err)
+		return outcome{}, err
 	}
-	g := spec.Graph
-
-	// Calibration memo: the stored matrix digest yields the content key
-	// without re-running the generation LPs — daemon warm-up over a store
-	// a sweep filled stays compute-free. A memo hit only counts when it
-	// actually spared the generation, i.e. when the cell itself is held;
-	// otherwise the fall-through pays the solves regardless.
-	if md, ok := s.st.Memo(store.MemoKeyFor(g, req.Seed, load, locality)); ok {
-		ck := store.CellKey{
-			Graph:  store.Digest(g.Fingerprint()),
-			Matrix: md,
-			Scheme: scheme.Name(),
-			Config: store.ConfigDigest(scheme),
-		}
-		s.keys.add(rk, ck)
-		ks := ck.String()
-		if res, hit := s.lru.get(ks); hit {
-			s.c.memoHits.Add(1)
-			s.c.cacheHits.Add(1)
-			return outcome{source: "cache", result: res}, nil
-		}
-		if res, hit := s.st.Get(ck); hit {
-			s.c.memoHits.Add(1)
-			s.c.storeHits.Add(1)
-			s.lru.add(ks, res)
-			return outcome{source: "store", result: res}, nil
-		}
-	}
-
-	// The cell needs computing (or at least its matrix generating, which
-	// costs the same calibration solves): admission-control it.
-	if s.st.ReadOnly() {
-		return outcome{}, errf(http.StatusForbidden,
-			"store is read-only: cell for %s is not stored and cannot be computed", req.Net)
-	}
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		s.c.rejected.Add(1)
-		return outcome{}, errf(http.StatusTooManyRequests,
-			"computation limit reached (%d in flight); retry later", s.opts.MaxInflight)
-	}
-	defer func() { <-s.sem }()
-	s.c.inflight.Add(1)
-	defer s.c.inflight.Add(-1)
-
-	// Worker slot: bounds actual engine work to Workers, however many
-	// computations were admitted.
-	s.work <- struct{}{}
-	defer func() { <-s.work }()
-
-	m, err := sweep.GenerateMatrix(g, req.Seed, load, locality, s.st)
-	if err != nil {
-		return outcome{}, errf(http.StatusInternalServerError, "generate matrix: %v", err)
-	}
-	ck := store.KeyFor(g, m, scheme)
-	s.keys.add(rk, ck)
-	ks := ck.String()
-	// A store predating its memo can hold the cell even on a memo miss.
-	if res, hit := s.st.Get(ck); hit {
-		s.c.storeHits.Add(1)
-		s.lru.add(ks, res)
-		return outcome{source: "store", result: res}, nil
-	}
-
-	res, err := s.compute(sweep.Cell{
-		Key: ck,
-		Meta: store.Meta{
-			Net:      spec.Name,
-			Class:    spec.Class,
-			Seed:     req.Seed,
-			Scheme:   scheme.Name(),
-			Headroom: routing.Headroom(scheme),
-			Load:     load,
-			Locality: locality,
-		},
-		Scenario: engine.Scenario{
-			Tag:    fmt.Sprintf("%s/s%d/%s", spec.Name, req.Seed, scheme.Name()),
-			Graph:  g,
-			Matrix: m,
-			Scheme: scheme,
-		},
-	})
-	if err != nil {
-		return outcome{}, errf(http.StatusInternalServerError, "%v", err)
-	}
-	if err := s.st.Put(res); err != nil {
-		return outcome{}, errf(http.StatusInternalServerError, "persist cell: %v", err)
-	}
-	s.lru.add(ks, res)
-	return outcome{source: "computed", result: res}, nil
-}
-
-// compute runs one placement through the engine (panic recovery: a solver
-// crash surfaces as a 500, not a dead daemon) against the server's shared
-// solver cache.
-func (s *Server) compute(c sweep.Cell) (store.Result, error) {
-	out := <-engine.Stream(context.Background(), 1, []sweep.Cell{c},
-		func(_ context.Context, _ int, c sweep.Cell) (store.Result, error) {
-			if s.opts.OnPlace != nil {
-				s.opts.OnPlace(c.Key)
-			}
-			s.c.computed.Add(1)
-			p, err := s.solver.Place(c.Scenario.Scheme, c.Scenario.Graph, c.Scenario.Matrix)
-			if err != nil {
-				return store.Result{}, fmt.Errorf("%s: %w", c.Scenario.Tag, err)
-			}
-			return store.Result{Key: c.Key, Meta: c.Meta, Metrics: store.MetricsOf(p)}, nil
-		})
-	return out.Value, out.Err
+	s.keys.add(rk, res.Key)
+	s.lru.add(res.Key.String(), res)
+	return outcome{source: string(src), result: res}, nil
 }
 
 // writeJSON encodes v with a trailing newline (curl-friendly).
@@ -562,14 +477,31 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError renders an error as {"error": ...} with its HTTP status
-// (500 for errors that don't carry one).
+// writeError renders an error as {"error": ...} with its HTTP status.
+// Backend error kinds map onto the API's status contract — overload to
+// 429, refuse-to-compute to 403, bad specs to 400, unreachable
+// downstreams to 502 — and a StatusError from a proxied daemon passes its
+// code through, so a front daemon re-renders its cluster's answers
+// faithfully.
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	var ae *apiError
-	if errors.As(err, &ae) {
+	var se *StatusError
+	var spe *backend.SpecError
+	switch {
+	case errors.As(err, &ae):
 		code = ae.code
-	} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	case errors.As(err, &se):
+		code = se.Code
+	case errors.As(err, &spe):
+		code = http.StatusBadRequest
+	case errors.Is(err, backend.ErrOverloaded):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, backend.ErrNotStored), errors.Is(err, store.ErrReadOnly):
+		code = http.StatusForbidden
+	case errors.Is(err, backend.ErrUnavailable):
+		code = http.StatusBadGateway
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})

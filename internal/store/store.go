@@ -16,7 +16,6 @@ package store
 
 import (
 	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -195,8 +194,8 @@ func (s *Store) loadShard(path string) error {
 		if len(line) == 0 {
 			continue
 		}
-		var r Result
-		if err := json.Unmarshal(line, &r); err != nil || r.Key == (CellKey{}) {
+		r, err := UnmarshalResult(line)
+		if err != nil {
 			s.skipped++
 			continue
 		}
@@ -235,6 +234,11 @@ func (s *Store) Get(k CellKey) (Result, bool) {
 	return r, ok
 }
 
+// Lookup is Get under the placement-backend method name, so a bare
+// *Store satisfies the read side of the backend interfaces without an
+// adapter.
+func (s *Store) Lookup(k CellKey) (Result, bool) { return s.Get(k) }
+
 // Put appends a result to its shard and indexes it. Re-putting a result
 // identical to the indexed one is a no-op (no duplicate line); a result
 // with the same key but different contents appends and replaces, so the
@@ -252,9 +256,9 @@ func (s *Store) Put(r Result) error {
 	if ok && prev == r {
 		return nil
 	}
-	line, err := json.Marshal(r)
+	line, err := MarshalResult(r)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return err
 	}
 	line = append(line, '\n')
 
@@ -331,25 +335,7 @@ func (s *Store) Results() []Result {
 		out = append(out, r)
 	}
 	s.imu.RUnlock()
-	sort.Slice(out, func(a, b int) bool {
-		ra, rb := out[a], out[b]
-		if ra.Meta.Net != rb.Meta.Net {
-			return ra.Meta.Net < rb.Meta.Net
-		}
-		if ra.Meta.Seed != rb.Meta.Seed {
-			return ra.Meta.Seed < rb.Meta.Seed
-		}
-		if ra.Meta.TM != rb.Meta.TM {
-			return ra.Meta.TM < rb.Meta.TM
-		}
-		if ra.Meta.Scheme != rb.Meta.Scheme {
-			return ra.Meta.Scheme < rb.Meta.Scheme
-		}
-		if ra.Meta.Headroom != rb.Meta.Headroom {
-			return ra.Meta.Headroom < rb.Meta.Headroom
-		}
-		return ra.Key.String() < rb.Key.String()
-	})
+	SortResults(out)
 	return out
 }
 
@@ -390,9 +376,9 @@ func (s *Store) Compact() error {
 	}
 	sort.Slice(keys, func(a, b int) bool { return keys[a].String() < keys[b].String() })
 	for _, k := range keys {
-		line, err := json.Marshal(s.index[k])
+		line, err := MarshalResult(s.index[k])
 		if err != nil {
-			return fmt.Errorf("store: %w", err)
+			return err
 		}
 		shard := int(k.hash() % uint64(s.shards))
 		lines[shard] = append(lines[shard], line...)

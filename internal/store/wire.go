@@ -1,0 +1,66 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// This file is the single JSON wire path for cell results. The shard
+// files on disk, the daemon's /v1 responses, the typed client's decoding
+// and the CSV/JSON exporters all pass through Result's one set of struct
+// tags via these two functions — there is deliberately no second marshal
+// site, so a backend serving results over HTTP can never drift from the
+// bytes a store persists. The encoding tests pin shard-line bytes and
+// daemon wire bytes to each other.
+
+// MarshalResult renders one cell in the canonical compact wire form: the
+// exact bytes a shard file persists (minus the trailing newline) and the
+// exact element encoding the daemon's JSON arrays carry (modulo
+// indentation, which never reorders or reformats fields).
+func MarshalResult(r Result) ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: marshal result: %w", err)
+	}
+	return b, nil
+}
+
+// UnmarshalResult parses one canonical wire form back into a Result. A
+// record without a key is rejected: every legitimate producer writes one,
+// so a keyless record is corruption, not data.
+func UnmarshalResult(b []byte) (Result, error) {
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Result{}, fmt.Errorf("store: unmarshal result: %w", err)
+	}
+	if r.Key == (CellKey{}) {
+		return Result{}, fmt.Errorf("store: unmarshal result: record has no cell key")
+	}
+	return r, nil
+}
+
+// SortResults orders results by (net, seed, tm, scheme, headroom, key) in
+// place — a total order, so exports and cluster-merged query answers are
+// byte-identical however (and wherever) the cells were computed.
+func SortResults(out []Result) {
+	sort.Slice(out, func(a, b int) bool {
+		ra, rb := out[a], out[b]
+		if ra.Meta.Net != rb.Meta.Net {
+			return ra.Meta.Net < rb.Meta.Net
+		}
+		if ra.Meta.Seed != rb.Meta.Seed {
+			return ra.Meta.Seed < rb.Meta.Seed
+		}
+		if ra.Meta.TM != rb.Meta.TM {
+			return ra.Meta.TM < rb.Meta.TM
+		}
+		if ra.Meta.Scheme != rb.Meta.Scheme {
+			return ra.Meta.Scheme < rb.Meta.Scheme
+		}
+		if ra.Meta.Headroom != rb.Meta.Headroom {
+			return ra.Meta.Headroom < rb.Meta.Headroom
+		}
+		return ra.Key.String() < rb.Key.String()
+	})
+}

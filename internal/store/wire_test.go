@@ -1,0 +1,69 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func wireResult() Result {
+	return Result{
+		Key: CellKey{Graph: 0x0a, Matrix: 0x01, Scheme: "sp", Config: 0xf1},
+		Meta: Meta{Net: "star-6", Class: "star", Seed: 1, Scheme: "sp",
+			Headroom: 0.1, Load: 0.75, Locality: 1},
+		Metrics: Metrics{Congested: 0.25, Stretch: 1.5, MaxStretch: 2, MaxUtil: 0.9, Fits: true},
+	}
+}
+
+// TestResultWireRoundTrip pins the canonical encoding as its own
+// inverse, and rejects keyless records (torn-tail shards, corrupt wire
+// payloads).
+func TestResultWireRoundTrip(t *testing.T) {
+	r := wireResult()
+	b, err := MarshalResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalResult(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Fatalf("round trip changed the record:\n%+v\n%+v", back, r)
+	}
+	if _, err := UnmarshalResult([]byte(`{"meta":{"net":"x"}}`)); err == nil {
+		t.Fatal("keyless record accepted")
+	}
+	if _, err := UnmarshalResult([]byte(`{broken`)); err == nil {
+		t.Fatal("malformed record accepted")
+	}
+}
+
+// TestShardLineIsCanonicalWire pins the single-marshal-path property:
+// the bytes Put appends to a shard file are exactly MarshalResult's
+// bytes — the store's persistence format and the backends' wire format
+// cannot drift because they are the same function.
+func TestShardLineIsCanonicalWire(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenSharded(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	r := wireResult()
+	if err := st.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "shard-000.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MarshalResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSuffix(raw, []byte("\n")), want) {
+		t.Fatalf("shard line drifted from canonical wire form:\n--- shard\n%s\n--- wire\n%s", raw, want)
+	}
+}

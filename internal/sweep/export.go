@@ -63,9 +63,11 @@ var csvHeader = []string{
 	"congested", "stretch", "max_stretch", "max_util", "fits", "key",
 }
 
-// WriteCSV renders results as CSV with a header row. Floats use the
-// shortest exact representation, so identical stores export identical
-// bytes.
+// WriteCSV renders results as CSV. The header row is always written,
+// even for zero results — the empty-store export is a valid CSV file
+// with columns and no rows, mirroring WriteJSON's "[]", so downstream
+// scripts never special-case emptiness. Floats use the shortest exact
+// representation, so identical stores export identical bytes.
 func WriteCSV(w io.Writer, results []store.Result) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
@@ -97,7 +99,10 @@ func WriteCSV(w io.Writer, results []store.Result) error {
 }
 
 // WriteJSON renders results as a JSON array, one object per cell, in
-// store order.
+// store order. Zero results render as "[]", never "null" — the JSON
+// counterpart of WriteCSV's always-present header. Each element is the
+// canonical store.Result wire form (the same bytes a shard line or a
+// daemon response carries, indented).
 func WriteJSON(w io.Writer, results []store.Result) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -107,10 +112,21 @@ func WriteJSON(w io.Writer, results []store.Result) error {
 	return enc.Encode(results)
 }
 
-// Export writes the filtered slice of the store in the named format
-// ("csv" or "json").
-func Export(w io.Writer, st *store.Store, f Filter, format string) error {
-	results := Query(st, f)
+// ReadJSON parses a WriteJSON export (or any JSON array of canonical
+// cell results) back into a result slice — the round-trip inverse used
+// by tests and by tools that post-process exports.
+func ReadJSON(r io.Reader) ([]store.Result, error) {
+	var out []store.Result
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("sweep: read json export: %w", err)
+	}
+	return out, nil
+}
+
+// ExportResults writes a result slice in the named format ("csv" or
+// "json"), however the slice was obtained — a local store query, a
+// remote daemon, a cluster fan-out.
+func ExportResults(w io.Writer, results []store.Result, format string) error {
 	switch format {
 	case "csv":
 		return WriteCSV(w, results)
@@ -118,6 +134,12 @@ func Export(w io.Writer, st *store.Store, f Filter, format string) error {
 		return WriteJSON(w, results)
 	}
 	return fmt.Errorf("sweep: unknown export format %q (want csv or json)", format)
+}
+
+// Export writes the filtered slice of the store in the named format
+// ("csv" or "json").
+func Export(w io.Writer, st *store.Store, f Filter, format string) error {
+	return ExportResults(w, Query(st, f), format)
 }
 
 func fg(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

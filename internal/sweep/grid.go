@@ -153,10 +153,15 @@ func splitList(val string) []string {
 
 // NetSpec is one resolved topology of a sweep (or of a daemon place
 // request): the grid term expanded into a name, a structural class label
-// and a built graph.
+// and a built graph. Term preserves the single-network grid term that
+// resolves back to exactly this topology ("ring-12",
+// "randomgeo:30:7"...), so a cell planned here can be re-requested by
+// coordinates from any placement backend — including a remote daemon that
+// has never seen this process's graphs.
 type NetSpec struct {
 	Name  string
 	Class string
+	Term  string
 	Graph *graph.Graph
 }
 
@@ -182,19 +187,19 @@ func resolveNets(g Grid) ([]NetSpec, error) {
 	var out []NetSpec
 	seen := make(map[string]bool)
 	full := func() bool { return g.MaxNets > 0 && len(out) >= g.MaxNets }
-	add := func(name, class string, build func() *graph.Graph) {
+	add := func(name, class, term string, build func() *graph.Graph) {
 		// Checking the cap before build keeps "nets=zoo;max-nets=5" from
 		// constructing the 111 graphs it would immediately discard.
 		if !seen[name] && !full() {
 			seen[name] = true
-			out = append(out, NetSpec{Name: name, Class: class, Graph: build()})
+			out = append(out, NetSpec{Name: name, Class: class, Term: term, Graph: build()})
 		}
 	}
 	for _, term := range g.Nets {
 		switch {
 		case term == "zoo":
 			for _, e := range topo.Zoo() {
-				add(e.Name, string(e.Class), e.Build)
+				add(e.Name, string(e.Class), e.Name, e.Build)
 			}
 		case strings.HasPrefix(term, "class:"):
 			class := topo.Class(strings.TrimPrefix(term, "class:"))
@@ -202,7 +207,7 @@ func resolveNets(g Grid) ([]NetSpec, error) {
 			for _, e := range topo.Zoo() {
 				if e.Class == class {
 					matched = true
-					add(e.Name, string(e.Class), e.Build)
+					add(e.Name, string(e.Class), e.Name, e.Build)
 				}
 			}
 			if !matched {
@@ -213,19 +218,19 @@ func resolveNets(g Grid) ([]NetSpec, error) {
 			if err != nil {
 				return nil, err
 			}
-			add(name, "generated", build)
+			add(name, "generated", term, build)
 		case strings.HasPrefix(term, "multiregion:"):
 			name, build, err := parseMultiRegion(term)
 			if err != nil {
 				return nil, err
 			}
-			add(name, "generated", build)
+			add(name, "generated", term, build)
 		default:
 			e, ok := topo.ByName(term)
 			if !ok {
 				return nil, fmt.Errorf("sweep: unknown network %q", term)
 			}
-			add(e.Name, string(e.Class), e.Build)
+			add(e.Name, string(e.Class), e.Name, e.Build)
 		}
 		if full() {
 			break

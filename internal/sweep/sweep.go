@@ -27,9 +27,22 @@ import (
 type Cell struct {
 	Key  store.CellKey
 	Meta store.Meta
+	// Spec re-addresses the cell by request coordinates (net term, seed,
+	// scheme, operating point) — what Run sends to a remote placement
+	// backend instead of the in-process Scenario.
+	Spec store.CellSpec
 	// Scenario holds the built graph, generated matrix and configured
 	// scheme.
 	Scenario engine.Scenario
+}
+
+// Placer dispatches one cell computation by request coordinates. It is
+// the seam Run farms missing cells out through: any placement backend —
+// a local engine, one remote daemon, a consistent-hash cluster of them —
+// satisfies it (the full interface lives in internal/backend; this is
+// the one method a sweep needs).
+type Placer interface {
+	Place(ctx context.Context, spec store.CellSpec) (store.Result, error)
 }
 
 // GenerateMatrix builds the calibrated traffic matrix for one (graph,
@@ -197,6 +210,14 @@ func planWithStore(ctx context.Context, grid Grid, workers int, st *store.Store,
 					Load:     grid.Load,
 					Locality: grid.Locality,
 				},
+				Spec: store.CellSpec{
+					Net:      n.Term,
+					Seed:     j.seed,
+					Scheme:   scheme.Name(),
+					Headroom: routing.Headroom(scheme),
+					Load:     grid.Load,
+					Locality: grid.Locality,
+				},
 				Scenario: engine.Scenario{
 					Tag:    fmt.Sprintf("%s/s%d/%s", n.Name, j.seed, scheme.Name()),
 					Graph:  n.Graph,
@@ -237,11 +258,21 @@ type Report struct {
 
 // Options tunes Run.
 type Options struct {
-	// Workers bounds the engine pool (0 = one per CPU).
+	// Workers bounds the engine pool (0 = one per CPU). With a Backend
+	// set it bounds concurrent outstanding Place dispatches instead.
 	Workers int
 	// Recompute ignores store hits and re-places every cell (results
 	// still checkpoint, superseding the stored ones).
 	Recompute bool
+	// Backend, when non-nil, farms missing cells out by request
+	// coordinates instead of solving them in-process — a sweep pointed at
+	// a remote daemon (or a consistent-hash cluster of them) becomes a
+	// driver for that cluster's compute, and every returned result still
+	// checkpoints into the local store so the sweep stays resumable.
+	// Matrices are still generated locally (planning needs the content
+	// keys to know which cells are missing); only the placement solves
+	// move.
+	Backend Placer
 	// OnResult, when non-nil, is called after each computed cell has
 	// been checkpointed, with the count of cells computed so far this
 	// run. Calls arrive in completion order, one at a time.
@@ -289,20 +320,47 @@ func Run(ctx context.Context, st *store.Store, grid Grid, opts Options) (*Report
 	// Cells go through engine.Stream against one shared solver cache (the
 	// same fan-out shape Runner gives the figure drivers), with the
 	// OnPlace probe ahead of each solve so the engine-invocation count is
-	// observable and a cancellation between cells skips the solve.
-	cache := engine.NewRunner(opts.Workers).Cache()
-	place := func(ctx context.Context, _ int, c Cell) (store.Result, error) {
-		if opts.OnPlace != nil {
-			opts.OnPlace(c)
+	// observable and a cancellation between cells skips the solve. With a
+	// Backend set the solve is one Place dispatch instead — same pool,
+	// same ordering guarantees, but the engine work happens wherever the
+	// backend routes it.
+	var place func(ctx context.Context, _ int, c Cell) (store.Result, error)
+	if opts.Backend != nil {
+		place = func(ctx context.Context, _ int, c Cell) (store.Result, error) {
+			if opts.OnPlace != nil {
+				opts.OnPlace(c)
+			}
+			if err := ctx.Err(); err != nil {
+				return store.Result{}, err
+			}
+			res, err := opts.Backend.Place(ctx, c.Spec)
+			if err != nil {
+				return store.Result{}, fmt.Errorf("%s: %w", c.Scenario.Tag, err)
+			}
+			if res.Key != c.Key {
+				// A backend disagreeing on content identity means its code
+				// or zoo drifted from ours; checkpointing its answer under
+				// our key would poison the store silently.
+				return store.Result{}, fmt.Errorf("%s: backend returned key %s, planned %s (version drift?)",
+					c.Scenario.Tag, res.Key, c.Key)
+			}
+			return res, nil
 		}
-		if err := ctx.Err(); err != nil {
-			return store.Result{}, err
+	} else {
+		cache := engine.NewRunner(opts.Workers).Cache()
+		place = func(ctx context.Context, _ int, c Cell) (store.Result, error) {
+			if opts.OnPlace != nil {
+				opts.OnPlace(c)
+			}
+			if err := ctx.Err(); err != nil {
+				return store.Result{}, err
+			}
+			p, err := cache.Place(c.Scenario.Scheme, c.Scenario.Graph, c.Scenario.Matrix)
+			if err != nil {
+				return store.Result{}, fmt.Errorf("%s: %w", c.Scenario.Tag, err)
+			}
+			return store.Result{Key: c.Key, Meta: c.Meta, Metrics: store.MetricsOf(p)}, nil
 		}
-		p, err := cache.Place(c.Scenario.Scheme, c.Scenario.Graph, c.Scenario.Matrix)
-		if err != nil {
-			return store.Result{}, fmt.Errorf("%s: %w", c.Scenario.Tag, err)
-		}
-		return store.Result{Key: c.Key, Meta: c.Meta, Metrics: store.MetricsOf(p)}, nil
 	}
 	var errs []error
 	for res := range engine.Stream(ctx, opts.Workers, missing, place) {

@@ -1,0 +1,78 @@
+#!/usr/bin/env sh
+# Cluster smoke test: seed two disjoint result stores through sweeps,
+# boot two lowlatd replicas on ephemeral ports, drive `lowlat query
+# -cluster` and a farmed-out `lowlat sweep -cluster` against the pair,
+# then kill one replica and verify the consistent-hash ring reroutes its
+# keys to the survivor with the CLI still answering. `make cluster-smoke`
+# runs this locally; CI's short job runs it after the unit suites.
+set -eu
+
+store_a="${1:-.clusterstore}-a"
+store_b="${1:-.clusterstore}-b"
+store_sweep="${1:-.clusterstore}-sweep"
+log_a="$(mktemp)"
+log_b="$(mktemp)"
+bindir="$(mktemp -d)"
+trap 'rm -f "$log_a" "$log_b"; rm -rf "$bindir"; [ -z "${pid_a:-}" ] || kill "$pid_a" 2>/dev/null || true; [ -z "${pid_b:-}" ] || kill "$pid_b" 2>/dev/null || true' EXIT
+
+rm -rf "$store_a" "$store_b" "$store_sweep"
+go build -o "$bindir/lowlatd" ./cmd/lowlatd
+go build -o "$bindir/lowlat" ./cmd/lowlat
+
+"$bindir/lowlat" sweep -store "$store_a" -grid "nets=star-6;seeds=1;schemes=sp"
+"$bindir/lowlat" sweep -store "$store_b" -grid "nets=ring-8;seeds=1;schemes=sp"
+
+"$bindir/lowlatd" -store "$store_a" -addr 127.0.0.1:0 -workers 1 > "$log_a" 2>&1 &
+pid_a=$!
+"$bindir/lowlatd" -store "$store_b" -addr 127.0.0.1:0 -workers 1 > "$log_b" 2>&1 &
+pid_b=$!
+
+wait_addr() { # logfile pid -> base url on stdout
+    base=""
+    for _ in $(seq 1 100); do
+        base="$(sed -n 's/.*\(http:\/\/[0-9.:]*\).*/\1/p' "$1" | head -n 1)"
+        [ -n "$base" ] && break
+        kill -0 "$2" 2>/dev/null || { echo "lowlatd died:" >&2; cat "$1" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$base" ] || { echo "lowlatd never printed its address:" >&2; cat "$1" >&2; exit 1; }
+    echo "$base"
+}
+base_a="$(wait_addr "$log_a" "$pid_a")"
+base_b="$(wait_addr "$log_b" "$pid_b")"
+cluster="$base_a,$base_b"
+echo "cluster-smoke: replicas at $cluster"
+
+fail() { echo "cluster-smoke: FAIL: $1"; cat "$log_a" "$log_b"; exit 1; }
+
+# The ring's merged query sees both shards (1 cell each).
+"$bindir/lowlat" query -cluster "$cluster" -scheme sp \
+    | grep -q "2 of 2 stored cells matched" || fail "cluster query"
+
+# Export through the cluster: CSV header + 2 rows, remote or not.
+[ "$("$bindir/lowlat" export -cluster "$cluster" -format csv | wc -l)" = "3" ] || fail "cluster export"
+
+# A sweep farms its missing placements out through the ring and still
+# checkpoints locally (4 cells: 2 nets x 2 seeds, 2 already on replicas).
+"$bindir/lowlat" sweep -store "$store_sweep" -cluster "$cluster" \
+    -grid "nets=star-6,ring-8;seeds=1,2;schemes=sp" -workers 1 \
+    | grep -q " 0 failed" || fail "farmed-out sweep"
+"$bindir/lowlat" query -store "$store_sweep" \
+    | grep -q "4 of 4 stored cells matched" || fail "local checkpoint after farm-out"
+
+# Kill one replica: the ring must reroute its keys to the survivor and
+# the CLI must keep answering with zero failed requests.
+kill -TERM "$pid_b"
+wait "$pid_b" 2>/dev/null || true
+pid_b=""
+"$bindir/lowlat" query -cluster "$cluster" -scheme sp \
+    | grep -q "stored cells matched" || fail "query after replica kill"
+"$bindir/lowlat" sweep -store "$store_sweep" -cluster "$cluster" \
+    -grid "nets=star-6,ring-8;seeds=3;schemes=sp" -workers 1 \
+    | grep -q " 0 failed" || fail "rerouted sweep after replica kill"
+
+kill -TERM "$pid_a"
+wait "$pid_a" || fail "replica A exit status"
+grep -q "shut down cleanly" "$log_a" || fail "clean shutdown"
+pid_a=""
+echo "cluster-smoke: OK"
