@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck build short bench race sweep-smoke serve-smoke cluster-smoke clean
+.PHONY: ci vet staticcheck build short bench race sweep-smoke serve-smoke cluster-smoke predict-gate clean
 
-ci: vet staticcheck build short bench
+ci: vet staticcheck build short predict-gate bench
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,14 @@ SERVE_STORE ?= .servestore
 serve-smoke:
 	sh ./scripts/serve_smoke.sh $(SERVE_STORE)
 
+# Predictive fast-path error gate: sweep a small grid across a load
+# line, train interpolation surfaces on alternating load points, and
+# fail if the held-out prediction error exceeds the bound pinned in the
+# script. The store directory is gitignored; `make clean` removes it.
+PREDICT_STORE ?= .predictstore
+predict-gate:
+	sh ./scripts/predict_gate.sh $(PREDICT_STORE)
+
 # Cluster smoke test: seed two disjoint stores, boot two lowlatd
 # replicas on ephemeral ports, drive `lowlat query/export/sweep
 # -cluster` through the consistent-hash ring, kill one replica, and
@@ -63,4 +71,4 @@ cluster-smoke:
 
 clean:
 	rm -f BENCH_ci.json
-	rm -rf $(SWEEP_STORE) $(SERVE_STORE) $(CLUSTER_STORE)-a $(CLUSTER_STORE)-b $(CLUSTER_STORE)-sweep
+	rm -rf $(SWEEP_STORE) $(SERVE_STORE) $(CLUSTER_STORE)-a $(CLUSTER_STORE)-b $(CLUSTER_STORE)-sweep $(PREDICT_STORE)

@@ -6,6 +6,7 @@ import (
 
 	"lowlat/internal/backend"
 	"lowlat/internal/cluster"
+	"lowlat/internal/predict"
 	"lowlat/internal/serve"
 	"lowlat/internal/store"
 )
@@ -20,7 +21,9 @@ import (
 // consistent-hash ring, rerouting around down replicas. They compose: a
 // sweep can farm compute out to a cluster, a daemon can serve a cluster
 // of daemons, and all of them answer the same Lookup/Place/Query/Stats
-// calls.
+// calls. A PredictiveBackend wraps any of them with the landscape
+// interpolation fast path: microsecond Place answers from trained
+// metric surfaces, exact fallback outside the trained region.
 
 // PlacementBackend is the placement-access interface: Lookup by content
 // key, Place by request coordinates (computing if needed), Query by
@@ -71,6 +74,39 @@ type ClusterBackend = cluster.Backend
 // probe/query timeouts).
 type ClusterOptions = cluster.Options
 
+// PredictiveBackend wraps any placement backend with the landscape
+// interpolation fast path: Place answers from trained metric surfaces
+// in microseconds and falls back to the wrapped backend only when the
+// query point is outside the trained region or the local surface is
+// too rough to trust. Predicted results carry interpolated metrics and
+// a zero content key — estimates, never persisted.
+type PredictiveBackend = backend.Predictive
+
+// PredictiveBackendOptions tunes a PredictiveBackend: the surface
+// confidence bound, an optional shared SurfaceIndex, and background
+// refinement (queue an exact solve for every predicted answer so the
+// surface self-corrects).
+type PredictiveBackendOptions = backend.PredictiveOptions
+
+// SurfaceIndex is the trained interpolation model behind a
+// PredictiveBackend: one metric surface per (topology fingerprint,
+// scheme) pair, observed incrementally and safe for concurrent use.
+type SurfaceIndex = predict.Index
+
+// SurfaceIndexOptions tunes a SurfaceIndex's confidence bound — the
+// line between "answer in microseconds" and "fall back to the exact
+// solver".
+type SurfaceIndexOptions = predict.Options
+
+// SurfaceCoord is one query or sample point in operating-point space:
+// the headroom dial, the calibrated load target, and the traffic
+// locality.
+type SurfaceCoord = predict.Coord
+
+// SurfaceEstimate is one prediction with its support (neighbor count,
+// nearest-sample distance, roughness gauge, exact-hit marker).
+type SurfaceEstimate = predict.Estimate
+
 // NewLocalBackend builds the compute-capable backend over an open result
 // store.
 func NewLocalBackend(st *ResultStore, opts LocalBackendOptions) *LocalBackend {
@@ -92,6 +128,18 @@ func NewRemoteBackend(baseURL string, opts RemoteBackendOptions) *RemoteBackend 
 func NewClusterBackend(replicas []PlacementBackend, opts ClusterOptions) (*ClusterBackend, error) {
 	return cluster.New(replicas, opts)
 }
+
+// NewPredictiveBackend wraps inner with the predictive fast path. Train
+// the returned backend before serving (typically on a Query of the
+// backing store); an empty index simply falls back on every request.
+// Close it when Refine is on to release the background worker.
+func NewPredictiveBackend(inner PlacementBackend, opts PredictiveBackendOptions) *PredictiveBackend {
+	return backend.NewPredictive(inner, opts)
+}
+
+// NewSurfaceIndex builds an empty interpolation index, for sharing one
+// trained model across several PredictiveBackends.
+func NewSurfaceIndex(opts SurfaceIndexOptions) *SurfaceIndex { return predict.NewIndex(opts) }
 
 // NewBackendQueryServer builds an HTTP query server over any placement
 // backend — how a lowlatd fronts a ClusterBackend of other lowlatds.

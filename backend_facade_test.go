@@ -3,6 +3,7 @@ package lowlat
 import (
 	"context"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -107,4 +108,64 @@ func TestBackendFacade(t *testing.T) {
 	}
 
 	cancel()
+}
+
+// TestPredictiveFacade drives the predictive fast path through the
+// facade: a PredictiveBackend trained from a swept store answers an
+// unseen interior cell without invoking the engine, and an untrained
+// topology falls back to the exact solver.
+func TestPredictiveFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs placements")
+	}
+	st, err := OpenResultStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, load := range []float64{0.6, 0.7} {
+		grid := SweepGrid{Nets: []string{"star-6"}, Seeds: []int64{1, 2}, Schemes: []string{"sp"}, Load: load}
+		if _, err := RunSweep(context.Background(), st, grid, SweepOptions{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var invocations atomic.Int64
+	local := NewLocalBackend(st, LocalBackendOptions{Workers: 1, OnPlace: func(CellKey) { invocations.Add(1) }})
+	pb := NewPredictiveBackend(local, PredictiveBackendOptions{})
+	defer pb.Close()
+	pb.Train(local.Query(SweepFilter{}))
+
+	// An unseen (seed, load) inside the trained region answers without
+	// the solver: interpolated metrics under a zero content key.
+	res, err := pb.Place(context.Background(), CellSpec{Net: "star-6", Seed: 9, Scheme: "sp", Load: 0.65, Locality: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key != (CellKey{}) || res.Metrics.Stretch < 1 {
+		t.Fatalf("predicted result = %+v, want zero key and plausible metrics", res)
+	}
+	if n := invocations.Load(); n != 0 {
+		t.Fatalf("predicted place invoked the engine %d times", n)
+	}
+
+	// An untrained topology falls back to the exact path and persists.
+	res, err = pb.Place(context.Background(), CellSpec{Net: "ring-8", Seed: 1, Scheme: "sp", Load: 0.65, Locality: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key == (CellKey{}) || invocations.Load() != 1 {
+		t.Fatalf("fallback result = %+v after %d invocations, want a stored cell from 1 exact solve",
+			res, invocations.Load())
+	}
+
+	stats := pb.Stats()
+	if stats.Backend != "predictive+local" || stats.Predicted != 1 || stats.PredictFallbacks != 1 {
+		t.Fatalf("stats = %+v, want predictive+local with 1 predicted / 1 fallback", stats)
+	}
+	// The fallback's ground truth was observed back into the index: the
+	// ring-8 surface now exists beside the trained star-6 one.
+	if stats.Surfaces != 2 || stats.SurfaceSamples != 5 {
+		t.Fatalf("stats = %+v, want 2 surfaces / 5 samples after the fallback observation", stats)
+	}
 }

@@ -23,6 +23,8 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"lowlat/internal/backend"
@@ -31,6 +33,7 @@ import (
 	"lowlat/internal/engine"
 	"lowlat/internal/experiments"
 	"lowlat/internal/metrics"
+	"lowlat/internal/predict"
 	"lowlat/internal/routing"
 	"lowlat/internal/serve"
 	"lowlat/internal/store"
@@ -68,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdExp(args[1:], stdout, stderr)
 	case "sweep":
 		err = cmdSweep(args[1:], stdout, stderr)
+	case "predict":
+		err = cmdPredict(args[1:], stdout, stderr)
 	case "query":
 		err = cmdQuery(args[1:], stdout, stderr)
 	case "export":
@@ -146,6 +151,11 @@ func usage(w io.Writer) {
                 -workers <n> -timeout <d>
                 -addr <url> | -cluster <url,...> (farm placement solves out
                 to running lowlatd daemons; results still checkpoint locally)
+  lowlat predict -store <dir> -grid <spec>    gate the interpolation fast path:
+         sweep the grid at -loads, train surfaces on alternating load lines,
+         predict the held-out lines and fail if any error exceeds -bound
+         flags: -loads <f,f,...> (default 0.5,0.55,0.6,0.65,0.7)
+                -bound <f> (default 0.05) -workers <n> -timeout <d>
   lowlat query [-store <dir>]                 list stored cells
          flags: -net <substr> -class <c> -scheme <s> -seed <n> -headroom <f>
                 -addr <url> | -cluster <url,...> (query running daemons
@@ -556,6 +566,168 @@ func cmdSweep(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// cmdPredict is the predictive fast path's error gate: sweep one grid
+// across a line of load points, train interpolation surfaces on the
+// even-indexed loads, predict every cell of the held-out odd-indexed
+// loads (each bracketed by trained neighbors — honest interpolation, no
+// extrapolation and no exact hits), and compare against the exact
+// metrics the sweep just computed. The run fails when any error exceeds
+// -bound, which is what CI pins.
+func cmdPredict(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("predict", stderr)
+	storeDir := fs.String("store", "", "result-store directory (required; reused across runs, so repeated gates are near-free)")
+	gridSpec := fs.String("grid", "", "grid spec without a load term, e.g. nets=star-6;seeds=1,2;schemes=sp (required)")
+	loadsFlag := fs.String("loads", "0.5,0.55,0.6,0.65,0.7", "comma-separated load line swept and split into train/holdout (need >= 3 points)")
+	bound := fs.Float64("bound", 0.05, "fail when any held-out error exceeds this (relative for stretch/max-stretch/max-util, absolute for congested)")
+	workers := fs.Int("workers", 0, "engine worker pool size (0 = one per CPU)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	if *gridSpec == "" {
+		return fmt.Errorf("-grid is required")
+	}
+	grid, err := sweep.ParseGrid(*gridSpec)
+	if err != nil {
+		return err
+	}
+	loads, err := parseLoads(*loadsFlag)
+	if err != nil {
+		return err
+	}
+	if len(loads) < 3 {
+		return fmt.Errorf("-loads needs at least 3 points to hold one out (got %d)", len(loads))
+	}
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
+
+	st, err := openStore(*storeDir, stderr)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	// One sweep per load line; the store makes reruns near-free.
+	byLoad := make(map[float64][]store.Result)
+	for _, load := range loads {
+		g := grid
+		g.Load = load
+		obs := resultSink{byLoad: byLoad}
+		if _, err := sweep.Run(ctx, st, g, sweep.Options{Workers: *workers, Observer: obs}); err != nil {
+			return err
+		}
+	}
+
+	// Odd-indexed loads (sorted) are the holdout: every held-out line has
+	// trained neighbors on both sides.
+	sort.Float64s(loads)
+	ix := predict.NewIndex(predict.Options{})
+	var trained, heldOut []store.Result
+	var holdoutLoads []float64
+	for i, load := range loads {
+		if i%2 == 1 {
+			heldOut = append(heldOut, byLoad[load]...)
+			holdoutLoads = append(holdoutLoads, load)
+		} else {
+			trained = append(trained, byLoad[load]...)
+		}
+	}
+	ix.Train(trained)
+	surfaces, samples := ix.Len()
+
+	var worst gateErrors
+	predicted := 0
+	for _, r := range heldOut {
+		est, ok := ix.Predict(r.Key.Graph, r.Meta.Scheme, r.Meta.Seed, predict.Coord{
+			Headroom: r.Meta.Headroom, Load: r.Meta.Load, Locality: r.Meta.Locality,
+		})
+		if !ok {
+			continue // a refusal is a fallback, not a wrong answer
+		}
+		predicted++
+		worst.fold(est.Metrics, r.Metrics)
+	}
+	fmt.Fprintf(stdout, "predict: trained %d surface(s) / %d sample(s); %d of %d held-out cells predicted at loads %v\n",
+		surfaces, samples, predicted, len(heldOut), holdoutLoads)
+	if predicted == 0 {
+		return fmt.Errorf("predict: no held-out cell was predicted — the surfaces refuse their own interior, gate cannot pass")
+	}
+	fmt.Fprintf(stdout, "predict: max errors: stretch %.4f, max-stretch %.4f, max-util %.4f (relative); congested %.4f (absolute)\n",
+		worst.stretch, worst.maxStretch, worst.maxUtil, worst.congested)
+	if max := worst.max(); max > *bound {
+		return fmt.Errorf("predict: gate FAILED: max error %.4f > bound %.4f", max, *bound)
+	}
+	fmt.Fprintf(stdout, "predict: gate OK: max error %.4f <= bound %.4f\n", worst.max(), *bound)
+	return nil
+}
+
+// resultSink buckets sweep results by load line for the gate — both the
+// cells this run computed and the ones it reused from the store.
+type resultSink struct{ byLoad map[float64][]store.Result }
+
+func (s resultSink) Observe(r store.Result) {
+	s.byLoad[r.Meta.Load] = append(s.byLoad[r.Meta.Load], r)
+}
+
+// gateErrors accumulates the worst predicted-vs-exact error per metric:
+// relative for the ratio-like metrics, absolute for the congested
+// fraction (whose exact value is often 0).
+type gateErrors struct {
+	stretch, maxStretch, maxUtil, congested float64
+}
+
+func (g *gateErrors) fold(got, want store.Metrics) {
+	g.stretch = maxf(g.stretch, relErr(got.Stretch, want.Stretch))
+	g.maxStretch = maxf(g.maxStretch, relErr(got.MaxStretch, want.MaxStretch))
+	g.maxUtil = maxf(g.maxUtil, relErr(got.MaxUtil, want.MaxUtil))
+	g.congested = maxf(g.congested, absf(got.Congested-want.Congested))
+}
+
+func (g *gateErrors) max() float64 {
+	return maxf(maxf(g.stretch, g.maxStretch), maxf(g.maxUtil, g.congested))
+}
+
+func relErr(got, want float64) float64 {
+	denom := absf(want)
+	if denom < 1e-9 {
+		denom = 1e-9
+	}
+	return absf(got-want) / denom
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func parseLoads(s string) ([]float64, error) {
+	var loads []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 || v > 1 {
+			return nil, fmt.Errorf("bad load %q (want 0 < load <= 1)", part)
+		}
+		loads = append(loads, v)
+	}
+	return loads, nil
 }
 
 // backendFlags registers the remote-access flags on fs — -addr for one

@@ -10,6 +10,7 @@ import (
 	"lowlat/internal/geo"
 	"lowlat/internal/graph"
 	"lowlat/internal/routing"
+	"lowlat/internal/store"
 	"lowlat/internal/tm"
 )
 
@@ -158,5 +159,88 @@ func TestSweepQueryExportRoundTrip(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
 	if len(lines) != 3 || !strings.HasPrefix(lines[0], "net,") {
 		t.Fatalf("csv export:\n%s", out.String())
+	}
+}
+
+func TestPredictUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"predict"}, &out, &errOut); code != 1 {
+		t.Fatalf("predict without -store: exit %d, want 1", code)
+	}
+	if code := run([]string{"predict", "-store", t.TempDir()}, &out, &errOut); code != 1 {
+		t.Fatalf("predict without -grid: exit %d, want 1", code)
+	}
+	if code := run([]string{"predict", "-store", t.TempDir(), "-grid", "nets=star-6;seeds=1;schemes=sp", "-loads", "0.5,0.6"}, &out, &errOut); code != 1 {
+		t.Fatalf("predict with 2 loads: exit %d, want 1", code)
+	}
+	if code := run([]string{"predict", "-store", t.TempDir(), "-grid", "nets=star-6;seeds=1;schemes=sp", "-loads", "0.5,nope,0.7"}, &out, &errOut); code != 1 {
+		t.Fatalf("predict with bad load: exit %d, want 1", code)
+	}
+	if code := run([]string{"predict", "-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("predict -h: exit %d, want 0", code)
+	}
+}
+
+// TestPredictGate drives the error gate end to end: a dense load line
+// on a tiny net trains surfaces whose held-out interpolation error is
+// within the default bound (exit 0), and a load line spread wider than
+// the confidence radius leaves every held-out cell refused, which the
+// gate treats as failure (exit 1).
+func TestPredictGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs placements")
+	}
+	dir := t.TempDir()
+	grid := "nets=star-6;seeds=1,2;schemes=sp"
+	var out, errOut bytes.Buffer
+	if code := run([]string{"predict", "-store", dir, "-grid", grid, "-loads", "0.6,0.65,0.7", "-workers", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("gate: exit %d (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "gate OK") {
+		t.Fatalf("gate output:\n%s", out.String())
+	}
+
+	// Rerunning reuses every swept cell; the gate itself is stable.
+	out.Reset()
+	if code := run([]string{"predict", "-store", dir, "-grid", grid, "-loads", "0.6,0.65,0.7", "-workers", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("gate rerun: exit %d (stderr: %s)", code, errOut.String())
+	}
+
+	// Loads spread wider than the confidence radius: the surfaces refuse
+	// the held-out line, and a gate that cannot measure its error fails.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"predict", "-store", dir, "-grid", grid, "-loads", "0.2,0.5,0.8", "-workers", "1"}, &out, &errOut); code != 1 {
+		t.Fatalf("unpredictable gate: exit %d, want 1 (stdout: %s)", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "no held-out cell was predicted") {
+		t.Fatalf("unpredictable gate stderr:\n%s", errOut.String())
+	}
+}
+
+func TestGateErrorFold(t *testing.T) {
+	var g gateErrors
+	g.fold(store.Metrics{Stretch: 1.1, MaxStretch: 2, MaxUtil: 0.5, Congested: 0.1},
+		store.Metrics{Stretch: 1.0, MaxStretch: 2, MaxUtil: 0.5, Congested: 0.0})
+	if g.stretch < 0.0999 || g.stretch > 0.1001 {
+		t.Fatalf("stretch rel err = %v, want 0.1", g.stretch)
+	}
+	if g.congested < 0.0999 || g.congested > 0.1001 {
+		t.Fatalf("congested abs err = %v, want 0.1", g.congested)
+	}
+	if g.max() != g.stretch && g.max() != g.congested {
+		t.Fatalf("max = %v, want the worst axis", g.max())
+	}
+	// A zero-valued exact metric cannot blow up the relative error into
+	// NaN/Inf-driven flakiness: the denominator floors.
+	g.fold(store.Metrics{MaxUtil: 0}, store.Metrics{MaxUtil: 0})
+	if g.maxUtil != 0 {
+		t.Fatalf("0-vs-0 max-util rel err = %v, want 0", g.maxUtil)
+	}
+	if loads, err := parseLoads(" 0.5, 0.7 ,0.9"); err != nil || len(loads) != 3 {
+		t.Fatalf("parseLoads = %v, %v", loads, err)
+	}
+	if _, err := parseLoads("0.5,1.5"); err == nil {
+		t.Fatal("out-of-range load accepted")
 	}
 }

@@ -10,6 +10,12 @@
 //	lowlatd -store results                        serve on 127.0.0.1:8080
 //	lowlatd -store results -addr 127.0.0.1:0      ephemeral port (printed)
 //	lowlatd -store results -readonly              never write the store
+//	lowlatd -store results -predict               train landscape surfaces at startup;
+//	                                              trained-region placements answer in
+//	                                              microseconds ("source": "predicted")
+//	lowlatd -store results -predict -predict-refine
+//	                                              also solve each predicted cell in the
+//	                                              background and keep the ground truth
 //	lowlatd -cluster http://h1:8080,http://h2:8080
 //	                                              front a sharded cluster:
 //	                                              this daemon holds no store,
@@ -41,9 +47,11 @@ import (
 	"syscall"
 	"time"
 
+	"lowlat/internal/backend"
 	"lowlat/internal/cluster"
 	"lowlat/internal/serve"
 	"lowlat/internal/store"
+	"lowlat/internal/sweep"
 )
 
 func main() {
@@ -67,6 +75,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxInflight := fs.Int("max-inflight", 0, "admitted place computations before 429 (0 = 4x workers)")
 	cacheSize := fs.Int("cache", 0, "LRU response-cache entries (0 = 512)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+	predictFlag := fs.Bool("predict", false, "enable the landscape-interpolation fast path: train surfaces from the mounted cells at startup and answer trained-region /v1/place requests in microseconds, falling back to the exact path outside them")
+	predictRefine := fs.Bool("predict-refine", false, "with -predict: queue a background exact solve for each predicted answer so ground truth replaces the estimate")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -83,10 +93,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := serve.Options{
-		Workers:      *workers,
-		MaxInflight:  *maxInflight,
-		CacheSize:    *cacheSize,
-		DrainTimeout: *drain,
+		Workers:       *workers,
+		MaxInflight:   *maxInflight,
+		CacheSize:     *cacheSize,
+		DrainTimeout:  *drain,
+		Predict:       *predictFlag,
+		PredictRefine: *predictRefine,
 	}
 	var srv *serve.Server
 	var serving string
@@ -99,8 +111,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "lowlatd: %v\n", err)
 			return 1
 		}
-		srv = serve.NewBackendServer(cb, opts)
-		serving = fmt.Sprintf("cluster of %d replicas (%s)", len(cb.Labels()), strings.Join(cb.Labels(), ", "))
+		var b backend.Backend = cb
+		predicting := ""
+		if *predictFlag {
+			// A predictive front: train from the whole cluster's cells (one
+			// fan-out query) and answer trained-region placements here,
+			// without a round trip to any replica.
+			pb := backend.NewPredictive(cb, backend.PredictiveOptions{Refine: *predictRefine})
+			results, err := cb.QueryContext(ctx, sweep.Filter{})
+			if err != nil {
+				fmt.Fprintf(stderr, "lowlatd: training fan-out: %v\n", err)
+				return 1
+			}
+			pb.Train(results)
+			defer pb.Close()
+			b = pb
+			surfaces, samples := pb.Index().Len()
+			predicting = fmt.Sprintf(", predicting over %d surfaces / %d samples", surfaces, samples)
+		}
+		srv = serve.NewBackendServer(b, opts)
+		serving = fmt.Sprintf("cluster of %d replicas (%s)%s", len(cb.Labels()), strings.Join(cb.Labels(), ", "), predicting)
 	} else {
 		var st *store.Store
 		var err error
@@ -122,8 +152,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if *readonly {
 			mode = "read-only"
 		}
-		serving = fmt.Sprintf("store %s (%d cells, %d memo entries, %s)",
-			*storeDir, st.Len(), st.MemoLen(), mode)
+		predicting := ""
+		if *predictFlag {
+			if pb, ok := srv.Backend().(*backend.Predictive); ok {
+				surfaces, samples := pb.Index().Len()
+				predicting = fmt.Sprintf(", predicting over %d surfaces / %d samples", surfaces, samples)
+			}
+		}
+		serving = fmt.Sprintf("store %s (%d cells, %d memo entries, %s)%s",
+			*storeDir, st.Len(), st.MemoLen(), mode, predicting)
 	}
 
 	err := srv.ListenAndServe(ctx, *addr, func(bound net.Addr) {

@@ -191,3 +191,95 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("store has %d cells after daemon exit, want 2", ro.Len())
 	}
 }
+
+// TestPredictDaemon boots the daemon with -predict over a swept store
+// and checks that a trained-region request for an unseen operating point
+// is answered by interpolation: "source": "predicted", the predicted
+// marker set, and the prediction counters visible in /v1/stats.
+func TestPredictDaemon(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, load := range []float64{0.6, 0.7} {
+		grid := sweep.Grid{Nets: []string{"star-6"}, Seeds: []int64{1, 2}, Schemes: []string{"sp"}, Load: load}
+		if _, err := sweep.Run(context.Background(), st, grid, sweep.Options{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errOut syncBuffer
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run(ctx, []string{"-store", dir, "-addr", "127.0.0.1:0", "-workers", "1", "-predict"}, &out, &errOut)
+	}()
+	var base string
+	deadline := time.After(30 * time.Second)
+	for base == "" {
+		if m := urlRE.FindString(out.String()); m != "" {
+			base = m
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("daemon never printed its address; stdout=%q stderr=%q", out.String(), errOut.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if !strings.Contains(out.String(), "predicting over 1 surfaces / 4 samples") {
+		t.Fatalf("banner does not report the trained index: %q", out.String())
+	}
+
+	resp, err := http.Post(base+"/v1/place", "application/json",
+		strings.NewReader(`{"net":"star-6","seed":9,"scheme":"sp","load":0.65}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr struct {
+		Source    string `json:"source"`
+		Predicted bool   `json:"predicted"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("place = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Source != "predicted" || !pr.Predicted {
+		t.Fatalf("place = %+v, want a predicted answer", pr)
+	}
+
+	sresp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Backend        string `json:"backend"`
+		Predicted      int64  `json:"predicted"`
+		Surfaces       int    `json:"surfaces"`
+		SurfaceSamples int    `json:"surface_samples"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Backend != "predictive+local" || stats.Predicted != 1 || stats.Surfaces != 1 || stats.SurfaceSamples != 4 {
+		t.Fatalf("stats = %+v, want predictive+local with 1 prediction over 1 surface / 4 samples", stats)
+	}
+
+	cancel()
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("daemon exit = %d, want 0; stderr=%q", code, errOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}

@@ -28,7 +28,13 @@
 // consistent-hash sharded cluster of backends with health-marked
 // failover (NewClusterBackend) — so sweeps, figure drivers, daemons and
 // CLIs all scale from one process to a replicated serving tier without
-// changing call sites (ServeBackend composes daemons over clusters).
+// changing call sites (ServeBackend composes daemons over clusters);
+// and the predictive fast path: a landscape-interpolation layer
+// (NewSurfaceIndex) trained from stored results that answers Place
+// queries in microseconds by inverse-distance-weighted interpolation
+// over (headroom, load, locality), wrapped around any backend as
+// NewPredictiveBackend with confidence-bounded fallback to the exact
+// solver and optional background refinement.
 //
 // The implementation lives under internal/:
 //
@@ -43,8 +49,9 @@
 //   - internal/core — the LDR controller: predict, optimize, appraise
 //     multiplexing, scale up (§5, Figures 11-14)
 //   - internal/mux, internal/predict, internal/trace — the statistical
-//     multiplexing checks, Algorithm 1, and the CAIDA-like trace
-//     generator behind §4
+//     multiplexing checks, Algorithm 1 plus the landscape-interpolation
+//     surfaces behind the predictive fast path, and the CAIDA-like
+//     trace generator behind §4
 //   - internal/sim — fluid simulation of placements under live traffic,
 //     plus the minute-by-minute closed-loop driver
 //   - internal/ctrlplane — the §5 architecture over TCP: measurement
@@ -66,7 +73,8 @@
 //     Query / Stats) and its Local (engine over a writable store) and
 //     Store (read-only) implementations: the seam every consumer —
 //     sweeps, figure drivers, daemons, CLIs — accesses the landscape
-//     through
+//     through; plus the Predictive wrapper serving interpolated
+//     answers with exact fallback and background refinement
 //   - internal/serve — the query-serving daemon: a thin HTTP skin over
 //     any placement backend with singleflight-coalesced on-demand
 //     placement, an LRU over content keys, 429 backpressure from the

@@ -60,6 +60,11 @@ const (
 	// SourceBackend is the fallback for backends that don't report
 	// provenance.
 	SourceBackend Source = "backend"
+	// SourcePredicted means the landscape-interpolation fast path
+	// answered: the metrics are a confident estimate over trained
+	// ground truth, not an exact solve, and the result carries no
+	// content key.
+	SourcePredicted Source = "predicted"
 )
 
 // Sourced is the optional extension backends implement to report where a
@@ -156,6 +161,19 @@ type Stats struct {
 	Rerouted int64 `json:"rerouted"`
 	// Down counts replicas currently marked unhealthy (cluster only).
 	Down int `json:"down,omitempty"`
+	// Predicted counts Places answered by the interpolation fast path,
+	// PredictFallbacks those that fell through to the exact path after
+	// the index refused; Refined counts background exact solves that
+	// replaced a predicted sample with ground truth, RefineDropped
+	// refinements shed because the queue was full (predictive only).
+	Predicted        int64 `json:"predicted,omitempty"`
+	PredictFallbacks int64 `json:"predict_fallbacks,omitempty"`
+	Refined          int64 `json:"refined,omitempty"`
+	RefineDropped    int64 `json:"refine_dropped,omitempty"`
+	// Surfaces and SurfaceSamples gauge the trained index (predictive
+	// only).
+	Surfaces       int `json:"surfaces,omitempty"`
+	SurfaceSamples int `json:"surface_samples,omitempty"`
 	// Replicas carries per-replica snapshots (cluster only).
 	Replicas []Stats `json:"replicas,omitempty"`
 }

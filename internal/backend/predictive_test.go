@@ -1,0 +1,306 @@
+package backend_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lowlat/internal/backend"
+	"lowlat/internal/serve"
+	"lowlat/internal/store"
+	"lowlat/internal/sweep"
+)
+
+// Note: this suite runs on the project's 1-CPU CI box; everything stays
+// on the tiny star-6/ring-8 networks with Workers:1 backends.
+
+// trainStore sweeps one net/scheme across the given loads into st, the
+// ground truth a predictive backend trains from.
+func trainStore(t testing.TB, st *store.Store, nets []string, seeds []int64, schemes []string, loads []float64) {
+	t.Helper()
+	for _, load := range loads {
+		grid := sweep.Grid{Nets: nets, Seeds: seeds, Schemes: schemes, Load: load}
+		if _, err := sweep.Run(context.Background(), st, grid, sweep.Options{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func exportCSV(t testing.TB, st *store.Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sweep.Export(&buf, st, sweep.Filter{}, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPredictiveAcceptance is the fast path's acceptance test,
+// mirroring TestClusterAcceptance's shape: over a trained surface, N
+// concurrent clients are answered by interpolation with zero engine
+// invocations; an out-of-bound query falls back to the exact solver
+// exactly once (every concurrent client coalesces onto that one
+// flight); and serving predictions never mutates the store — its export
+// stays byte-identical to what a sweep with prediction disabled
+// produced.
+func TestPredictiveAcceptance(t *testing.T) {
+	st, err := store.OpenSharded(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	trainStore(t, st, []string{"star-6"}, []int64{1, 2}, []string{"sp"}, []float64{0.6, 0.65, 0.7})
+	baseline := exportCSV(t, st) // what prediction-disabled serving exports
+
+	var invocations atomic.Int64
+	local := backend.NewLocal(st, backend.LocalOptions{
+		Workers: 1,
+		OnPlace: func(store.CellKey) { invocations.Add(1) },
+	})
+	pb := backend.NewPredictive(local, backend.PredictiveOptions{})
+	defer pb.Close()
+	pb.Train(local.Query(sweep.Filter{}))
+	if s, n := pb.Index().Len(); s != 1 || n != 6 {
+		t.Fatalf("trained index: %d surfaces, %d samples, want 1 and 6", s, n)
+	}
+
+	srv := serve.NewBackendServer(pb, serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := serve.NewClient(ts.URL)
+	client.HTTPClient = ts.Client()
+
+	// --- (a) trained region: concurrent clients, all answered by
+	// interpolation, zero engine invocations. Requests mix exact trained
+	// cells, unseen seeds and unseen interior loads so both the exact-hit
+	// and the interpolation paths are exercised.
+	reqs := []serve.PlaceRequest{
+		{Net: "star-6", Seed: 1, Scheme: "sp", Load: 0.6},   // trained cell
+		{Net: "star-6", Seed: 2, Scheme: "sp", Load: 0.7},   // trained cell
+		{Net: "star-6", Seed: 9, Scheme: "sp", Load: 0.65},  // unseen seed
+		{Net: "star-6", Seed: 1, Scheme: "sp", Load: 0.625}, // unseen load
+		{Net: "star-6", Seed: 7, Scheme: "sp", Load: 0.675}, // both unseen
+		{Net: "star-6", Seed: 2, Scheme: "sp", Load: 0.6},
+		{Net: "star-6", Seed: 3, Scheme: "sp", Load: 0.66},
+		{Net: "star-6", Seed: 4, Scheme: "sp", Load: 0.69},
+	}
+	var wg sync.WaitGroup
+	resps := make([]*serve.PlaceResponse, len(reqs))
+	errs := make([]error, len(reqs))
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r serve.PlaceRequest) {
+			defer wg.Done()
+			resps[i], errs[i] = client.Place(context.Background(), r)
+		}(i, r)
+	}
+	wg.Wait()
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if resps[i].Source != "predicted" || !resps[i].Predicted {
+			t.Fatalf("client %d: source %q predicted=%v, want a predicted answer", i, resps[i].Source, resps[i].Predicted)
+		}
+		if resps[i].Result.Key != (store.CellKey{}) {
+			t.Fatalf("client %d: predicted result carries content key %s", i, resps[i].Result.Key)
+		}
+		if s := resps[i].Result.Metrics.Stretch; s < 1 {
+			t.Fatalf("client %d: predicted stretch %v < 1", i, s)
+		}
+	}
+	if n := invocations.Load(); n != 0 {
+		t.Fatalf("%d engine invocations for trained-region requests, want 0", n)
+	}
+
+	// A trained cell answers with the exact stored metrics, not an
+	// approximation.
+	var exact store.Result
+	for _, r := range local.Query(sweep.Filter{Seed: ptrI64(1)}) {
+		if r.Meta.Load == 0.6 {
+			exact = r
+		}
+	}
+	if resps[0].Result.Metrics != exact.Metrics {
+		t.Fatalf("trained-cell prediction %+v differs from stored ground truth %+v",
+			resps[0].Result.Metrics, exact.Metrics)
+	}
+
+	// --- (b) the store is untouched: export is byte-identical to the
+	// prediction-disabled baseline.
+	if got := exportCSV(t, st); !bytes.Equal(got, baseline) {
+		t.Fatalf("predicted serving changed the store export:\n--- after\n%s\n--- baseline\n%s", got, baseline)
+	}
+
+	// --- (c) out-of-bound query: every concurrent client coalesces onto
+	// one exact solve. Load 0.5 is outside the trained [0.6, 0.7] box.
+	oob := serve.PlaceRequest{Net: "star-6", Seed: 1, Scheme: "sp", Load: 0.5}
+	const clients = 8
+	oobResps := make([]*serve.PlaceResponse, clients)
+	oobErrs := make([]error, clients)
+	before := invocations.Load()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			oobResps[i], oobErrs[i] = client.Place(context.Background(), oob)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if oobErrs[i] != nil {
+			t.Fatalf("oob client %d: %v", i, oobErrs[i])
+		}
+		if oobResps[i].Predicted {
+			t.Fatalf("oob client %d: out-of-bound query was predicted", i)
+		}
+		if oobResps[i].Result.Key != oobResps[0].Result.Key {
+			t.Fatalf("oob client %d: diverging keys", i)
+		}
+	}
+	if n := invocations.Load() - before; n != 1 {
+		t.Fatalf("%d engine invocations for one coalesced out-of-bound key, want exactly 1", n)
+	}
+	// The fallback's ground truth landed in the store and widened the
+	// trained region — the same query now predicts (exact hit).
+	if _, ok := st.Get(oobResps[0].Result.Key); !ok {
+		t.Fatal("fallback cell did not persist")
+	}
+	res, src, err := pb.PlaceSourced(context.Background(), store.CellSpec{
+		Net: "star-6", Seed: 1, Scheme: "sp", Load: 0.5, Locality: 1,
+	})
+	if err != nil || src != backend.SourcePredicted {
+		t.Fatalf("re-request after fallback: source %q, err %v, want predicted (self-corrected)", src, err)
+	}
+	if res.Metrics != oobResps[0].Result.Metrics {
+		t.Fatalf("self-corrected answer %+v differs from exact %+v", res.Metrics, oobResps[0].Result.Metrics)
+	}
+
+	// Stats surface the fast path end to end.
+	stats := srv.Stats()
+	if stats.Backend != "predictive+local" {
+		t.Fatalf("stats backend %q", stats.Backend)
+	}
+	if stats.Predicted < int64(len(reqs)) || stats.PredictFallbacks == 0 {
+		t.Fatalf("prediction counters did not move: %+v", stats)
+	}
+	if stats.Surfaces != 1 || stats.SurfaceSamples != 7 {
+		t.Fatalf("index gauges: %d surfaces, %d samples, want 1 and 7", stats.Surfaces, stats.SurfaceSamples)
+	}
+}
+
+func ptrI64(v int64) *int64 { return &v }
+
+// TestPredictiveRefine pins the self-correcting background path: a
+// predicted answer queues one exact solve, the ground truth persists in
+// the store, and the surface's interpolated sample is replaced so the
+// repeat request answers exactly.
+func TestPredictiveRefine(t *testing.T) {
+	st, err := store.OpenSharded(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	trainStore(t, st, []string{"star-6"}, []int64{1, 2}, []string{"sp"}, []float64{0.6, 0.7})
+
+	local := backend.NewLocal(st, backend.LocalOptions{Workers: 1})
+	refined := make(chan store.Result, 8)
+	pb := backend.NewPredictive(local, backend.PredictiveOptions{
+		Refine: true,
+		OnRefine: func(_ store.CellSpec, r store.Result, err error) {
+			if err != nil {
+				t.Errorf("refine failed: %v", err)
+			}
+			refined <- r
+		},
+	})
+	defer pb.Close()
+	pb.Train(local.Query(sweep.Filter{}))
+
+	spec := store.CellSpec{Net: "star-6", Seed: 1, Scheme: "sp", Load: 0.65, Locality: 1}
+	res, src, err := pb.PlaceSourced(context.Background(), spec)
+	if err != nil || src != backend.SourcePredicted {
+		t.Fatalf("place: source %q, err %v", src, err)
+	}
+
+	var truth store.Result
+	select {
+	case truth = <-refined:
+	case <-time.After(30 * time.Second):
+		t.Fatal("refinement never completed")
+	}
+	if _, ok := st.Get(truth.Key); !ok {
+		t.Fatal("refined ground truth did not persist")
+	}
+	if truth.Meta.Load != 0.65 {
+		t.Fatalf("refined wrong cell: %+v", truth.Meta)
+	}
+
+	// The repeat request is still served on the fast path, but now with
+	// the exact metrics the refinement landed.
+	again, src, err := pb.PlaceSourced(context.Background(), spec)
+	if err != nil || src != backend.SourcePredicted {
+		t.Fatalf("repeat place: source %q, err %v", src, err)
+	}
+	if again.Metrics != truth.Metrics {
+		t.Fatalf("post-refine answer %+v differs from ground truth %+v", again.Metrics, truth.Metrics)
+	}
+	if res.Metrics == (store.Metrics{}) {
+		t.Fatal("first prediction was empty")
+	}
+	if got := pb.Stats().Refined; got != 1 {
+		t.Fatalf("stats.Refined = %d, want 1", got)
+	}
+	// The refine queue deduplicates: the repeat predicted answer above
+	// was an exact hit and must not have queued a second solve.
+	if got := pb.Stats().Computed; got != 1 {
+		t.Fatalf("stats.Computed = %d, want exactly the one refinement solve", got)
+	}
+}
+
+// TestPredictivePassThrough pins that Lookup/Query/errors bypass the
+// index entirely, and that invalid specs fail before any net
+// resolution.
+func TestPredictivePassThrough(t *testing.T) {
+	st, err := store.OpenSharded(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	trainStore(t, st, []string{"star-6"}, []int64{1}, []string{"sp"}, []float64{0.65})
+
+	local := backend.NewLocal(st, backend.LocalOptions{Workers: 1})
+	pb := backend.NewPredictive(local, backend.PredictiveOptions{})
+	defer pb.Close()
+	pb.Train(local.Query(sweep.Filter{}))
+
+	all := local.Query(sweep.Filter{})
+	if got := pb.Query(sweep.Filter{}); len(got) != len(all) {
+		t.Fatalf("query through predictive: %d results, want %d", len(got), len(all))
+	}
+	if r, ok := pb.Lookup(all[0].Key); !ok || r != all[0] {
+		t.Fatalf("lookup through predictive: %+v, %v", r, ok)
+	}
+	var se *backend.SpecError
+	if _, err := pb.Place(context.Background(), store.CellSpec{Net: "star-6", Scheme: "nope", Locality: 1}); !errors.As(err, &se) {
+		t.Fatalf("bad scheme error = %v, want *SpecError", err)
+	}
+	if _, err := pb.Place(context.Background(), store.CellSpec{Net: "no-such-net", Scheme: "sp", Locality: 1}); !errors.As(err, &se) {
+		t.Fatalf("bad net error = %v, want *SpecError", err)
+	}
+	// JSON wire: the predicted marker round-trips through the stats
+	// struct (predictive fields are omitted for plain backends).
+	b, err := json.Marshal(local.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte("surface_samples")) {
+		t.Fatalf("plain backend stats leaked predictive fields: %s", b)
+	}
+}

@@ -23,6 +23,13 @@ type Predictor struct {
 
 // Next consumes the value measured over the last minute and returns the
 // predicted mean level for the next minute, exactly as Algorithm 1.
+//
+// Traffic levels are non-negative; negative inputs are clamped to zero
+// rather than fed through the hedge (which would scale them the wrong
+// way and could leave a negative prediction). A zero-valued series
+// start does not count as the first real measurement: it must not set
+// the decay floor, or the prediction would be anchored at an artificial
+// zero instead of tracking from the first genuine traffic level.
 func (p *Predictor) Next(prevValue float64) float64 {
 	decay := p.DecayMultiplier
 	if decay <= 0 {
@@ -31,6 +38,14 @@ func (p *Predictor) Next(prevValue float64) float64 {
 	hedge := p.FixedHedge
 	if hedge <= 0 {
 		hedge = 1.1
+	}
+	if prevValue < 0 {
+		prevValue = 0
+	}
+	if !p.started && prevValue == 0 {
+		// Nothing measured yet: stay unstarted so the decay floor
+		// anchors at the first positive measurement, not at zero.
+		return 0
 	}
 
 	scaledEst := prevValue * hedge

@@ -86,6 +86,69 @@ func TestQuickPredictionMonotoneInMeasurement(t *testing.T) {
 	}
 }
 
+// TestZeroStartRegression pins the decay-floor edge case at zero-valued
+// series starts. The hedging and decay-bound properties above only
+// exercise positive measurements; before the fix, a leading zero (or a
+// negative glitch) counted as the first real measurement, anchoring the
+// predictor's decay floor at a non-positive value.
+func TestZeroStartRegression(t *testing.T) {
+	// Leading zeros are not measurements: the prediction sequence after
+	// them is identical to the zero-stripped series.
+	series := []float64{3e9, 2e9, 2.5e9, 1e9, 4e9}
+	var withZeros, stripped Predictor
+	for i := 0; i < 3; i++ {
+		if got := withZeros.Next(0); got != 0 {
+			t.Fatalf("zero-start step %d predicted %v, want 0", i, got)
+		}
+	}
+	for i, v := range series {
+		a, b := withZeros.Next(v), stripped.Next(v)
+		if a != b {
+			t.Fatalf("step %d: zero-started predictor diverged: %v vs %v", i, a, b)
+		}
+	}
+
+	// Negative inputs clamp to zero instead of poisoning the state: the
+	// prediction never goes negative, and the hedging property holds for
+	// every measurement from then on.
+	var p Predictor
+	if got := p.Next(-5e9); got != 0 {
+		t.Fatalf("negative start predicted %v, want 0", got)
+	}
+	if got := p.Next(1e9); got < 1e9*1.1*(1-1e-12) {
+		t.Fatalf("first real measurement after a negative start predicted %v, want >= %v", got, 1e9*1.1)
+	}
+	if got := p.Next(-1); got < 0 {
+		t.Fatalf("prediction went negative: %v", got)
+	}
+}
+
+// TestQuickHedgingWithZeroDips extends the hedging property to series
+// containing zeros: the prediction never drops below the hedged
+// measurement, and never below zero, whatever mix of zero and positive
+// minutes arrives.
+func TestQuickHedgingWithZeroDips(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var p Predictor
+		for i := 0; i < 60; i++ {
+			level := 0.0
+			if rng.Intn(3) > 0 { // one minute in three is silent
+				level = 1e9 * rng.Float64()
+			}
+			next := p.Next(level)
+			if next < 0 || next < level*1.1*(1-1e-12) {
+				t.Logf("seed %d step %d: prediction %v under level %v", seed, i, next, level)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg(40)); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestQuickMinuteStatsShapes(t *testing.T) {
 	// MinuteMeans/MinuteStds: full minutes only, non-negative stds, and
 	// the mean of a constant series is the constant with zero std.

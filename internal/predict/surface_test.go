@@ -1,0 +1,185 @@
+package predict
+
+import (
+	"sync"
+	"testing"
+
+	"lowlat/internal/store"
+)
+
+// res builds one training result on surface (g, scheme) at the given
+// operating point. Key fields other than Graph don't matter to the
+// index, but must be non-zero so Observe accepts the record.
+func res(g store.Digest, scheme string, seed int64, headroom, load, locality float64, m store.Metrics) store.Result {
+	return store.Result{
+		Key: store.CellKey{Graph: g, Matrix: store.Digest(uint64(seed) + 1), Scheme: scheme, Config: 1},
+		Meta: store.Meta{
+			Net: "test", Seed: seed, Scheme: scheme,
+			Headroom: headroom, Load: load, Locality: locality,
+		},
+		Metrics: m,
+	}
+}
+
+// linear metrics: stretch rises linearly in load so interpolation error
+// is measurable exactly.
+func linMetrics(load float64) store.Metrics {
+	return store.Metrics{
+		Congested:  0,
+		Stretch:    1 + load,
+		MaxStretch: 1.5 + load,
+		MaxUtil:    load,
+		Fits:       true,
+	}
+}
+
+func trainLine(ix *Index, g store.Digest, scheme string, seeds []int64, loads []float64) {
+	for _, seed := range seeds {
+		for _, l := range loads {
+			ix.Observe(res(g, scheme, seed, 0, l, 1, linMetrics(l)))
+		}
+	}
+}
+
+func TestPredictExactHit(t *testing.T) {
+	ix := NewIndex(Options{})
+	trainLine(ix, 7, "sp", []int64{1, 2}, []float64{0.5, 0.6, 0.7})
+
+	est, ok := ix.Predict(7, "sp", 1, Coord{Load: 0.6, Locality: 1})
+	if !ok || !est.Exact {
+		t.Fatalf("trained cell did not answer exactly: %+v, %v", est, ok)
+	}
+	if est.Metrics != linMetrics(0.6) {
+		t.Fatalf("exact hit returned %+v, want %+v", est.Metrics, linMetrics(0.6))
+	}
+}
+
+func TestPredictInterpolatesLinearSurface(t *testing.T) {
+	ix := NewIndex(Options{})
+	trainLine(ix, 7, "sp", []int64{1, 2}, []float64{0.5, 0.55, 0.6, 0.65, 0.7})
+
+	// An unseen seed at an unseen interior load: the IDW average of a
+	// linear surface lands within a few percent of the line.
+	est, ok := ix.Predict(7, "sp", 9, Coord{Load: 0.625, Locality: 1})
+	if !ok {
+		t.Fatal("interior point of a dense linear surface did not predict")
+	}
+	if est.Exact {
+		t.Fatal("unseen cell claimed an exact hit")
+	}
+	want := linMetrics(0.625)
+	if d := est.Metrics.Stretch - want.Stretch; d < -0.05 || d > 0.05 {
+		t.Fatalf("stretch %v, want ~%v", est.Metrics.Stretch, want.Stretch)
+	}
+	if d := est.Metrics.MaxUtil - want.MaxUtil; d < -0.05 || d > 0.05 {
+		t.Fatalf("max_util %v, want ~%v", est.Metrics.MaxUtil, want.MaxUtil)
+	}
+	if !est.Metrics.Fits {
+		t.Fatal("unanimous fits vote interpolated to false")
+	}
+}
+
+func TestPredictRefusesOutsideTrainedRegion(t *testing.T) {
+	ix := NewIndex(Options{})
+	trainLine(ix, 7, "sp", []int64{1, 2}, []float64{0.5, 0.6, 0.7})
+
+	cases := []struct {
+		name string
+		at   Coord
+	}{
+		{"load beyond max", Coord{Load: 0.9, Locality: 1}},
+		{"load below min", Coord{Load: 0.3, Locality: 1}},
+		{"locality off the trained plane", Coord{Load: 0.6, Locality: 0}},
+		{"headroom off the trained plane", Coord{Headroom: 0.2, Load: 0.6, Locality: 1}},
+	}
+	for _, c := range cases {
+		if est, ok := ix.Predict(7, "sp", 1, c.at); ok {
+			t.Fatalf("%s: predicted %+v, want fallback", c.name, est)
+		}
+	}
+	// Unknown surface and unknown scheme refuse too.
+	if _, ok := ix.Predict(8, "sp", 1, Coord{Load: 0.6, Locality: 1}); ok {
+		t.Fatal("unknown topology predicted")
+	}
+	if _, ok := ix.Predict(7, "minmax", 1, Coord{Load: 0.6, Locality: 1}); ok {
+		t.Fatal("unknown scheme predicted")
+	}
+}
+
+func TestPredictRefusesRoughNeighborhood(t *testing.T) {
+	ix := NewIndex(Options{MaxRough: 0.2})
+	// Wildly oscillating stretch: the local surface is untrustworthy.
+	loads := []float64{0.5, 0.55, 0.6, 0.65, 0.7}
+	for i, l := range loads {
+		m := linMetrics(l)
+		if i%2 == 0 {
+			m.Stretch *= 3
+		}
+		ix.Observe(res(7, "sp", 1, 0, l, 1, m))
+		ix.Observe(res(7, "sp", 2, 0, l, 1, m))
+	}
+	if est, ok := ix.Predict(7, "sp", 9, Coord{Load: 0.625, Locality: 1}); ok {
+		t.Fatalf("rough surface predicted %+v, want fallback", est)
+	}
+}
+
+func TestPredictRefusesFeasibilityBoundary(t *testing.T) {
+	ix := NewIndex(Options{MaxRough: 10}) // disarm roughness; isolate the fits vote
+	loads := []float64{0.5, 0.55, 0.6, 0.65, 0.7}
+	for i, l := range loads {
+		m := linMetrics(l)
+		m.Fits = i%2 == 0 // split vote around any interior point
+		ix.Observe(res(7, "sp", 1, 0, l, 1, m))
+		ix.Observe(res(7, "sp", 2, 0, l, 1, m))
+	}
+	if est, ok := ix.Predict(7, "sp", 9, Coord{Load: 0.625, Locality: 1}); ok {
+		t.Fatalf("split fits vote predicted %+v, want fallback", est)
+	}
+}
+
+func TestObserveDedupesAndSelfCorrects(t *testing.T) {
+	ix := NewIndex(Options{})
+	first := linMetrics(0.6)
+	ix.Observe(res(7, "sp", 1, 0, 0.6, 1, first))
+	if _, n := ix.Len(); n != 1 {
+		t.Fatalf("samples = %d, want 1", n)
+	}
+	// Re-observing the same (coordinate, seed) replaces — last write
+	// wins, so a recomputed ground truth corrects the surface.
+	corrected := first
+	corrected.Stretch = 2.5
+	ix.Observe(res(7, "sp", 1, 0, 0.6, 1, corrected))
+	if _, n := ix.Len(); n != 1 {
+		t.Fatalf("samples after re-observe = %d, want 1", n)
+	}
+	est, ok := ix.Predict(7, "sp", 1, Coord{Load: 0.6, Locality: 1})
+	if !ok || est.Metrics.Stretch != 2.5 {
+		t.Fatalf("re-observed cell answers %+v, want corrected stretch 2.5", est)
+	}
+
+	// Keyless results (predicted answers) never train the model.
+	ix.Observe(store.Result{Meta: store.Meta{Scheme: "sp", Load: 0.9, Locality: 1}})
+	if s, n := ix.Len(); s != 1 || n != 1 {
+		t.Fatalf("keyless observe changed the index: %d surfaces, %d samples", s, n)
+	}
+}
+
+func TestIndexConcurrentObservePredict(t *testing.T) {
+	ix := NewIndex(Options{})
+	trainLine(ix, 7, "sp", []int64{1}, []float64{0.5, 0.6, 0.7})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if w%2 == 0 {
+					ix.Observe(res(7, "sp", int64(w*1000+i), 0, 0.55, 1, linMetrics(0.55)))
+				} else {
+					ix.Predict(7, "sp", 1, Coord{Load: 0.6, Locality: 1})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"lowlat/internal/backend"
+	"lowlat/internal/predict"
 	"lowlat/internal/store"
 	"lowlat/internal/sweep"
 )
@@ -76,6 +77,20 @@ type Options struct {
 	// the precise computation count, mirroring sweep.Options.OnPlace.
 	// Tests hang invocation counting and deterministic barriers off it.
 	OnPlace func(key store.CellKey)
+	// Predict wraps the backend New builds in the landscape-interpolation
+	// fast path (backend.Predictive), trained from the store's current
+	// contents: trained-region /v1/place requests answer in microseconds
+	// with "source": "predicted" and no solver work, everything else
+	// falls back to the exact path. NewBackendServer ignores it — callers
+	// fronting their own backend wrap it themselves.
+	Predict bool
+	// PredictRefine queues a background exact solve for each predicted
+	// answer, persisting ground truth that replaces the interpolated
+	// sample. The refinement worker stops when Serve returns.
+	PredictRefine bool
+	// PredictOptions tunes the interpolation index built when Predict is
+	// set (confidence radius, minimum support, roughness bound).
+	PredictOptions predict.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -105,12 +120,14 @@ type Stats struct {
 	Queries       int64 `json:"queries"`
 	CellLookups   int64 `json:"cell_lookups"`
 	PlaceRequests int64 `json:"place_requests"`
-	// CacheHits were answered by the LRU, StoreHits by the backend's
-	// store, MemoHits derived their cell key from the calibration memo
-	// without regenerating the matrix.
-	CacheHits int64 `json:"cache_hits"`
-	StoreHits int64 `json:"store_hits"`
-	MemoHits  int64 `json:"memo_hits"`
+	// CacheHits were answered by the LRU; CacheMisses consulted it and
+	// fell through to the backend. StoreHits were answered by the
+	// backend's store, MemoHits derived their cell key from the
+	// calibration memo without regenerating the matrix.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	StoreHits   int64 `json:"store_hits"`
+	MemoHits    int64 `json:"memo_hits"`
 	// Coalesced requests joined another request's in-flight computation;
 	// Computed counts engine invocations; Rejected counts 429s.
 	Coalesced int64 `json:"coalesced"`
@@ -120,6 +137,17 @@ type Stats struct {
 	// gauges the LRU.
 	InFlight      int64 `json:"in_flight"`
 	CachedEntries int   `json:"cached_entries"`
+	// Predicted counts places answered by the interpolation fast path,
+	// PredictFallbacks those it handed to the exact path; Refined and
+	// RefineDropped count background ground-truth solves completed and
+	// shed. Surfaces and SurfaceSamples gauge the trained index. All six
+	// appear only when the backend is predictive.
+	Predicted        int64 `json:"predicted,omitempty"`
+	PredictFallbacks int64 `json:"predict_fallbacks,omitempty"`
+	Refined          int64 `json:"refined,omitempty"`
+	RefineDropped    int64 `json:"refine_dropped,omitempty"`
+	Surfaces         int   `json:"surfaces,omitempty"`
+	SurfaceSamples   int   `json:"surface_samples,omitempty"`
 	// Replicas carries per-replica backend snapshots when the server
 	// fronts a cluster.
 	Replicas []backend.Stats `json:"replicas,omitempty"`
@@ -128,11 +156,12 @@ type Stats struct {
 // counters is the server's HTTP-layer atomic counter block; compute-side
 // counters live in the backend.
 type counters struct {
-	queries   atomic.Int64
-	cells     atomic.Int64
-	places    atomic.Int64
-	cacheHits atomic.Int64
-	coalesced atomic.Int64
+	queries     atomic.Int64
+	cells       atomic.Int64
+	places      atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	coalesced   atomic.Int64
 }
 
 // PlaceRequest asks for one scenario cell by its coordinates. Net takes
@@ -151,11 +180,14 @@ type PlaceRequest struct {
 }
 
 // PlaceResponse carries the cell and where it came from: "cache" (LRU),
-// "store" (persisted by an earlier run or request), or "computed" (placed
-// by this request — and now persisted for the next one).
+// "store" (persisted by an earlier run or request), "computed" (placed
+// by this request — and now persisted for the next one), or "predicted"
+// (interpolated over the trained landscape; an estimate with no content
+// key, flagged by the Predicted marker).
 type PlaceResponse struct {
-	Source string       `json:"source"`
-	Result store.Result `json:"result"`
+	Source    string       `json:"source"`
+	Predicted bool         `json:"predicted,omitempty"`
+	Result    store.Result `json:"result"`
 }
 
 // QueryResponse lists stored cells matching a filter.
@@ -188,6 +220,7 @@ func errf(code int, format string, args ...any) *apiError {
 type Server struct {
 	b       backend.Backend
 	opts    Options
+	owned   *backend.Predictive      // set when New wrapped the backend itself
 	lru     *lruCache[store.Result]  // content key -> response
 	keys    *lruCache[store.CellKey] // request key -> content key shortcut
 	flights *flightGroup
@@ -210,7 +243,18 @@ func New(st *store.Store, opts Options) *Server {
 			OnPlace:     opts.OnPlace,
 		})
 	}
-	return NewBackendServer(b, opts)
+	var owned *backend.Predictive
+	if opts.Predict {
+		pb := backend.NewPredictive(b, backend.PredictiveOptions{
+			Predict: opts.PredictOptions,
+			Refine:  opts.PredictRefine,
+		})
+		pb.Train(b.Query(sweep.Filter{}))
+		b, owned = pb, pb
+	}
+	s := NewBackendServer(b, opts)
+	s.owned = owned
+	return s
 }
 
 // NewBackendServer builds a Server over any placement backend — a remote
@@ -257,6 +301,7 @@ func (s *Server) Stats() Stats {
 		CellLookups:   s.c.cells.Load(),
 		PlaceRequests: s.c.places.Load(),
 		CacheHits:     s.c.cacheHits.Load(),
+		CacheMisses:   s.c.cacheMisses.Load(),
 		StoreHits:     bs.StoreHits,
 		MemoHits:      bs.MemoHits,
 		Coalesced:     s.c.coalesced.Load(),
@@ -264,7 +309,15 @@ func (s *Server) Stats() Stats {
 		Rejected:      bs.Rejected,
 		InFlight:      bs.InFlight,
 		CachedEntries: s.lru.len(),
-		Replicas:      bs.Replicas,
+
+		Predicted:        bs.Predicted,
+		PredictFallbacks: bs.PredictFallbacks,
+		Refined:          bs.Refined,
+		RefineDropped:    bs.RefineDropped,
+		Surfaces:         bs.Surfaces,
+		SurfaceSamples:   bs.SurfaceSamples,
+
+		Replicas: bs.Replicas,
 	}
 }
 
@@ -273,6 +326,9 @@ func (s *Server) Stats() Stats {
 // in-flight computations, which run inside their leader's handler) drain
 // within DrainTimeout. A clean drain returns nil.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	if s.owned != nil {
+		defer s.owned.Close() // stop the refinement worker with the server
+	}
 	srv := &http.Server{Handler: s.mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -390,6 +446,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, CellResponse{Source: "cache", Result: res})
 		return
 	}
+	s.c.cacheMisses.Add(1)
 	res, ok := s.b.Lookup(key)
 	if !ok {
 		writeError(w, errf(http.StatusNotFound, "cell %s not stored", ks))
@@ -436,6 +493,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.c.cacheMisses.Add(1)
 
 	out, err := s.flights.do(r.Context(), rk,
 		func() (outcome, error) { return s.placeMiss(rk, spec) },
@@ -444,7 +502,11 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, PlaceResponse{Source: out.source, Result: out.result})
+	writeJSON(w, http.StatusOK, PlaceResponse{
+		Source:    out.source,
+		Predicted: out.source == string(backend.SourcePredicted),
+		Result:    out.result,
+	})
 }
 
 // placeMiss resolves one place request as the leader of its flight: one
@@ -461,8 +523,14 @@ func (s *Server) placeMiss(rk string, spec store.CellSpec) (outcome, error) {
 	if err != nil {
 		return outcome{}, err
 	}
-	s.keys.add(rk, res.Key)
-	s.lru.add(res.Key.String(), res)
+	// Predicted answers carry no content key: caching one under the zero
+	// key would collide every predicted response onto a single LRU slot
+	// (and serve request A's estimate to request B). Estimates stay
+	// uncached; the index itself is the fast path.
+	if res.Key != (store.CellKey{}) {
+		s.keys.add(rk, res.Key)
+		s.lru.add(res.Key.String(), res)
+	}
 	return outcome{source: string(src), result: res}, nil
 }
 

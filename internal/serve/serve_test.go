@@ -312,6 +312,80 @@ func TestPlaceServesSweptStoreViaMemo(t *testing.T) {
 	}
 }
 
+// TestPredictServeOption pins Options.Predict end to end through New: a
+// daemon over a swept store trains at construction and answers an
+// interior operating point by interpolation — no engine work, the
+// predicted marker set, the counters visible in stats — while predicted
+// estimates stay out of the LRU (they have no content key to cache
+// under).
+func TestPredictServeOption(t *testing.T) {
+	st := openStore(t)
+	for _, load := range []float64{0.6, 0.7} {
+		grid := sweep.Grid{Nets: []string{"star-6"}, Seeds: []int64{1, 2}, Schemes: []string{"sp"}, Load: load}
+		if _, err := sweep.Run(context.Background(), st, grid, sweep.Options{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var invocations atomic.Int64
+	s, c := newTestServer(t, st, Options{
+		Workers: 1,
+		Predict: true,
+		OnPlace: func(store.CellKey) { invocations.Add(1) },
+	})
+
+	req := PlaceRequest{Net: "star-6", Seed: 5, Scheme: "sp", Load: 0.65}
+	resp, err := c.Place(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Source != "predicted" || !resp.Predicted {
+		t.Fatalf("source %q predicted=%v, want a predicted answer", resp.Source, resp.Predicted)
+	}
+	if resp.Result.Key != (store.CellKey{}) {
+		t.Fatalf("predicted result carries content key %s", resp.Result.Key)
+	}
+	if invocations.Load() != 0 {
+		t.Fatal("trained-region place invoked the engine")
+	}
+
+	// The repeat request is predicted again, not served from the LRU:
+	// estimates are never cached.
+	again, err := c.Place(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Source != "predicted" {
+		t.Fatalf("repeat source %q, want predicted", again.Source)
+	}
+
+	stats := s.Stats()
+	if stats.Backend != "predictive+local" {
+		t.Fatalf("stats backend %q", stats.Backend)
+	}
+	if stats.Predicted != 2 || stats.CacheHits != 0 || stats.CachedEntries != 0 {
+		t.Fatalf("stats %+v, want 2 predicted, nothing cached", stats)
+	}
+	if stats.Surfaces != 1 || stats.SurfaceSamples != 4 {
+		t.Fatalf("index gauges %d/%d, want 1 surface, 4 samples", stats.Surfaces, stats.SurfaceSamples)
+	}
+
+	// An untrained operating point exercises the exact path through the
+	// same daemon and lands in the store as usual.
+	far, err := c.Place(context.Background(), PlaceRequest{Net: "ring-8", Seed: 1, Scheme: "sp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Predicted || far.Source != "computed" {
+		t.Fatalf("untrained net: source %q predicted=%v, want computed", far.Source, far.Predicted)
+	}
+	if invocations.Load() != 1 {
+		t.Fatalf("%d invocations after one fallback, want 1", invocations.Load())
+	}
+	if got := s.Stats().PredictFallbacks; got != 1 {
+		t.Fatalf("predict_fallbacks = %d, want 1", got)
+	}
+}
+
 // TestReadOnlyStore pins the read-only daemon: stored cells serve, a cell
 // that would need computing answers 403, and nothing is written.
 func TestReadOnlyStore(t *testing.T) {

@@ -277,6 +277,15 @@ type Options struct {
 	// been checkpointed, with the count of cells computed so far this
 	// run. Calls arrive in completion order, one at a time.
 	OnResult func(computed int, r store.Result)
+	// Observer, when non-nil, receives every result the sweep touches —
+	// reused cells during planning and computed cells right after they
+	// checkpoint. It is the incremental-retrain hook for a predictive
+	// index (predict.Index and backend.Predictive both implement it):
+	// one Run leaves the observer trained on the whole swept grid,
+	// however much of it a previous run already covered. Reused-cell
+	// calls arrive from the planning loop, computed-cell calls from the
+	// checkpoint loop, never concurrently.
+	Observer interface{ Observe(r store.Result) }
 	// OnPlace, when non-nil, is called from a worker goroutine just
 	// before each placement solve starts — the precise count of engine
 	// invocations. Progress meters and interruption tests hang off it;
@@ -306,8 +315,11 @@ func Run(ctx context.Context, st *store.Store, grid Grid, opts Options) (*Report
 	var missing []Cell
 	for _, c := range cells {
 		if !opts.Recompute {
-			if _, ok := st.Get(c.Key); ok {
+			if r, ok := st.Get(c.Key); ok {
 				rep.Reused++
+				if opts.Observer != nil {
+					opts.Observer.Observe(r)
+				}
 				continue
 			}
 		}
@@ -377,6 +389,9 @@ func Run(ctx context.Context, st *store.Store, grid Grid, opts Options) (*Report
 			return rep, fmt.Errorf("sweep: checkpoint: %w", err)
 		}
 		rep.Computed++
+		if opts.Observer != nil {
+			opts.Observer.Observe(result)
+		}
 		if opts.OnResult != nil {
 			opts.OnResult(rep.Computed, result)
 		}

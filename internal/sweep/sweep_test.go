@@ -391,3 +391,50 @@ func TestQueryAndExportFilters(t *testing.T) {
 		t.Fatal("unknown format accepted")
 	}
 }
+
+// observerLog records Observe calls so the retrain hook's contract is
+// pinned: computed cells arrive as they checkpoint, reused cells arrive
+// during planning, and one Run covers the whole grid either way.
+type observerLog struct{ results []store.Result }
+
+func (o *observerLog) Observe(r store.Result) { o.results = append(o.results, r) }
+
+func TestObserverSeesComputedAndReused(t *testing.T) {
+	st, err := store.OpenSharded(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	grid := testGrid()
+
+	var first observerLog
+	rep, err := Run(context.Background(), st, grid, Options{Workers: 1, Observer: &first})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.results) != rep.Computed || rep.Computed == 0 {
+		t.Fatalf("first run observed %d results, want the %d computed", len(first.results), rep.Computed)
+	}
+
+	// A resumed run computes nothing, but the observer still sees every
+	// reused cell — one Run trains an index on the whole grid.
+	var second observerLog
+	rep, err = Run(context.Background(), st, grid, Options{Workers: 1, Observer: &second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Computed != 0 || len(second.results) != rep.Reused {
+		t.Fatalf("resumed run observed %d results, want the %d reused (computed %d)",
+			len(second.results), rep.Reused, rep.Computed)
+	}
+	seen := make(map[store.CellKey]bool)
+	for _, r := range second.results {
+		if r.Key == (store.CellKey{}) {
+			t.Fatal("observer saw a keyless result")
+		}
+		seen[r.Key] = true
+	}
+	if len(seen) != rep.Planned {
+		t.Fatalf("observer saw %d distinct cells, want all %d planned", len(seen), rep.Planned)
+	}
+}

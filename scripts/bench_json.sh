@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
-# Runs the CI benchmark subset (the landscape sweep and the dynamics
-# timelines) once each and converts the `go test -bench` output into a
-# flat JSON object mapping benchmark name -> ns/op, written to $1
-# (default BENCH_ci.json). CI archives the file on every push so the
-# repository accumulates a perf trajectory; `make bench` produces the
-# same file locally.
+# Runs the CI benchmark subset (the landscape sweep, the dynamics
+# timelines, and the predictive-vs-exact place pair that tracks the fast
+# path's speedup claim) once each and converts the `go test -bench`
+# output into a flat JSON object mapping benchmark name -> ns/op,
+# written to $1 (default BENCH_ci.json). CI archives the file on every
+# push so the repository accumulates a perf trajectory; `make bench`
+# produces the same file locally, and each PR checks in a snapshot as
+# BENCH_pr<N>.json.
 set -eu
 
 out="${1:-BENCH_ci.json}"
@@ -12,8 +14,10 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 # No pipe into tee: POSIX sh has no pipefail, and the bench exit status
-# must fail the job.
-go test -run NONE -bench 'Landscape|Dynamics' -benchtime 1x ./... > "$tmp"
+# must fail the job. PredictivePlace/ExactPlace are matched by their full
+# suffixes so AblationB4Place (a different, much heavier family) stays
+# out of this subset.
+go test -run NONE -bench 'Landscape|Dynamics|PredictivePlace|ExactPlace' -benchtime 1x ./... > "$tmp"
 cat "$tmp"
 
 awk '

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# CI error gate for the predictive fast path: sweep a small grid across a
+# load line, train interpolation surfaces on alternating load points, and
+# predict the held-out points the exact solver just computed. The gate
+# fails when any held-out error exceeds the pinned bound — if surface
+# fitting regresses (a distance-metric bug, a roughness-gauge bug, a
+# training-order bug), this trips before the change merges.
+#
+# The bound is deliberately pinned here, not passed through from the
+# environment: loosening it must be a reviewed diff of this file.
+# `make predict-gate` runs this locally; CI's short job runs it after the
+# unit suites.
+set -eu
+
+store="${1:-.predictstore}"
+
+# Two tiny nets, two schemes, five load points; one gate invocation per
+# matrix seed. Seeds run separately on purpose: the surface index
+# averages across seeds (the landscape is a distribution over matrix
+# draws), so a multi-seed gate against one seed's exact metrics would
+# measure matrix-draw variance, not fitting error. Per-seed lines
+# isolate what this gate pins — interpolation accuracy. Both seeds share
+# the store, so reruns reuse every solved cell.
+grid="nets=star-6,ring-8;schemes=sp,minmax"
+loads="0.5,0.55,0.6,0.65,0.7"
+bound="0.05"
+
+rm -rf "$store"
+for seed in 1 2; do
+    go run ./cmd/lowlat predict \
+        -store "$store" \
+        -grid "$grid;seeds=$seed" \
+        -loads "$loads" \
+        -bound "$bound" \
+        -workers 1
+done
+
+echo "predict_gate: OK (bound $bound)"
