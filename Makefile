@@ -60,15 +60,20 @@ PREDICT_STORE ?= .predictstore
 predict-gate:
 	sh ./scripts/predict_gate.sh $(PREDICT_STORE)
 
-# Cluster smoke test: seed two disjoint stores, boot two lowlatd
-# replicas on ephemeral ports, drive `lowlat query/export/sweep
-# -cluster` through the consistent-hash ring, kill one replica, and
-# verify rerouted answers. The store directories are gitignored;
-# `make clean` removes them.
+# Cluster smoke test, two acts: (1) sharding — seed two disjoint
+# stores, boot two lowlatd replicas on ephemeral ports, drive `lowlat
+# query/export/sweep -cluster` through the consistent-hash ring, kill
+# one replica, and verify rerouted answers; (2) replication — three
+# replicas at -replicas 2, kill one mid-run with zero failed lookups,
+# rebuild it from an empty store via `lowlat heal`, and verify by
+# digest. The store directories are gitignored; `make clean` removes
+# them.
 CLUSTER_STORE ?= .clusterstore
 cluster-smoke:
 	sh ./scripts/cluster_smoke.sh $(CLUSTER_STORE)
 
 clean:
 	rm -f BENCH_ci.json
-	rm -rf $(SWEEP_STORE) $(SERVE_STORE) $(CLUSTER_STORE)-a $(CLUSTER_STORE)-b $(CLUSTER_STORE)-sweep $(PREDICT_STORE)
+	rm -rf $(SWEEP_STORE) $(SERVE_STORE) $(PREDICT_STORE)
+	rm -rf $(CLUSTER_STORE)-a $(CLUSTER_STORE)-b $(CLUSTER_STORE)-sweep
+	rm -rf $(CLUSTER_STORE)-r1 $(CLUSTER_STORE)-r2 $(CLUSTER_STORE)-r3 $(CLUSTER_STORE)-rsweep

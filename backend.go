@@ -13,17 +13,21 @@ import (
 
 // This file is the placement-backend half of the public facade: the one
 // API every consumer of the scenario landscape goes through — "give me
-// the result for this cell, computing it if needed" — with four
+// the result for this cell, computing it if needed" — with
 // interchangeable implementations. A LocalBackend computes through the
 // in-process engine over a writable store; a StoreBackend serves a store
 // read-only; a RemoteBackend talks to a running lowlatd daemon (with
 // client-side 429 backoff); a ClusterBackend fronts N backends with a
-// consistent-hash ring, rerouting around down replicas. They compose: a
+// consistent-hash ring, rerouting around down replicas — and, with
+// Replicas > 1, replicating every cell to its key's R ring owners with
+// read-repair, hinted handoff and anti-entropy healing. They compose: a
 // sweep can farm compute out to a cluster, a daemon can serve a cluster
 // of daemons, and all of them answer the same Lookup/Place/Query/Stats
 // calls. A PredictiveBackend wraps any of them with the landscape
-// interpolation fast path: microsecond Place answers from trained
-// metric surfaces, exact fallback outside the trained region.
+// interpolation fast path (microsecond Place answers from trained
+// metric surfaces, exact fallback outside the trained region), and a
+// CachedBackend wraps any of them with a client-side LRU + coalescing
+// tier for hot-key traffic.
 
 // PlacementBackend is the placement-access interface: Lookup by content
 // key, Place by request coordinates (computing if needed), Query by
@@ -68,11 +72,31 @@ type RetryBackoff = serve.Backoff
 // ClusterBackend fronts N backends with consistent hashing on the
 // content key: deterministic key→replica routing, per-replica health
 // marks with rerouting to the ring successor, fan-out + merge queries.
+// With Options.Replicas > 1 it becomes a replicated self-healing tier:
+// writes land on each key's first R ring owners, reads repair divergent
+// copies, hinted handoff carries writes across replica downtime, and
+// Heal runs an anti-entropy sweep.
 type ClusterBackend = cluster.Backend
 
 // ClusterOptions tunes a ClusterBackend (virtual nodes, replica labels,
-// probe/query timeouts).
+// probe/query timeouts, the replication factor Replicas, the hinted-
+// handoff queue bound HandoffLimit, and the background heal cadence
+// AntiEntropyInterval).
 type ClusterOptions = cluster.Options
+
+// ClusterHealReport summarizes one anti-entropy sweep
+// (ClusterBackend.Heal): replicas answering the key exchange, keys
+// compared, cells copied, hints drained, copies failed.
+type ClusterHealReport = cluster.HealReport
+
+// CachedBackend is the client-side cache tier: a bounded LRU plus
+// request coalescing stacked in front of any backend, so a fleet of
+// remote or cluster clients absorbs hot-key traffic before it reaches
+// the wire.
+type CachedBackend = backend.Cached
+
+// CachedBackendOptions tunes a CachedBackend (LRU size).
+type CachedBackendOptions = backend.CachedOptions
 
 // PredictiveBackend wraps any placement backend with the landscape
 // interpolation fast path: Place answers from trained metric surfaces
@@ -127,6 +151,12 @@ func NewRemoteBackend(baseURL string, opts RemoteBackendOptions) *RemoteBackend 
 // ring.
 func NewClusterBackend(replicas []PlacementBackend, opts ClusterOptions) (*ClusterBackend, error) {
 	return cluster.New(replicas, opts)
+}
+
+// NewCachedBackend stacks the client-side LRU + coalescing tier in
+// front of inner (typically a RemoteBackend or ClusterBackend).
+func NewCachedBackend(inner PlacementBackend, opts CachedBackendOptions) *CachedBackend {
+	return backend.NewCached(inner, opts)
 }
 
 // NewPredictiveBackend wraps inner with the predictive fast path. Train

@@ -110,6 +110,65 @@ func TestBackendFacade(t *testing.T) {
 	cancel()
 }
 
+// TestReplicatedFacade drives the replication facade: a ClusterBackend
+// at Replicas:2 writes a placed cell to both of its key's ring owners,
+// Heal returns a converged ClusterHealReport, and a CachedBackend over
+// the cluster serves the repeat lookup from its client-side tier.
+func TestReplicatedFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs placements")
+	}
+	openStore := func() *ResultStore {
+		t.Helper()
+		st, err := OpenResultStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		return st
+	}
+	stA, stB := openStore(), openStore()
+	cb, err := NewClusterBackend([]PlacementBackend{
+		NewLocalBackend(stA, LocalBackendOptions{Workers: 1}),
+		NewLocalBackend(stB, LocalBackendOptions{Workers: 1}),
+	}, ClusterOptions{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+
+	res, err := cb.Place(context.Background(), CellSpec{Net: "star-6", Seed: 1, Scheme: "sp", Locality: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []*ResultStore{stA, stB} {
+		if _, ok := st.Get(res.Key); !ok {
+			t.Fatal("replicated place did not reach both ring owners")
+		}
+	}
+	if stats := cb.Stats(); stats.ReplicaFactor != 2 || stats.Replicated != 1 {
+		t.Fatalf("stats = %+v, want replica_factor 2 with 1 replicated copy", stats)
+	}
+
+	var rep ClusterHealReport
+	if rep, err = cb.Heal(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replicas != 2 || rep.Failed != 0 {
+		t.Fatalf("heal report = %+v, want 2 converged replicas with 0 failures", rep)
+	}
+
+	cached := NewCachedBackend(cb, CachedBackendOptions{Size: 8})
+	for i := 0; i < 2; i++ {
+		if got, ok := cached.Lookup(res.Key); !ok || got != res {
+			t.Fatalf("cached lookup %d = %+v, %v", i, got, ok)
+		}
+	}
+	if stats := cached.Stats(); stats.CacheHits != 1 {
+		t.Fatalf("cached stats = %+v, want 1 client-side hit on the repeat lookup", stats)
+	}
+}
+
 // TestPredictiveFacade drives the predictive fast path through the
 // facade: a PredictiveBackend trained from a swept store answers an
 // unseen interior cell without invoking the engine, and an untrained

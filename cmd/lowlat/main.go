@@ -77,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdQuery(args[1:], stdout, stderr)
 	case "export":
 		err = cmdExport(args[1:], stdout, stderr)
+	case "heal":
+		err = cmdHeal(args[1:], stdout, stderr)
 	case "help", "-h", "--help":
 		// Requested help is a success path: print to stdout so it pipes.
 		usage(stdout)
@@ -162,7 +164,13 @@ func usage(w io.Writer) {
                 instead of a local store; CSV/JSON always include the
                 header / an empty array, even for zero matches)
   lowlat export [-store <dir>] -format csv|json write a result slice
-         flags: -o <file> (default stdout) + the query/remote flags`)
+         flags: -o <file> (default stdout) + the query/remote flags
+  lowlat heal -cluster <url,...> -replicas <R>  run one anti-entropy sweep:
+         exchange key digests across the daemons and copy cells onto the
+         ring owners missing them; prints the heal report
+         flags: -timeout <d> (default 5m)
+  remote flags (query/export/sweep): -replicas <R> (replicated -cluster
+         ownership), -remote-cache <n> (client-side LRU + coalescing)`)
 }
 
 func cmdZoo(args []string, stdout, stderr io.Writer) error {
@@ -737,18 +745,75 @@ func parseLoads(s string) ([]float64, error) {
 func backendFlags(fs *flag.FlagSet) func() (backend.Backend, error) {
 	addr := fs.String("addr", "", "base URL of a running lowlatd (e.g. http://127.0.0.1:8080); replaces -store")
 	clusterSpec := fs.String("cluster", "", "comma-separated lowlatd base URLs fronted by a consistent-hash ring; replaces -store")
+	replicas := fs.Int("replicas", 1, "with -cluster: ownership factor R — writes land on each key's first R ring owners and reads repair stale copies (1 = single-owner)")
+	cacheSize := fs.Int("remote-cache", 0, "wrap the remote backend in a client-side LRU + request-coalescing tier of this many entries (0 = off)")
 	return func() (backend.Backend, error) {
 		if *addr != "" && *clusterSpec != "" {
 			return nil, fmt.Errorf("-addr and -cluster are mutually exclusive")
 		}
-		if *addr != "" {
-			return serve.NewRemote(serve.NewClient(cluster.NormalizeBaseURL(*addr)), serve.RemoteOptions{}), nil
+		var b backend.Backend
+		switch {
+		case *addr != "":
+			b = serve.NewRemote(serve.NewClient(cluster.NormalizeBaseURL(*addr)), serve.RemoteOptions{})
+		case *clusterSpec != "":
+			cb, err := cluster.FromSpec(*clusterSpec, serve.RemoteOptions{}, cluster.Options{Replicas: *replicas})
+			if err != nil {
+				return nil, err
+			}
+			b = cb
+		default:
+			return nil, nil
 		}
-		if *clusterSpec != "" {
-			return cluster.FromSpec(*clusterSpec, serve.RemoteOptions{}, cluster.Options{})
+		if *cacheSize > 0 {
+			b = backend.NewCached(b, backend.CachedOptions{Size: *cacheSize})
 		}
-		return nil, nil
+		return b, nil
 	}
+}
+
+// cmdHeal runs one explicit anti-entropy sweep over a replicated
+// cluster: probe every daemon, drain any hinted writes, exchange key
+// inventories, and copy cells onto the ring owners missing them. The
+// same sweep a cluster-front daemon runs in the background with
+// -anti-entropy, callable on demand — the operator's "make the replicas
+// converge now" button after rejoining a rebuilt daemon.
+func cmdHeal(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("heal", stderr)
+	clusterSpec := fs.String("cluster", "", "comma-separated lowlatd base URLs (required)")
+	replicas := fs.Int("replicas", 2, "ownership factor R the cluster serves with; the sweep copies cells onto each key's first R ring owners")
+	timeout := fs.Duration("timeout", 5*time.Minute, "bound for the whole sweep")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *clusterSpec == "" {
+		return fmt.Errorf("heal: -cluster is required")
+	}
+	cb, err := cluster.FromSpec(*clusterSpec, serve.RemoteOptions{}, cluster.Options{Replicas: *replicas})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if down := cb.Probe(ctx); down > 0 {
+		fmt.Fprintf(stderr, "lowlat: heal: %d of %d daemons unreachable; healing around them\n", down, len(cb.Labels()))
+	}
+	rep, err := cb.Heal(ctx)
+	if err != nil {
+		return fmt.Errorf("heal: %w", err)
+	}
+	if rep.Replicas == 0 && !rep.Skipped {
+		return fmt.Errorf("heal: no daemon answered the key exchange (%d named)", len(cb.Labels()))
+	}
+	if rep.Skipped {
+		fmt.Fprintln(stdout, "heal: replicas already converged (digest match), nothing to do")
+		return nil
+	}
+	fmt.Fprintf(stdout, "heal: %d replicas exchanged %d keys: %d healed, %d drained, %d failed\n",
+		rep.Replicas, rep.Keys, rep.Healed, rep.Drained, rep.Failed)
+	if rep.Failed > 0 {
+		return fmt.Errorf("heal: %d copies failed; rerun after the targets recover", rep.Failed)
+	}
+	return nil
 }
 
 // backendQuery lists the backend's cells matching f, failing loudly for

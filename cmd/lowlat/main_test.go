@@ -52,6 +52,32 @@ func TestRunErrorsExitNonZero(t *testing.T) {
 	}
 }
 
+// TestHealExitCodes pins the heal subcommand's exit contract: missing
+// -cluster is a runtime error (1), bad flags are usage errors (2), and a
+// cluster nobody answers for must exit non-zero rather than report a
+// clean no-op sweep.
+func TestHealExitCodes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"heal"}, &out, &errOut); code != 1 {
+		t.Fatalf("heal without -cluster: exit %d, want 1", code)
+	}
+	if code := run([]string{"heal", "-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("heal bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"heal", "-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("heal -h: exit %d, want 0", code)
+	}
+	errOut.Reset()
+	// Port 1 answers nothing: every probe fails, no daemon joins the key
+	// exchange, and the sweep must fail loudly.
+	if code := run([]string{"heal", "-cluster", "http://127.0.0.1:1", "-timeout", "5s"}, &out, &errOut); code != 1 {
+		t.Fatalf("heal against dead cluster: exit %d, want 1 (stderr %q)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "no daemon answered") {
+		t.Fatalf("dead-cluster heal stderr %q, want the no-daemon report", errOut.String())
+	}
+}
+
 // TestScenarioErrorsCollectedButNonZero pins the exit-code contract: a
 // sweep whose scenarios partially fail still prints the surviving rows,
 // but the command must report an error (and so exit non-zero) instead of

@@ -20,6 +20,16 @@
 //	                                              front a sharded cluster:
 //	                                              this daemon holds no store,
 //	                                              it routes by content key
+//	lowlatd -cluster ... -replicas 2              replicated cluster front: every
+//	                                              cell is written to its key's 2
+//	                                              ring owners, reads repair stale
+//	                                              copies, hinted handoff carries
+//	                                              writes across replica downtime
+//	lowlatd -cluster ... -replicas 2 -anti-entropy 1m
+//	                                              also heal in the background:
+//	                                              every interval, exchange key
+//	                                              digests and copy cells onto
+//	                                              owners missing them
 //
 // Endpoints (all JSON):
 //
@@ -28,6 +38,8 @@
 //	GET  /v1/cell?key=<cell key>
 //	GET  /v1/summary?points=11&...      per-class CDFs over the filter
 //	POST /v1/place                      {"net","seed","scheme","headroom","load","locality"}
+//	POST /v1/replicate                  accept one computed cell from a cluster peer
+//	GET  /v1/digest?keys=1              key-set digest (and keys) for anti-entropy
 //	GET  /v1/stats                      hit/miss/coalesce/in-flight counters
 //
 // SIGINT/SIGTERM shut the daemon down gracefully, draining in-flight
@@ -77,6 +89,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
 	predictFlag := fs.Bool("predict", false, "enable the landscape-interpolation fast path: train surfaces from the mounted cells at startup and answer trained-region /v1/place requests in microseconds, falling back to the exact path outside them")
 	predictRefine := fs.Bool("predict-refine", false, "with -predict: queue a background exact solve for each predicted answer so ground truth replaces the estimate")
+	replicas := fs.Int("replicas", 1, "with -cluster: ownership factor R — every cell is written to its key's first R ring owners, reads repair stale copies, hinted handoff carries writes across downtime (1 = single-owner sharding)")
+	antiEntropy := fs.Duration("anti-entropy", 0, "with -cluster and -replicas > 1: background heal-sweep interval — exchange key digests and copy cells onto owners missing them (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -106,11 +120,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// Cluster front: this daemon holds no store of its own — every
 		// request routes to the replica owning its content key, so
 		// daemons compose into a sharded serving tier.
-		cb, err := cluster.FromSpec(*clusterSpec, serve.RemoteOptions{}, cluster.Options{})
+		cb, err := cluster.FromSpec(*clusterSpec, serve.RemoteOptions{}, cluster.Options{
+			Replicas:            *replicas,
+			AntiEntropyInterval: *antiEntropy,
+		})
 		if err != nil {
 			fmt.Fprintf(stderr, "lowlatd: %v\n", err)
 			return 1
 		}
+		// Close stops the background anti-entropy sweeper with the daemon;
+		// the shutdown summary below reads the final counters first.
+		defer func() {
+			cb.Close()
+			if cb.ReplicaFactor() > 1 {
+				cs := cb.Stats()
+				fmt.Fprintf(stdout, "lowlatd: replication R=%d: %d replicated, %d read-repaired, hints %d queued / %d drained / %d dropped / %d pending, %d healed in %d sweeps\n",
+					cs.ReplicaFactor, cs.Replicated, cs.ReadRepairs,
+					cs.HintsQueued, cs.HintsDrained, cs.HintsDropped, cs.HintsPending,
+					cs.Healed, cs.HealSweeps)
+			}
+		}()
 		var b backend.Backend = cb
 		predicting := ""
 		if *predictFlag {
@@ -130,7 +159,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			predicting = fmt.Sprintf(", predicting over %d surfaces / %d samples", surfaces, samples)
 		}
 		srv = serve.NewBackendServer(b, opts)
-		serving = fmt.Sprintf("cluster of %d replicas (%s)%s", len(cb.Labels()), strings.Join(cb.Labels(), ", "), predicting)
+		replication := ""
+		if cb.ReplicaFactor() > 1 {
+			replication = fmt.Sprintf(", R=%d", cb.ReplicaFactor())
+			if *antiEntropy > 0 {
+				replication += fmt.Sprintf(", anti-entropy every %s", *antiEntropy)
+			}
+		}
+		serving = fmt.Sprintf("cluster of %d replicas (%s)%s%s", len(cb.Labels()), strings.Join(cb.Labels(), ", "), replication, predicting)
 	} else {
 		var st *store.Store
 		var err error

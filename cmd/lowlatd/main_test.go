@@ -192,6 +192,121 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestReplicatedClusterFront boots two store daemons and a cluster front
+// with -replicas 2: a cell computed through the front must land on both
+// backends (their key digests converge), the banner must advertise R=2,
+// /v1/stats must mirror the replication counters, and shutdown must
+// print the replication summary.
+func TestReplicatedClusterFront(t *testing.T) {
+	type daemon struct {
+		base   string
+		out    *syncBuffer
+		cancel context.CancelFunc
+		exited chan int
+	}
+	boot := func(addrRE *regexp.Regexp, args ...string) daemon {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		d := daemon{out: &syncBuffer{}, cancel: cancel, exited: make(chan int, 1)}
+		var errOut syncBuffer
+		go func() { d.exited <- run(ctx, args, d.out, &errOut) }()
+		deadline := time.After(30 * time.Second)
+		for d.base == "" {
+			if m := addrRE.FindStringSubmatch(d.out.String()); m != nil {
+				d.base = m[len(m)-1]
+				break
+			}
+			select {
+			case <-deadline:
+				t.Fatalf("daemon never printed its address; stdout=%q stderr=%q", d.out.String(), errOut.String())
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+		return d
+	}
+	stop := func(d daemon) {
+		t.Helper()
+		d.cancel()
+		select {
+		case code := <-d.exited:
+			if code != 0 {
+				t.Fatalf("daemon exit = %d, want 0; stdout=%q", code, d.out.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+
+	a := boot(urlRE, "-store", t.TempDir(), "-addr", "127.0.0.1:0", "-workers", "1")
+	defer stop(a)
+	b := boot(urlRE, "-store", t.TempDir(), "-addr", "127.0.0.1:0", "-workers", "1")
+	defer stop(b)
+	// The front's banner names the replica URLs too, so match the bound
+	// address specifically.
+	boundRE := regexp.MustCompile(`on (http://[0-9.:]+)`)
+	front := boot(boundRE, "-cluster", a.base+","+b.base, "-replicas", "2", "-addr", "127.0.0.1:0")
+
+	if !strings.Contains(front.out.String(), "R=2") {
+		t.Fatalf("front banner does not advertise R=2: %q", front.out.String())
+	}
+
+	resp, err := http.Post(front.base+"/v1/place", "application/json",
+		strings.NewReader(`{"net":"star-6","seed":1,"scheme":"sp"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("place via front = %d: %s", resp.StatusCode, body)
+	}
+
+	digest := func(base string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/digest")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var d struct {
+			Count  int    `json:"count"`
+			Digest string `json:"digest"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			t.Fatal(err)
+		}
+		return d.Count, d.Digest
+	}
+	na, da := digest(a.base)
+	nb, db := digest(b.base)
+	if na != 1 || nb != 1 || da != db {
+		t.Fatalf("after one replicated place: A=(%d,%s) B=(%d,%s), want both holding the cell with equal digests", na, da, nb, db)
+	}
+
+	sresp, err := http.Get(front.base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Backend       string `json:"backend"`
+		ReplicaFactor int    `json:"replica_factor"`
+		Replicated    int64  `json:"replicated"`
+	}
+	err = json.NewDecoder(sresp.Body).Decode(&stats)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Backend != "cluster" || stats.ReplicaFactor != 2 || stats.Replicated != 1 {
+		t.Fatalf("front stats = %+v, want cluster R=2 with 1 replicated cell", stats)
+	}
+
+	stop(front)
+	if !strings.Contains(front.out.String(), "replication R=2: 1 replicated") {
+		t.Fatalf("front shutdown summary missing replication counters: %q", front.out.String())
+	}
+}
+
 // TestPredictDaemon boots the daemon with -predict over a swept store
 // and checks that a trained-region request for an unseen operating point
 // is answered by interpolation: "source": "predicted", the predicted

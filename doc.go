@@ -24,11 +24,15 @@
 // content key, Place by request spec, Query, Stats) with four
 // interchangeable implementations — in-process compute over a writable
 // store (NewLocalBackend), a read-only store mount (NewStoreBackend), a
-// remote daemon with client-side 429 backoff (NewRemoteBackend), and a
+// remote daemon with client-side 429 backoff (NewRemoteBackend), a
 // consistent-hash sharded cluster of backends with health-marked
-// failover (NewClusterBackend) — so sweeps, figure drivers, daemons and
-// CLIs all scale from one process to a replicated serving tier without
-// changing call sites (ServeBackend composes daemons over clusters);
+// failover and optional R-owner replication — replicated writes,
+// read-repair, hinted handoff and anti-entropy healing
+// (NewClusterBackend, ClusterBackend.Heal) — and a client-side LRU +
+// request-coalescing cache tier stackable over any of them
+// (NewCachedBackend) — so sweeps, figure drivers, daemons and CLIs all
+// scale from one process to a replicated serving tier without changing
+// call sites (ServeBackend composes daemons over clusters);
 // and the predictive fast path: a landscape-interpolation layer
 // (NewSurfaceIndex) trained from stored results that answers Place
 // queries in microseconds by inverse-distance-weighted interpolation
@@ -85,7 +89,12 @@
 //   - internal/cluster — the consistent-hash sharded cluster backend:
 //     virtual-node ring on the content key, deterministic key→replica
 //     assignment, per-replica health marks with rerouting to the ring
-//     successor, fan-out + merge queries
+//     successor, fan-out + merge queries; with Options.Replicas > 1 the
+//     ring becomes a replicated self-healing tier — writes land on each
+//     key's first R owners, reads repair divergent copies by
+//     last-write-wins over canonical bytes, hinted handoff carries
+//     writes across replica downtime, and anti-entropy sweeps (Heal)
+//     rebuild even a replica restored from an empty store
 //   - internal/experiments — one driver per results figure plus
 //     fig_dynamics, all routed through the engine; the landscape and
 //     headroom drivers optionally checkpoint through a result backend
@@ -93,5 +102,8 @@
 // The benchmarks in bench_test.go regenerate every results figure, and
 // bench_new_test.go covers the simulator, file I/O, wire protocol, and
 // greedy-scheme ablations; see README.md for the quickstart, package map
-// and figure-regeneration instructions.
+// and figure-regeneration instructions, docs/ARCHITECTURE.md for the
+// serving-system layer map and the life of a /v1/place request, and
+// docs/OPERATIONS.md for daemon flags, /v1/stats counter semantics and
+// the replica failure-recovery runbook.
 package lowlat

@@ -99,6 +99,32 @@ type ContextQuerier interface {
 	QueryContext(ctx context.Context, f sweep.Filter) ([]store.Result, error)
 }
 
+// Putter is the optional write extension: accept one already-computed
+// result and persist it. It is how replicated clusters copy cells
+// between replicas — replication puts after a Place, hinted-handoff
+// drains after a recovery, read-repair and anti-entropy heals — without
+// recomputing anything. Local implements it directly; Remote carries it
+// over the daemon's /v1/replicate endpoint; read-only backends refuse
+// with an error wrapping ErrNotStored.
+type Putter interface {
+	Put(r store.Result) error
+}
+
+// KeyLister is the optional inventory extension: enumerate every content
+// key the backend holds, sorted by canonical string. Anti-entropy sweeps
+// exchange these inventories to find cells a rejoined replica is missing.
+type KeyLister interface {
+	Keys(ctx context.Context) ([]store.CellKey, error)
+}
+
+// KeyDigester is the cheap form of KeyLister: one order-independent
+// digest over the held key set (store.DigestKeys) plus the count. A
+// heal sweep fetches digests first and only pays for full key exchanges
+// when something actually changed since the last sweep.
+type KeyDigester interface {
+	KeyDigest(ctx context.Context) (store.Digest, int, error)
+}
+
 // ErrOverloaded marks a Place rejected by admission control: the
 // backend's computation limit is reached and the caller should retry
 // later. The HTTP layer renders it as 429.
@@ -161,6 +187,35 @@ type Stats struct {
 	Rerouted int64 `json:"rerouted"`
 	// Down counts replicas currently marked unhealthy (cluster only).
 	Down int `json:"down,omitempty"`
+	// ReplicaFactor is the cluster's configured ownership factor R; every
+	// cell is written to its key's first R distinct ring successors
+	// (cluster only, and only reported when R > 1).
+	ReplicaFactor int `json:"replica_factor,omitempty"`
+	// Replicated counts successful replication copies to secondary
+	// owners; ReadRepairs counts stale or missing owner copies fixed on
+	// the Lookup path (cluster only).
+	Replicated  int64 `json:"replicated,omitempty"`
+	ReadRepairs int64 `json:"read_repairs,omitempty"`
+	// HintsQueued / HintsDrained / HintsDropped count hinted-handoff
+	// writes queued for a down replica, delivered after its recovery, and
+	// shed because the bounded queue overflowed; HintsPending gauges
+	// hints currently waiting (cluster only).
+	HintsQueued  int64 `json:"hints_queued,omitempty"`
+	HintsDrained int64 `json:"hints_drained,omitempty"`
+	HintsDropped int64 `json:"hints_dropped,omitempty"`
+	HintsPending int   `json:"hints_pending,omitempty"`
+	// Healed counts cells the anti-entropy sweep copied onto owners that
+	// were missing them; HealSweeps counts completed sweeps (cluster
+	// only).
+	Healed     int64 `json:"healed,omitempty"`
+	HealSweeps int64 `json:"heal_sweeps,omitempty"`
+	// CacheHits and CacheMisses count answers served from (and falling
+	// through) a client-side Cached wrapper's LRU (cached only).
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
+	// Coalesced counts Place calls that joined another caller's in-flight
+	// dispatch instead of issuing their own (cached only).
+	Coalesced int64 `json:"coalesced,omitempty"`
 	// Predicted counts Places answered by the interpolation fast path,
 	// PredictFallbacks those that fell through to the exact path after
 	// the index refused; Refined counts background exact solves that

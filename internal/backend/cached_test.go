@@ -1,0 +1,117 @@
+package backend
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lowlat/internal/store"
+)
+
+func cachedOverLocal(t *testing.T, onPlace func(store.CellKey)) (*Cached, *store.Store) {
+	t.Helper()
+	st, err := store.OpenSharded(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	l := NewLocal(st, LocalOptions{Workers: 1, OnPlace: onPlace})
+	return NewCached(l, CachedOptions{Size: 8}), st
+}
+
+// TestCachedPlaceHitMissCoalesce pins the client-side tier's contract: a
+// repeat Place for one spec is an LRU hit with no inner dispatch, and N
+// concurrent Places for one cold spec coalesce onto a single engine
+// invocation.
+func TestCachedPlaceHitMissCoalesce(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var invocations atomic.Int64
+	c, _ := cachedOverLocal(t, func(store.CellKey) {
+		invocations.Add(1)
+		select {
+		case entered <- struct{}{}:
+			<-release
+		default:
+		}
+	})
+	spec := store.CellSpec{Net: "star-6", Seed: 1, Scheme: "sp", Locality: 1}
+
+	const clients = 4
+	var wg sync.WaitGroup
+	srcs := make([]Source, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, srcs[i], errs[i] = c.PlaceSourced(context.Background(), spec)
+		}(i)
+	}
+	<-entered
+	// Wait until every non-leader has joined the flight; the flight map is
+	// the only dispatch path, so once coalesced reaches clients-1 nobody
+	// else can reach the engine.
+	deadline := time.After(10 * time.Second)
+	for c.Stats().Coalesced < clients-1 {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d of %d clients coalesced", c.Stats().Coalesced, clients-1)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+	}
+	if n := invocations.Load(); n != 1 {
+		t.Fatalf("%d engine invocations for one coalesced spec, want 1", n)
+	}
+
+	// The answer is now cached: a repeat is SourceCache, still 1 invocation.
+	_, src, err := c.PlaceSourced(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SourceCache {
+		t.Fatalf("repeat place source = %q, want %q", src, SourceCache)
+	}
+	if n := invocations.Load(); n != 1 {
+		t.Fatalf("repeat place re-invoked the engine (%d invocations)", n)
+	}
+	st := c.Stats()
+	if st.Backend != "cached+local" {
+		t.Fatalf("stats backend = %q, want cached+local", st.Backend)
+	}
+	if st.CacheHits != 1 || st.Coalesced != clients-1 {
+		t.Fatalf("stats hits=%d coalesced=%d, want 1 and %d", st.CacheHits, st.Coalesced, clients-1)
+	}
+}
+
+// TestCachedPutWriteThrough pins the write path: Put persists through the
+// wrapped backend and refreshes the cache, so the next Lookup is a hit.
+func TestCachedPutWriteThrough(t *testing.T) {
+	c, st := cachedOverLocal(t, nil)
+	res := store.Result{
+		Key:  store.CellKey{Graph: 1, Matrix: 2, Scheme: "sp", Config: 3},
+		Meta: store.Meta{Net: "synthetic", Scheme: "sp", Locality: 1},
+	}
+	if err := c.Put(res); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(res.Key); !ok {
+		t.Fatal("put did not write through to the store")
+	}
+	before := c.Stats().CacheHits
+	if got, ok := c.Lookup(res.Key); !ok || got != res {
+		t.Fatalf("lookup after put = %+v, %v", got, ok)
+	}
+	if c.Stats().CacheHits != before+1 {
+		t.Fatal("lookup after put was not served from the cache")
+	}
+}

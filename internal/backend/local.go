@@ -105,6 +105,19 @@ func (l *Local) Query(f sweep.Filter) []store.Result {
 	return sweep.Query(l.st, f)
 }
 
+// Keys enumerates the store's content keys — the inventory anti-entropy
+// sweeps compare across replicas.
+func (l *Local) Keys(_ context.Context) ([]store.CellKey, error) {
+	return l.st.Keys(), nil
+}
+
+// KeyDigest folds the store's key set into one order-independent digest
+// plus the count, the cheap half of the anti-entropy exchange.
+func (l *Local) KeyDigest(_ context.Context) (store.Digest, int, error) {
+	keys := l.st.Keys()
+	return store.DigestKeys(keys), len(keys), nil
+}
+
 // Place resolves one cell, computing and persisting it on a store miss.
 func (l *Local) Place(ctx context.Context, spec store.CellSpec) (store.Result, error) {
 	r, _, err := l.PlaceSourced(ctx, spec)

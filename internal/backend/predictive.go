@@ -2,6 +2,7 @@ package backend
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -195,6 +196,39 @@ func (p *Predictive) Probe(ctx context.Context) error {
 		return pr.Probe(ctx)
 	}
 	return nil
+}
+
+// Put persists an externally computed result through the wrapped backend
+// and observes it into the index — a replicated cell is ground truth, so
+// the surface sharpens from replication traffic too. Backends that
+// cannot accept writes refuse with ErrNotStored.
+func (p *Predictive) Put(r store.Result) error {
+	pt, ok := p.inner.(Putter)
+	if !ok {
+		return fmt.Errorf("predictive: wrapped backend accepts no writes: %w", ErrNotStored)
+	}
+	if err := pt.Put(r); err != nil {
+		return err
+	}
+	p.idx.Observe(r)
+	return nil
+}
+
+// Keys passes through when the wrapped backend enumerates its inventory.
+func (p *Predictive) Keys(ctx context.Context) ([]store.CellKey, error) {
+	if kl, ok := p.inner.(KeyLister); ok {
+		return kl.Keys(ctx)
+	}
+	return nil, fmt.Errorf("predictive: wrapped backend enumerates no keys")
+}
+
+// KeyDigest passes through when the wrapped backend digests its
+// inventory.
+func (p *Predictive) KeyDigest(ctx context.Context) (store.Digest, int, error) {
+	if kd, ok := p.inner.(KeyDigester); ok {
+		return kd.KeyDigest(ctx)
+	}
+	return 0, 0, fmt.Errorf("predictive: wrapped backend digests no keys")
 }
 
 // Place resolves one cell: a confident interpolation when the trained

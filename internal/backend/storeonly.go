@@ -46,6 +46,20 @@ func (b *Store) Query(f sweep.Filter) []store.Result {
 	return sweep.Query(b.st, f)
 }
 
+// Keys enumerates the store's content keys. Read-only mounts still serve
+// the anti-entropy read side: a cluster can copy cells *from* them even
+// though it can never heal cells *onto* them.
+func (b *Store) Keys(_ context.Context) ([]store.CellKey, error) {
+	return b.st.Keys(), nil
+}
+
+// KeyDigest folds the store's key set into one order-independent digest
+// plus the count.
+func (b *Store) KeyDigest(_ context.Context) (store.Digest, int, error) {
+	keys := b.st.Keys()
+	return store.DigestKeys(keys), len(keys), nil
+}
+
 // Place serves a stored cell or fails with ErrNotStored: this backend
 // never computes. The spec resolves to a content key through the
 // calibration memo alone — a store without a memo entry for the spec's

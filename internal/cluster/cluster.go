@@ -7,13 +7,27 @@
 // cluster member can itself be a cluster.
 //
 // Routing is deterministic: a Place request hashes its normalized spec,
-// a Lookup hashes its content key, and the ring maps the hash to one
-// owning replica — so repeated requests for one cell always land on the
-// same store, caches stay hot, and the daemon-side singleflight still
+// a Lookup hashes its content key, and the ring maps the hash to the
+// key's owner set — so repeated requests for one cell always land on the
+// same stores, caches stay hot, and the daemon-side singleflight still
 // collapses concurrent duplicates cluster-wide. When a replica is marked
 // down (a dispatch failed with backend.ErrUnavailable, or Probe said so)
 // its keys reroute to the ring successor until Probe marks it back up;
 // Query fans out to every healthy replica and merges in store order.
+//
+// With Options.Replicas R > 1 the ring runs replicated and self-healing:
+// every cell is owned by its key's first R distinct ring successors.
+// Writes (a computed Place, an explicit Put) land on all R owners;
+// writes bound for a down owner queue as hinted handoff and drain in
+// order when the owner rejoins. Lookup consults every healthy owner,
+// answers the deterministic last-write-wins winner (a total order over
+// the cells' canonical bytes, so every replica converges on the same
+// copy), and read-repairs owners that missed or diverged. A Heal sweep —
+// on demand, or in the background every AntiEntropyInterval — exchanges
+// per-replica key digests and copies orphaned cells back onto the owners
+// that are missing them, which is what makes a killed-and-rejoined
+// replica's store converge without recomputing anything. The default
+// R = 1 keeps the original single-owner behavior bit for bit.
 package cluster
 
 import (
@@ -51,6 +65,24 @@ type Options struct {
 	// operator action; the re-probe is synchronous but happens at most
 	// once per interval per replica, bounded by ProbeTimeout.
 	ReprobeInterval time.Duration
+	// Replicas is the ownership factor R: every cell is written to its
+	// key's first R distinct ring successors, Lookup reads from the
+	// healthy owners with read-repair, and losing any R-1 owners loses no
+	// cell. Default 1 — the original single-owner ring, unchanged. Values
+	// above the replica count are clamped to it.
+	Replicas int
+	// HandoffLimit bounds each replica's hinted-handoff queue in entries
+	// (default 1024). Writes bound for a down replica queue here and
+	// drain in order when it rejoins; beyond the limit the oldest hint is
+	// dropped (and counted) — the anti-entropy sweep heals whatever the
+	// queue could not carry.
+	HandoffLimit int
+	// AntiEntropyInterval, when positive, runs a background Heal sweep at
+	// that period: per-replica key digests are exchanged, and owners
+	// missing cells (a replica that rejoined after losing its hints, a
+	// store seeded before replication) receive copies. Close stops the
+	// sweeper. Zero disables it; Heal can always be called explicitly.
+	AntiEntropyInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +98,12 @@ func (o Options) withDefaults() Options {
 	if o.ReprobeInterval <= 0 {
 		o.ReprobeInterval = 5 * time.Second
 	}
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
+	if o.HandoffLimit <= 0 {
+		o.HandoffLimit = 1024
+	}
 	return o
 }
 
@@ -76,16 +114,42 @@ type Backend struct {
 	labels   []string
 	ring     *ring
 	opts     Options
+	r        int // resolved ownership factor (Replicas clamped to len)
 	down     []atomic.Bool
 	// lastProbe is the unix-nano time each replica was last probed,
 	// rate-limiting the automatic re-probe of down replicas.
 	lastProbe []atomic.Int64
 
-	lookups  atomic.Int64
-	places   atomic.Int64
-	queries  atomic.Int64
-	rerouted atomic.Int64
-	errs     atomic.Int64
+	// hints is the per-replica hinted-handoff queue: writes bound for a
+	// down replica wait here (FIFO, key-deduplicated, bounded by
+	// HandoffLimit) and drain when the replica rejoins.
+	hmu   []sync.Mutex
+	hints [][]store.Result
+
+	// heal state: one sweep at a time, with the per-replica key digests
+	// of the last completed sweep so an unchanged cluster skips the full
+	// key exchange.
+	healMu      sync.Mutex
+	lastDigests []store.Digest
+	healedOnce  bool
+
+	// sweeper lifecycle (AntiEntropyInterval > 0 only).
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+
+	lookups      atomic.Int64
+	places       atomic.Int64
+	queries      atomic.Int64
+	rerouted     atomic.Int64
+	errs         atomic.Int64
+	replicated   atomic.Int64
+	readRepairs  atomic.Int64
+	hintsQueued  atomic.Int64
+	hintsDrained atomic.Int64
+	hintsDropped atomic.Int64
+	healed       atomic.Int64
+	healSweeps   atomic.Int64
 }
 
 // labeled is implemented by backends that carry a natural stable name
@@ -121,20 +185,49 @@ func New(replicas []backend.Backend, opts Options) (*Backend, error) {
 		}
 		seen[l] = true
 	}
-	return &Backend{
+	r := opts.Replicas
+	if r > len(replicas) {
+		r = len(replicas)
+	}
+	c := &Backend{
 		replicas:  replicas,
 		labels:    labels,
 		ring:      newRing(labels, opts.VNodes),
 		opts:      opts,
+		r:         r,
 		down:      make([]atomic.Bool, len(replicas)),
 		lastProbe: make([]atomic.Int64, len(replicas)),
-	}, nil
+		hmu:       make([]sync.Mutex, len(replicas)),
+		hints:     make([][]store.Result, len(replicas)),
+		stop:      make(chan struct{}),
+	}
+	if opts.AntiEntropyInterval > 0 {
+		c.wg.Add(1)
+		go c.sweepLoop()
+	}
+	return c, nil
 }
+
+// Close stops the background anti-entropy sweeper, if one is running.
+// The replicas themselves are not closed. Safe to call multiple times.
+func (c *Backend) Close() error {
+	c.stopped.Do(func() { close(c.stop) })
+	c.wg.Wait()
+	return nil
+}
+
+// ReplicaFactor reports the resolved ownership factor R.
+func (c *Backend) ReplicaFactor() int { return c.r }
 
 // Owner reports which replica index the ring assigns a key string to
 // (health marks ignored) — exported for tests and operator tooling that
 // reason about placement.
 func (c *Backend) Owner(key string) int { return c.ring.owner(key) }
+
+// Owners reports the key's full replication set: its first R distinct
+// replicas in ring order (health marks ignored). With R = 1 it is
+// [Owner(key)].
+func (c *Backend) Owners(key string) []int { return c.ring.owners(key, c.r) }
 
 // Labels returns the replica labels in index order.
 func (c *Backend) Labels() []string { return append([]string(nil), c.labels...) }
@@ -143,8 +236,19 @@ func (c *Backend) Labels() []string { return append([]string(nil), c.labels...) 
 // successors until MarkUp or a successful Probe.
 func (c *Backend) MarkDown(i int) { c.down[i].Store(true) }
 
-// MarkUp clears replica i's health mark.
-func (c *Backend) MarkUp(i int) { c.down[i].Store(false) }
+// MarkUp clears replica i's health mark and delivers any hinted-handoff
+// writes that queued while it was down.
+func (c *Backend) MarkUp(i int) { c.markUp(i) }
+
+// markUp is the one down→up transition: clear the mark, then drain the
+// replica's hint queue in order. Every recovery path — operator MarkUp,
+// a passing Probe, the automatic re-probe — funnels through here, so a
+// rejoining replica always receives the writes it missed before it
+// receives new traffic.
+func (c *Backend) markUp(i int) {
+	c.down[i].Store(false)
+	c.drainHints(i)
+}
 
 // Down reports replica i's health mark.
 func (c *Backend) Down(i int) bool { return c.down[i].Load() }
@@ -168,7 +272,7 @@ func (c *Backend) healthy(i int) bool {
 	if !ok {
 		// Non-probeable replicas are in-process; a down mark on one can
 		// only have come from MarkDown, and expires by re-probe time.
-		c.down[i].Store(false)
+		c.markUp(i)
 		return true
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.ProbeTimeout)
@@ -176,7 +280,7 @@ func (c *Backend) healthy(i int) bool {
 	if p.Probe(ctx) != nil {
 		return false
 	}
-	c.down[i].Store(false)
+	c.markUp(i)
 	return true
 }
 
@@ -191,16 +295,18 @@ func (c *Backend) Probe(ctx context.Context) int {
 	for i, r := range c.replicas {
 		p, ok := r.(backend.Prober)
 		if !ok {
-			c.down[i].Store(false)
+			c.markUp(i)
 			continue
 		}
 		pctx, cancel := context.WithTimeout(ctx, c.opts.ProbeTimeout)
 		err := p.Probe(pctx)
 		cancel()
-		c.down[i].Store(err != nil)
 		if err != nil {
+			c.down[i].Store(true)
 			down++
+			continue
 		}
+		c.markUp(i)
 	}
 	return down
 }
@@ -216,15 +322,82 @@ func (c *Backend) Probe(ctx context.Context) int {
 // its lookup reads as a miss) contributes nothing and costs no failure.
 func (c *Backend) Lookup(k store.CellKey) (store.Result, bool) {
 	c.lookups.Add(1)
-	for _, i := range c.ring.seq(k.String()) {
+	seq := c.ring.seq(k.String())
+	if c.r <= 1 {
+		for _, i := range seq {
+			if !c.healthy(i) {
+				continue
+			}
+			if res, ok := c.replicas[i].Lookup(k); ok {
+				return res, true
+			}
+		}
+		return store.Result{}, false
+	}
+
+	// R-owner read: consult every healthy owner, fold the copies into the
+	// deterministic last-write-wins winner, and answer that. Owners that
+	// answered a miss (or a diverged copy) while healthy are stale —
+	// read-repair writes the winner back so the next read finds R copies.
+	owners := seq[:c.r]
+	copies := make(map[int]store.Result, c.r)
+	var winner store.Result
+	found := false
+	for _, i := range owners {
 		if !c.healthy(i) {
 			continue
 		}
-		if res, ok := c.replicas[i].Lookup(k); ok {
-			return res, true
+		res, ok := c.replicas[i].Lookup(k)
+		if !ok {
+			copies[i] = store.Result{} // healthy miss: repair candidate
+			continue
+		}
+		copies[i] = res
+		if !found {
+			winner, found = res, true
+		} else {
+			winner = lww(winner, res)
 		}
 	}
-	return store.Result{}, false
+	if !found {
+		// No owner holds it: fall back to the rest of the ring — cells can
+		// live off their owner set after failover writes or a ring resize —
+		// and promote a find back onto the healthy owners.
+		for _, i := range seq[c.r:] {
+			if !c.healthy(i) {
+				continue
+			}
+			if res, ok := c.replicas[i].Lookup(k); ok {
+				winner, found = res, true
+				break
+			}
+		}
+		if !found {
+			return store.Result{}, false
+		}
+	}
+	for i, res := range copies {
+		if res != winner {
+			c.repair(i, winner)
+		}
+	}
+	return winner, true
+}
+
+// repair writes the winning copy of a cell back to a stale owner — the
+// read-repair half of self-healing. An unreachable owner is marked down
+// and the write queues as a hint instead.
+func (c *Backend) repair(i int, res store.Result) {
+	if err := c.putTo(i, res); err != nil {
+		if errors.Is(err, backend.ErrUnavailable) {
+			c.down[i].Store(true)
+			c.queueHint(i, res)
+			return
+		}
+		c.errs.Add(1)
+		return
+	}
+	c.readRepairs.Add(1)
 }
 
 // Place routes a spec to its owning replica; a replica that fails with
@@ -232,7 +405,9 @@ func (c *Backend) Lookup(k store.CellKey) (store.Result, bool) {
 // ring successor, so a mid-flight replica kill costs zero failed
 // requests. Application-level failures (bad spec, overload after the
 // remote's own retries, a solver error) surface unchanged — rerouting a
-// 400 would just fail twice.
+// 400 would just fail twice. Under R > 1 the answer is then replicated
+// to the spec's remaining owners (hinting the down ones), so the cell is
+// R-way durable before the next failure.
 func (c *Backend) Place(ctx context.Context, spec store.CellSpec) (store.Result, error) {
 	res, _, err := c.PlaceSourced(ctx, spec)
 	return res, err
@@ -262,6 +437,14 @@ func (c *Backend) PlaceSourced(ctx context.Context, spec store.CellSpec) (store.
 		if i != owner {
 			c.rerouted.Add(1)
 		}
+		if c.r > 1 && res.Key != (store.CellKey{}) {
+			// Replicate to the owners of the *content key* — the set
+			// Lookup, Put and Heal route by — not the spec-string owner
+			// that served the placement (it keeps its local copy either
+			// way, and staying the spec owner is what keeps its memo,
+			// LRU and singleflight hot).
+			c.replicate(c.ring.owners(res.Key.String(), c.r), i, res)
+		}
 		return res, src, nil
 	}
 	c.errs.Add(1)
@@ -269,6 +452,83 @@ func (c *Backend) PlaceSourced(ctx context.Context, spec store.CellSpec) (store.
 		lastErr = fmt.Errorf("cluster: %w: all %d replicas marked down", backend.ErrUnavailable, len(c.replicas))
 	}
 	return store.Result{}, "", lastErr
+}
+
+// Put writes an already-computed result to every owner of its key —
+// the write half of the backend seam under replication, and what lets a
+// cluster itself stand in as one replica of a bigger cluster. Down
+// owners are hinted; Put succeeds when at least one owner persisted the
+// cell (hints alone are in-memory and not durable, so they don't count).
+func (c *Backend) Put(r store.Result) error {
+	if r.Key == (store.CellKey{}) {
+		return fmt.Errorf("cluster: put: result has no cell key")
+	}
+	owners := c.ring.owners(r.Key.String(), c.r)
+	stored := 0
+	var lastErr error
+	for _, i := range owners {
+		if !c.healthy(i) {
+			c.queueHint(i, r)
+			continue
+		}
+		if err := c.putTo(i, r); err != nil {
+			if errors.Is(err, backend.ErrUnavailable) {
+				c.down[i].Store(true)
+				c.queueHint(i, r)
+			} else {
+				c.errs.Add(1)
+			}
+			lastErr = err
+			continue
+		}
+		c.replicated.Add(1)
+		stored++
+	}
+	if stored == 0 {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("cluster: %w: no owner reachable", backend.ErrUnavailable)
+		}
+		return fmt.Errorf("cluster: put %s: %w", r.Key, lastErr)
+	}
+	return nil
+}
+
+// replicate copies a freshly served Place answer to the spec's remaining
+// owners: the serving replica already persisted it, every other owner
+// gets a Put (or a hint, when down). Predicted answers carry no content
+// key and are estimates, not cells — they never replicate.
+func (c *Backend) replicate(owners []int, served int, res store.Result) {
+	if res.Key == (store.CellKey{}) {
+		return
+	}
+	for _, i := range owners {
+		if i == served {
+			continue
+		}
+		if c.down[i].Load() {
+			c.queueHint(i, res)
+			continue
+		}
+		if err := c.putTo(i, res); err != nil {
+			if errors.Is(err, backend.ErrUnavailable) {
+				c.down[i].Store(true)
+				c.queueHint(i, res)
+			} else {
+				c.errs.Add(1)
+			}
+			continue
+		}
+		c.replicated.Add(1)
+	}
+}
+
+// putTo persists one result on replica i through its Putter extension.
+func (c *Backend) putTo(i int, r store.Result) error {
+	p, ok := c.replicas[i].(backend.Putter)
+	if !ok {
+		return fmt.Errorf("cluster: replica %s accepts no writes", c.labels[i])
+	}
+	return p.Put(r)
 }
 
 // Query fans the filter out to every healthy replica concurrently and
@@ -333,10 +593,16 @@ func (c *Backend) QueryContext(ctx context.Context, f sweep.Filter) ([]store.Res
 		}
 		answered++
 		for _, r := range p.results {
-			// First replica in index order wins a duplicate key; the
-			// records are content-addressed so duplicates are identical
-			// in practice, this just keeps the merge deterministic.
-			if _, ok := merged[r.Key]; !ok {
+			// Duplicate keys fold by the same last-write-wins order the
+			// read path repairs toward. Content-addressed records make
+			// duplicates identical in practice, but replicas *can* diverge
+			// on the mutable tail (Meta annotations from a re-solve), and
+			// "first replica in index order wins" would then make the
+			// merged answer depend on which replicas were healthy — LWW
+			// keeps it a pure function of the union of copies.
+			if prev, ok := merged[r.Key]; ok {
+				merged[r.Key] = lww(prev, r)
+			} else {
 				merged[r.Key] = r
 			}
 		}
@@ -368,6 +634,17 @@ func (c *Backend) Stats() backend.Stats {
 		Queries:  c.queries.Load(),
 		Rerouted: c.rerouted.Load(),
 		Errors:   c.errs.Load(),
+	}
+	if c.r > 1 {
+		out.ReplicaFactor = c.r
+		out.Replicated = c.replicated.Load()
+		out.ReadRepairs = c.readRepairs.Load()
+		out.HintsQueued = c.hintsQueued.Load()
+		out.HintsDrained = c.hintsDrained.Load()
+		out.HintsDropped = c.hintsDropped.Load()
+		out.HintsPending = c.hintsPending()
+		out.Healed = c.healed.Load()
+		out.HealSweeps = c.healSweeps.Load()
 	}
 	snaps := make([]backend.Stats, len(c.replicas))
 	var wg sync.WaitGroup

@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"time"
+
+	"lowlat/internal/backend"
+	"lowlat/internal/store"
+)
+
+// This file is the replication machinery behind Options.Replicas > 1:
+// the last-write-wins order every convergence path folds by, the
+// hinted-handoff queue that carries writes across a replica's downtime,
+// and the anti-entropy Heal sweep that copies orphaned cells back onto
+// the owners missing them. cluster.go routes; this file heals.
+
+// lww picks the deterministic last-write-wins winner between two copies
+// of one cell. The store carries no write timestamps — cells are
+// content-addressed and rewrites are rare — so "last" is defined as the
+// greater canonical wire encoding (store.MarshalResult bytes, compared
+// lexicographically). The order is total and fixed: every replica,
+// read-repair, query merge and heal folds any set of copies to the same
+// winner in any order, which is the property that makes the cluster
+// converge instead of ping-ponging repairs.
+func lww(a, b store.Result) store.Result {
+	if a == b {
+		return a
+	}
+	ab, aerr := store.MarshalResult(a)
+	bb, berr := store.MarshalResult(b)
+	if aerr != nil || berr != nil {
+		// Unmarshalable results cannot come from the wire or a store; fold
+		// arbitrarily-but-deterministically toward a.
+		return a
+	}
+	if bytes.Compare(bb, ab) > 0 {
+		return b
+	}
+	return a
+}
+
+// queueHint records a write bound for a down replica: FIFO, deduplicated
+// by content key in place (a newer copy of a queued cell replaces it,
+// folded by lww, without losing its drain position), bounded by
+// HandoffLimit with oldest-first drop. Dropped hints are not lost data —
+// the serving replica holds the cell — they are lost *delivery*, which
+// the next Heal sweep repeats.
+func (c *Backend) queueHint(i int, r store.Result) {
+	if r.Key == (store.CellKey{}) {
+		return
+	}
+	c.hmu[i].Lock()
+	defer c.hmu[i].Unlock()
+	for j := range c.hints[i] {
+		if c.hints[i][j].Key == r.Key {
+			c.hints[i][j] = lww(c.hints[i][j], r)
+			return
+		}
+	}
+	if len(c.hints[i]) >= c.opts.HandoffLimit {
+		c.hints[i] = c.hints[i][1:]
+		c.hintsDropped.Add(1)
+	}
+	c.hints[i] = append(c.hints[i], r)
+	c.hintsQueued.Add(1)
+}
+
+// drainHints delivers replica i's queued hints in FIFO order — called on
+// every down→up transition, before the replica sees new traffic. If the
+// replica fails again mid-drain the undelivered tail re-queues at the
+// front (order preserved) and the replica is re-marked down.
+func (c *Backend) drainHints(i int) {
+	c.hmu[i].Lock()
+	pending := c.hints[i]
+	c.hints[i] = nil
+	c.hmu[i].Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	for n, r := range pending {
+		if err := c.putTo(i, r); err != nil {
+			if errors.Is(err, backend.ErrUnavailable) {
+				c.down[i].Store(true)
+				c.hmu[i].Lock()
+				c.hints[i] = append(pending[n:], c.hints[i]...)
+				c.hmu[i].Unlock()
+				return
+			}
+			// A structural refusal (read-only replica) can never succeed on
+			// retry: count and drop.
+			c.errs.Add(1)
+			c.hintsDropped.Add(1)
+			continue
+		}
+		c.hintsDrained.Add(1)
+	}
+}
+
+// hintsPending gauges the total queued hints across replicas.
+func (c *Backend) hintsPending() int {
+	n := 0
+	for i := range c.hints {
+		c.hmu[i].Lock()
+		n += len(c.hints[i])
+		c.hmu[i].Unlock()
+	}
+	return n
+}
+
+// HealReport summarizes one anti-entropy sweep.
+type HealReport struct {
+	// Skipped is true when the digest gate fired: every replica's key
+	// digest matched the last completed sweep and no hints were pending,
+	// so the sweep exchanged no key lists and copied nothing.
+	Skipped bool `json:"skipped,omitempty"`
+	// Replicas is how many replicas answered the key exchange.
+	Replicas int `json:"replicas"`
+	// Keys is the size of the union key set across answering replicas.
+	Keys int `json:"keys"`
+	// Healed counts cells copied onto owners that were missing them.
+	Healed int `json:"healed"`
+	// Drained counts hinted writes delivered by this sweep's pre-drain.
+	Drained int `json:"drained"`
+	// Failed counts copy attempts that errored (target down mid-sweep,
+	// read-only target); the next sweep retries them.
+	Failed int `json:"failed"`
+}
+
+// Heal runs one anti-entropy sweep: drain pending hints, exchange every
+// healthy replica's key inventory, and copy each cell to the owners in
+// its replication set that are missing it (fetched from any replica that
+// holds it). Only *missing* cells are healed — divergent copies converge
+// through read-repair on the next Lookup, so a sweep never rewrites data
+// a replica already has. Cheap when idle: per-replica key digests are
+// compared first, and an unchanged cluster with no pending hints skips
+// the key exchange entirely. One sweep runs at a time; concurrent calls
+// serialize.
+func (c *Backend) Heal(ctx context.Context) (HealReport, error) {
+	c.healMu.Lock()
+	defer c.healMu.Unlock()
+	c.healSweeps.Add(1)
+
+	var rep HealReport
+	drainedBefore := c.hintsDrained.Load()
+	for i := range c.replicas {
+		if c.healthy(i) {
+			c.drainHints(i)
+		}
+	}
+	rep.Drained = int(c.hintsDrained.Load() - drainedBefore)
+
+	// Digest gate: ask each healthy replica for its key-set digest; if
+	// every one matches the last completed sweep and nothing is queued,
+	// the key inventories cannot have changed and the sweep is a no-op.
+	digests := make([]store.Digest, len(c.replicas))
+	dOK := make([]bool, len(c.replicas))
+	for i, r := range c.replicas {
+		if !c.healthy(i) {
+			continue
+		}
+		kd, ok := r.(backend.KeyDigester)
+		if !ok {
+			continue
+		}
+		d, _, err := kd.KeyDigest(ctx)
+		if err != nil {
+			if errors.Is(err, backend.ErrUnavailable) {
+				c.down[i].Store(true)
+			}
+			continue
+		}
+		digests[i], dOK[i] = d, true
+	}
+	if c.healedOnce && rep.Drained == 0 && c.hintsPending() == 0 {
+		same := true
+		for i := range digests {
+			if !dOK[i] || digests[i] != c.lastDigests[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			rep.Skipped = true
+			return rep, nil
+		}
+	}
+
+	// Key exchange: who holds what. holders preserves replica index order
+	// so the fetch below is deterministic.
+	inv := make([]map[store.CellKey]bool, len(c.replicas))
+	union := make(map[store.CellKey][]int)
+	for i, r := range c.replicas {
+		if !c.healthy(i) {
+			continue
+		}
+		kl, ok := r.(backend.KeyLister)
+		if !ok {
+			continue
+		}
+		keys, err := kl.Keys(ctx)
+		if err != nil {
+			if errors.Is(err, backend.ErrUnavailable) {
+				c.down[i].Store(true)
+			}
+			continue
+		}
+		rep.Replicas++
+		inv[i] = make(map[store.CellKey]bool, len(keys))
+		for _, k := range keys {
+			inv[i][k] = true
+			union[k] = append(union[k], i)
+		}
+	}
+	rep.Keys = len(union)
+	if rep.Replicas < 2 {
+		// Nothing to reconcile against; don't record digests so the next
+		// sweep (maybe with more replicas up) runs in full.
+		return rep, ctx.Err()
+	}
+
+	for k, holders := range union {
+		for _, o := range c.ring.owners(k.String(), c.r) {
+			if inv[o] == nil || inv[o][k] {
+				continue // owner down/unlistable, or already holds it
+			}
+			res, ok := c.fetchFrom(holders, k)
+			if !ok {
+				rep.Failed++
+				continue
+			}
+			if err := c.putTo(o, res); err != nil {
+				if errors.Is(err, backend.ErrUnavailable) {
+					c.down[o].Store(true)
+					c.queueHint(o, res)
+				} else {
+					c.errs.Add(1)
+				}
+				rep.Failed++
+				continue
+			}
+			inv[o][k] = true
+			rep.Healed++
+			c.healed.Add(1)
+		}
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+	}
+
+	if rep.Failed == 0 {
+		// Record the post-sweep inventories so an idle cluster gates the
+		// next sweep on digests alone. A sweep that healed cells changed
+		// them, so recompute from what we know locally.
+		for i := range c.replicas {
+			if inv[i] == nil {
+				dOK[i] = false
+				continue
+			}
+			keys := make([]store.CellKey, 0, len(inv[i]))
+			for k := range inv[i] {
+				keys = append(keys, k)
+			}
+			digests[i], dOK[i] = store.DigestKeys(keys), true
+		}
+		allOK := true
+		for i := range dOK {
+			if !dOK[i] {
+				allOK = false
+				break
+			}
+		}
+		if allOK {
+			c.lastDigests = digests
+			c.healedOnce = true
+		}
+	}
+	return rep, nil
+}
+
+// fetchFrom reads one cell from the first healthy holder, folding any
+// divergent extra copies by lww so the healed value matches what
+// read-repair would converge to.
+func (c *Backend) fetchFrom(holders []int, k store.CellKey) (store.Result, bool) {
+	var winner store.Result
+	found := false
+	for _, h := range holders {
+		res, ok := c.replicas[h].Lookup(k)
+		if !ok {
+			continue
+		}
+		if !found {
+			winner, found = res, true
+		} else {
+			winner = lww(winner, res)
+		}
+	}
+	return winner, found
+}
+
+// sweepLoop runs Heal every AntiEntropyInterval until Close.
+func (c *Backend) sweepLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.AntiEntropyInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), c.opts.QueryTimeout)
+			_, _ = c.Heal(ctx)
+			cancel()
+		}
+	}
+}

@@ -89,6 +89,17 @@ func (r *ring) successor(h uint64) int {
 	return i
 }
 
+// owners returns the key's first r distinct replicas in ring order —
+// the replication set: under R-way ownership a cell is written to every
+// one of them, so losing any R-1 of them still leaves a copy. r is
+// clamped to the replica count.
+func (r *ring) owners(key string, count int) []int {
+	if count > r.n {
+		count = r.n
+	}
+	return r.seq(key)[:count]
+}
+
 // seq returns every replica exactly once, in ring order starting at the
 // key's owner — the failover order: when the owner is down its keys
 // belong to the next distinct replica clockwise.

@@ -165,6 +165,36 @@ func (c *Client) Place(ctx context.Context, preq PlaceRequest) (*PlaceResponse, 
 	return &out, nil
 }
 
+// Replicate pushes one already-computed cell to the daemon in its
+// canonical wire form — the write path cluster replication and healing
+// ride. A 403 StatusError means the daemon's backend accepts no writes.
+func (c *Client) Replicate(ctx context.Context, r store.Result) error {
+	body, err := store.MarshalResult(r)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/replicate", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, nil)
+}
+
+// Digest fetches the daemon's key inventory summary; withKeys asks for
+// the full canonical key list too.
+func (c *Client) Digest(ctx context.Context, withKeys bool) (*DigestResponse, error) {
+	q := url.Values{}
+	if withKeys {
+		q.Set("keys", "1")
+	}
+	var out DigestResponse
+	if err := c.get(ctx, "/v1/digest", q, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Health checks the daemon's liveness endpoint.
 func (c *Client) Health(ctx context.Context) error {
 	return c.get(ctx, "/healthz", nil, nil)

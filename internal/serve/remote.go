@@ -154,6 +154,58 @@ func (r *Remote) QueryContext(ctx context.Context, f sweep.Filter) ([]store.Resu
 	return res, nil
 }
 
+// Put pushes one computed cell to the daemon via /v1/replicate — what a
+// replicating cluster calls on the owners that did not serve the
+// request. Daemon-level refusals (a read-only store answers 403) pass
+// through as StatusError; transport failures read as ErrUnavailable so
+// the cluster marks the replica down and hints the write.
+func (r *Remote) Put(res store.Result) error {
+	ctx, cancel := r.ctx()
+	defer cancel()
+	if err := r.c.Replicate(ctx, res); err != nil {
+		r.errs.Add(1)
+		return r.wrap(err)
+	}
+	return nil
+}
+
+// Keys fetches the daemon's full key inventory — the anti-entropy
+// exchange. Keys the daemon renders that this client cannot parse are a
+// protocol error, not a partial answer.
+func (r *Remote) Keys(ctx context.Context) ([]store.CellKey, error) {
+	resp, err := r.c.Digest(ctx, true)
+	if err != nil {
+		r.errs.Add(1)
+		return nil, r.wrap(err)
+	}
+	keys := make([]store.CellKey, len(resp.Keys))
+	for i, ks := range resp.Keys {
+		k, err := store.ParseCellKey(ks)
+		if err != nil {
+			r.errs.Add(1)
+			return nil, fmt.Errorf("%s: %w", r.c.BaseURL, err)
+		}
+		keys[i] = k
+	}
+	return keys, nil
+}
+
+// KeyDigest fetches the daemon's key count and order-independent key-set
+// digest — the cheap first half of anti-entropy.
+func (r *Remote) KeyDigest(ctx context.Context) (store.Digest, int, error) {
+	resp, err := r.c.Digest(ctx, false)
+	if err != nil {
+		r.errs.Add(1)
+		return 0, 0, r.wrap(err)
+	}
+	var d store.Digest
+	if err := d.UnmarshalJSON([]byte(`"` + resp.Digest + `"`)); err != nil {
+		r.errs.Add(1)
+		return 0, 0, fmt.Errorf("%s: %w", r.c.BaseURL, err)
+	}
+	return d, resp.Count, nil
+}
+
 // Probe checks the daemon's liveness endpoint — the health mark cluster
 // routing flips replicas on.
 func (r *Remote) Probe(ctx context.Context) error {

@@ -148,6 +148,22 @@ type Stats struct {
 	RefineDropped    int64 `json:"refine_dropped,omitempty"`
 	Surfaces         int   `json:"surfaces,omitempty"`
 	SurfaceSamples   int   `json:"surface_samples,omitempty"`
+	// Replications counts cells accepted through /v1/replicate — writes
+	// pushed by a replicating or healing cluster peer, as opposed to
+	// cells this daemon computed itself.
+	Replications int64 `json:"replications"`
+	// Replication counters, mirrored from a cluster backend running with
+	// R > 1 (see backend.Stats for meanings). All zero — and absent —
+	// otherwise.
+	ReplicaFactor int   `json:"replica_factor,omitempty"`
+	Replicated    int64 `json:"replicated,omitempty"`
+	ReadRepairs   int64 `json:"read_repairs,omitempty"`
+	HintsQueued   int64 `json:"hints_queued,omitempty"`
+	HintsDrained  int64 `json:"hints_drained,omitempty"`
+	HintsDropped  int64 `json:"hints_dropped,omitempty"`
+	HintsPending  int   `json:"hints_pending,omitempty"`
+	Healed        int64 `json:"healed,omitempty"`
+	HealSweeps    int64 `json:"heal_sweeps,omitempty"`
 	// Replicas carries per-replica backend snapshots when the server
 	// fronts a cluster.
 	Replicas []backend.Stats `json:"replicas,omitempty"`
@@ -156,12 +172,13 @@ type Stats struct {
 // counters is the server's HTTP-layer atomic counter block; compute-side
 // counters live in the backend.
 type counters struct {
-	queries     atomic.Int64
-	cells       atomic.Int64
-	places      atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	coalesced   atomic.Int64
+	queries      atomic.Int64
+	cells        atomic.Int64
+	places       atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	coalesced    atomic.Int64
+	replications atomic.Int64
 }
 
 // PlaceRequest asks for one scenario cell by its coordinates. Net takes
@@ -200,6 +217,23 @@ type QueryResponse struct {
 type CellResponse struct {
 	Source string       `json:"source"`
 	Result store.Result `json:"result"`
+}
+
+// ReplicateResponse acknowledges one /v1/replicate write.
+type ReplicateResponse struct {
+	Stored bool   `json:"stored"`
+	Key    string `json:"key"`
+}
+
+// DigestResponse is the /v1/digest payload: the store's key count and
+// order-independent key-set digest (store.DigestKeys), plus — when the
+// request asked with ?keys=1 — the canonical key strings themselves.
+// Cluster anti-entropy compares digests first and exchanges key lists
+// only when they differ.
+type DigestResponse struct {
+	Count  int      `json:"count"`
+	Digest string   `json:"digest"`
+	Keys   []string `json:"keys,omitempty"`
 }
 
 // apiError is an error with an HTTP status.
@@ -277,6 +311,8 @@ func NewBackendServer(b backend.Backend, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/cell", s.handleCell)
 	s.mux.HandleFunc("GET /v1/summary", s.handleSummary)
 	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
+	s.mux.HandleFunc("POST /v1/replicate", s.handleReplicate)
+	s.mux.HandleFunc("GET /v1/digest", s.handleDigest)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
 }
@@ -316,6 +352,17 @@ func (s *Server) Stats() Stats {
 		RefineDropped:    bs.RefineDropped,
 		Surfaces:         bs.Surfaces,
 		SurfaceSamples:   bs.SurfaceSamples,
+
+		Replications:  s.c.replications.Load(),
+		ReplicaFactor: bs.ReplicaFactor,
+		Replicated:    bs.Replicated,
+		ReadRepairs:   bs.ReadRepairs,
+		HintsQueued:   bs.HintsQueued,
+		HintsDrained:  bs.HintsDrained,
+		HintsDropped:  bs.HintsDropped,
+		HintsPending:  bs.HintsPending,
+		Healed:        bs.Healed,
+		HealSweeps:    bs.HealSweeps,
 
 		Replicas: bs.Replicas,
 	}
@@ -532,6 +579,77 @@ func (s *Server) placeMiss(rk string, spec store.CellSpec) (outcome, error) {
 		s.lru.add(res.Key.String(), res)
 	}
 	return outcome{source: string(src), result: res}, nil
+}
+
+// handleReplicate accepts one already-computed cell from a cluster peer
+// — the write half of replication and anti-entropy healing. The body is
+// the cell's canonical wire form (store.MarshalResult bytes); a keyless
+// record is rejected as corruption, and a backend that accepts no writes
+// (read-only mount, remote proxy without the extension) answers 403. An
+// accepted cell warms the LRU, so a healed cell serves hot immediately.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, errf(http.StatusBadRequest, "read body: %v", err))
+		return
+	}
+	res, err := store.UnmarshalResult(body)
+	if err != nil {
+		writeError(w, errf(http.StatusBadRequest, "%v", err))
+		return
+	}
+	pt, ok := s.b.(backend.Putter)
+	if !ok {
+		writeError(w, fmt.Errorf("backend accepts no replicated writes: %w", backend.ErrNotStored))
+		return
+	}
+	if err := pt.Put(res); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.c.replications.Add(1)
+	s.lru.add(res.Key.String(), res)
+	writeJSON(w, http.StatusOK, ReplicateResponse{Stored: true, Key: res.Key.String()})
+}
+
+// handleDigest answers the store's key inventory: always the count and
+// the order-independent key-set digest, and the full canonical key list
+// when asked with ?keys=1. Two daemons holding equal key sets answer
+// equal digests whatever order their stores filled in.
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	kd, ok := s.b.(backend.KeyDigester)
+	if !ok {
+		writeError(w, errf(http.StatusNotImplemented, "backend digests no keys"))
+		return
+	}
+	resp := DigestResponse{}
+	if r.URL.Query().Get("keys") == "1" {
+		kl, ok := s.b.(backend.KeyLister)
+		if !ok {
+			writeError(w, errf(http.StatusNotImplemented, "backend enumerates no keys"))
+			return
+		}
+		keys, err := kl.Keys(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp.Count = len(keys)
+		resp.Digest = store.DigestKeys(keys).String()
+		resp.Keys = make([]string, len(keys))
+		for i, k := range keys {
+			resp.Keys[i] = k.String()
+		}
+	} else {
+		d, n, err := kd.KeyDigest(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp.Count = n
+		resp.Digest = d.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // writeJSON encodes v with a trailing newline (curl-friendly).

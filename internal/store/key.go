@@ -97,6 +97,26 @@ func (k CellKey) hash() uint64 {
 	return h.Sum64()
 }
 
+// DigestKeys folds a key set into one order-independent digest: equal
+// sets digest equal whatever order (or replica) produced them, so two
+// stores can be compared for anti-entropy with one value instead of a
+// key-by-key exchange. Each key's FNV hash is avalanched through the
+// splitmix64 finalizer before the commutative fold — raw FNV sums of
+// near-identical keys would cancel structure the comparison relies on.
+func DigestKeys(keys []CellKey) Digest {
+	var d uint64
+	for _, k := range keys {
+		x := k.hash()
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		d += x
+	}
+	return Digest(d)
+}
+
 // KeyFor computes the store key of one scenario cell.
 func KeyFor(g *graph.Graph, m *tm.Matrix, scheme routing.Scheme) CellKey {
 	return CellKey{

@@ -339,6 +339,20 @@ func (s *Store) Results() []Result {
 	return out
 }
 
+// Keys returns every indexed cell key sorted by canonical string — the
+// per-replica key inventory anti-entropy sweeps exchange. Sorted output
+// keeps digest endpoints and heal logs deterministic.
+func (s *Store) Keys() []CellKey {
+	s.imu.RLock()
+	out := make([]CellKey, 0, len(s.index))
+	for k := range s.index {
+		out = append(out, k)
+	}
+	s.imu.RUnlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].String() < out[b].String() })
+	return out
+}
+
 // Compact rewrites the store as exactly one line per indexed cell,
 // dropping superseded duplicates and torn tails. Shards are written to
 // temp files and renamed into place, so a crash mid-compact leaves either
