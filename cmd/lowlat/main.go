@@ -13,6 +13,7 @@
 //	lowlat sweep -store results -grid "nets=zoo;seeds=1,2;schemes=sp,ldr"
 //	lowlat query -store results -scheme sp
 //	lowlat export -store results -format csv -o results.csv
+//	lowlat stats -addr http://127.0.0.1:8080
 package main
 
 import (
@@ -79,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdExport(args[1:], stdout, stderr)
 	case "heal":
 		err = cmdHeal(args[1:], stdout, stderr)
+	case "stats":
+		err = cmdStats(args[1:], stdout, stderr)
 	case "help", "-h", "--help":
 		// Requested help is a success path: print to stdout so it pipes.
 		usage(stdout)
@@ -169,6 +172,10 @@ func usage(w io.Writer) {
          exchange key digests across the daemons and copy cells onto the
          ring owners missing them; prints the heal report
          flags: -timeout <d> (default 5m)
+  lowlat stats -addr <url>                    render a daemon's /v1/stats for
+         a human: counters, then p50/p90/p99/max per latency stage (a
+         cluster front reports cluster-merged histograms)
+         flags: -timeout <d> (default 30s)
   remote flags (query/export/sweep): -replicas <R> (replicated -cluster
          ownership), -remote-cache <n> (client-side LRU + coalescing)`)
 }
@@ -814,6 +821,112 @@ func cmdHeal(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("heal: %d copies failed; rerun after the targets recover", rep.Failed)
 	}
 	return nil
+}
+
+// cmdStats fetches one daemon's /v1/stats and renders it for a human:
+// the request/hit/compute counters, then per-stage latency quantiles
+// from the merged histograms. Pointed at a cluster front, the stage
+// table is cluster-wide — the front folds every replica's histograms
+// into its own before answering.
+func cmdStats(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("stats", stderr)
+	addr := fs.String("addr", "", "base URL of a running lowlatd (required)")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("stats: -addr is required")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	st, err := serve.NewClient(cluster.NormalizeBaseURL(*addr)).Stats(ctx)
+	if err != nil {
+		return err
+	}
+	printStats(stdout, st)
+	return nil
+}
+
+// printStats renders one stats snapshot: a mode line, the non-zero-able
+// counters, and — when any stage has recorded — the latency table.
+func printStats(w io.Writer, st *serve.Stats) {
+	mode := "read-write"
+	if st.ReadOnly {
+		mode = "read-only"
+	}
+	fmt.Fprintf(w, "backend %s (%s): %d cells, %d memo entries\n",
+		st.Backend, mode, st.StoreCells, st.MemoEntries)
+	type counter struct {
+		name string
+		v    int64
+	}
+	counters := []counter{
+		{"queries", st.Queries},
+		{"cell_lookups", st.CellLookups},
+		{"place_requests", st.PlaceRequests},
+		{"cache_hits", st.CacheHits},
+		{"cache_misses", st.CacheMisses},
+		{"store_hits", st.StoreHits},
+		{"memo_hits", st.MemoHits},
+		{"coalesced", st.Coalesced},
+		{"computed", st.Computed},
+		{"rejected", st.Rejected},
+		{"in_flight", st.InFlight},
+		{"cached_entries", int64(st.CachedEntries)},
+		{"replications", st.Replications},
+		{"slow_requests", st.SlowRequests},
+	}
+	if st.Predicted > 0 || st.PredictFallbacks > 0 {
+		counters = append(counters,
+			counter{"predicted", st.Predicted},
+			counter{"predict_fallbacks", st.PredictFallbacks})
+	}
+	if st.ReplicaFactor > 1 {
+		counters = append(counters,
+			counter{"replica_factor", int64(st.ReplicaFactor)},
+			counter{"replicated", st.Replicated},
+			counter{"read_repairs", st.ReadRepairs},
+			counter{"hints_pending", int64(st.HintsPending)},
+			counter{"healed", st.Healed},
+			counter{"heal_sweeps", st.HealSweeps})
+	}
+	fmt.Fprintln(w, "counters:")
+	for _, c := range counters {
+		fmt.Fprintf(w, "  %-18s %d\n", c.name, c.v)
+	}
+	if len(st.Stages) == 0 {
+		return
+	}
+	names := make([]string, 0, len(st.Stages))
+	for name := range st.Stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "latency per stage:")
+	fmt.Fprintf(w, "  %-14s %10s %10s %10s %10s %10s\n",
+		"stage", "count", "p50", "p90", "p99", "max")
+	for _, name := range names {
+		s := st.Stages[name]
+		fmt.Fprintf(w, "  %-14s %10d %10s %10s %10s %10s\n", name, s.Count,
+			fmtNS(s.P50NS), fmtNS(s.P90NS), fmtNS(s.P99NS), fmtNS(s.MaxNS))
+	}
+}
+
+// fmtNS renders a nanosecond latency at a humane precision: histograms
+// answer with ~3% bucket resolution, so more digits would be noise.
+func fmtNS(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(10 * time.Nanosecond).String()
+	default:
+		return d.String()
+	}
 }
 
 // backendQuery lists the backend's cells matching f, failing loudly for

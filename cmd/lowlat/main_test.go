@@ -3,13 +3,17 @@ package main
 import (
 	"bytes"
 	"context"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"lowlat/internal/backend"
 	"lowlat/internal/engine"
 	"lowlat/internal/geo"
 	"lowlat/internal/graph"
 	"lowlat/internal/routing"
+	"lowlat/internal/serve"
 	"lowlat/internal/store"
 	"lowlat/internal/tm"
 )
@@ -75,6 +79,51 @@ func TestHealExitCodes(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "no daemon answered") {
 		t.Fatalf("dead-cluster heal stderr %q, want the no-daemon report", errOut.String())
+	}
+}
+
+// TestStatsCommand pins the stats subcommand: its exit-code contract,
+// and that pointed at a live daemon it renders the counters and — once
+// any histogram has recorded — the per-stage latency table.
+func TestStatsCommand(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"stats"}, &out, &errOut); code != 1 {
+		t.Fatalf("stats without -addr: exit %d, want 1", code)
+	}
+	if code := run([]string{"stats", "-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("stats bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"stats", "-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("stats -h: exit %d, want 0", code)
+	}
+	if code := run([]string{"stats", "-addr", "http://127.0.0.1:1", "-timeout", "5s"}, &out, &errOut); code != 1 {
+		t.Fatalf("stats against dead daemon: exit %d, want 1", code)
+	}
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := serve.NewBackendServer(backend.NewStore(st), serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// Prime one request so at least one http_* histogram has recorded by
+	// the time the stats snapshot is taken.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	out.Reset()
+	if code := run([]string{"stats", "-addr", ts.URL}, &out, &errOut); code != 0 {
+		t.Fatalf("stats: exit %d, want 0 (stderr %q)", code, errOut.String())
+	}
+	for _, want := range []string{"counters:", "place_requests", "latency per stage:", "http_stats", "p99"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out.String())
+		}
 	}
 }
 

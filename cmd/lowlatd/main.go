@@ -30,8 +30,17 @@
 //	                                              every interval, exchange key
 //	                                              digests and copy cells onto
 //	                                              owners missing them
+//	lowlatd -store results -log json              structured request logs on
+//	                                              stderr: one slog line per
+//	                                              request with its X-Request-ID
+//	                                              and per-stage timings
+//	lowlatd -store results -slow 100ms            requests at or above 100ms
+//	                                              land in the /v1/slow ring
+//	lowlatd -store results -debug-addr 127.0.0.1:0
+//	                                              second listener for operators:
+//	                                              /debug/pprof/* and /metrics
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //
 //	GET  /healthz                       liveness + store cell count
 //	GET  /v1/query?net=&class=&scheme=&seed=&headroom=
@@ -40,7 +49,9 @@
 //	POST /v1/place                      {"net","seed","scheme","headroom","load","locality"}
 //	POST /v1/replicate                  accept one computed cell from a cluster peer
 //	GET  /v1/digest?keys=1              key-set digest (and keys) for anti-entropy
-//	GET  /v1/stats                      hit/miss/coalesce/in-flight counters
+//	GET  /v1/stats                      counters + per-stage latency quantiles
+//	GET  /v1/slow                       recent requests over the -slow threshold
+//	GET  /metrics                       Prometheus text format (not JSON)
 //
 // SIGINT/SIGTERM shut the daemon down gracefully, draining in-flight
 // requests.
@@ -52,7 +63,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -91,6 +105,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	predictRefine := fs.Bool("predict-refine", false, "with -predict: queue a background exact solve for each predicted answer so ground truth replaces the estimate")
 	replicas := fs.Int("replicas", 1, "with -cluster: ownership factor R — every cell is written to its key's first R ring owners, reads repair stale copies, hinted handoff carries writes across downtime (1 = single-owner sharding)")
 	antiEntropy := fs.Duration("anti-entropy", 0, "with -cluster and -replicas > 1: background heal-sweep interval — exchange key digests and copy cells onto owners missing them (0 = off)")
+	logFormat := fs.String("log", "off", "structured request logging on stderr: off | text | json (one slog line per request with its X-Request-ID and stage timings)")
+	slowThreshold := fs.Duration("slow", 0, "requests at or above this duration land in the /v1/slow ring (0 = the 500ms default, negative = off)")
+	debugAddr := fs.String("debug-addr", "", "optional second listener for operators: /debug/pprof/* and /metrics (port 0 picks one; the bound address is printed)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -106,6 +123,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	var logger *slog.Logger
+	switch *logFormat {
+	case "off", "":
+		// No request logging: the pre-observability default, and what the
+		// daemon's own progress lines on stdout assume.
+	case "text":
+		logger = slog.New(slog.NewTextHandler(stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(stderr, nil))
+	default:
+		fmt.Fprintf(stderr, "lowlatd: -log must be off, text or json (got %q)\n", *logFormat)
+		return 2
+	}
+
 	opts := serve.Options{
 		Workers:       *workers,
 		MaxInflight:   *maxInflight,
@@ -113,6 +144,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		DrainTimeout:  *drain,
 		Predict:       *predictFlag,
 		PredictRefine: *predictRefine,
+		Logger:        logger,
+		SlowThreshold: *slowThreshold,
 	}
 	var srv *serve.Server
 	var serving string
@@ -197,6 +230,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		serving = fmt.Sprintf("store %s (%d cells, %d memo entries, %s)%s",
 			*storeDir, st.Len(), st.MemoLen(), mode, predicting)
+	}
+
+	if *debugAddr != "" {
+		// The debug listener is a second, separately-bindable surface so
+		// operators can firewall profiling away from the serving port: the
+		// explicit pprof handlers (nothing rides the DefaultServeMux) plus
+		// the same /metrics the main listener exposes.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", srv.Handler())
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "lowlatd: debug listener: %v\n", err)
+			return 1
+		}
+		defer dln.Close()
+		fmt.Fprintf(stdout, "lowlatd: debug endpoints (pprof, metrics) on http://%s\n", dln.Addr())
+		go func() { _ = http.Serve(dln, dmux) }()
 	}
 
 	err := srv.ListenAndServe(ctx, *addr, func(bound net.Addr) {

@@ -398,3 +398,92 @@ func TestPredictDaemon(t *testing.T) {
 		t.Fatal("daemon did not shut down")
 	}
 }
+
+// TestDebugListenerAndRequestLogs boots the daemon with the operator
+// surface enabled — a second -debug-addr listener and -log json — and
+// checks the three observability contracts: /metrics and /debug/pprof/*
+// answer on the debug port, a caller-supplied X-Request-ID comes back in
+// the response header, and the same ID appears in the structured request
+// log on stderr.
+func TestDebugListenerAndRequestLogs(t *testing.T) {
+	var out, errOut syncBuffer
+	// -log takes only off|text|json.
+	if code := run(context.Background(), []string{"-store", t.TempDir(), "-log", "bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("-log bogus exit = %d, want 2; stderr=%q", code, errOut.String())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out = syncBuffer{}
+	errOut = syncBuffer{}
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run(ctx, []string{
+			"-store", t.TempDir(), "-addr", "127.0.0.1:0",
+			"-debug-addr", "127.0.0.1:0", "-log", "json", "-workers", "1",
+		}, &out, &errOut)
+	}()
+
+	// The debug line prints first, then the serving line; wait for both.
+	var urls []string
+	deadline := time.After(30 * time.Second)
+	for len(urls) < 2 {
+		urls = urlRE.FindAllString(out.String(), -1)
+		select {
+		case <-deadline:
+			t.Fatalf("daemon never printed both addresses; stdout=%q stderr=%q", out.String(), errOut.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	debug, base := urls[0], urls[1]
+
+	get := func(url string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get(debug + "/metrics"); code != http.StatusOK || !strings.Contains(body, "lowlat_place_requests_total") {
+		t.Fatalf("debug /metrics = %d, body %q", code, body)
+	}
+	if code, _ := get(debug + "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("debug /debug/pprof/cmdline = %d, want 200", code)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "cli-trace-0001")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "cli-trace-0001" {
+		t.Fatalf("response X-Request-ID = %q, want the caller's", got)
+	}
+	// The slog line lands on stderr after the response; poll briefly.
+	deadline = time.After(10 * time.Second)
+	for !strings.Contains(errOut.String(), "cli-trace-0001") {
+		select {
+		case <-deadline:
+			t.Fatalf("request log never mentioned the request ID; stderr=%q", errOut.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	cancel()
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("daemon exit = %d, want 0; stderr=%q", code, errOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}

@@ -38,7 +38,12 @@
 // queries in microseconds by inverse-distance-weighted interpolation
 // over (headroom, load, locality), wrapped around any backend as
 // NewPredictiveBackend with confidence-bounded fallback to the exact
-// solver and optional background refinement.
+// solver and optional background refinement; and the observability
+// plane threaded through all of the above: per-stage latency histograms
+// merged cluster-wide into /v1/stats (StageSnapshot), X-Request-ID
+// tracing from the HTTP edge to the owning replica (RequestIDHeader),
+// structured request logs, a slow-request ring (/v1/slow, SlowRequest),
+// a Prometheus-text /metrics endpoint and an opt-in pprof listener.
 //
 // The implementation lives under internal/:
 //
@@ -95,6 +100,10 @@
 //     last-write-wins over canonical bytes, hinted handoff carries
 //     writes across replica downtime, and anti-entropy sweeps (Heal)
 //     rebuild even a replica restored from an empty store
+//   - internal/obs — the dependency-free observability kernel the
+//     serving tiers share: lock-cheap log-bucketed latency histograms
+//     with mergeable snapshots, request traces carried by context,
+//     the bounded slow-request ring, and the Prometheus text renderer
 //   - internal/experiments — one driver per results figure plus
 //     fig_dynamics, all routed through the engine; the landscape and
 //     headroom drivers optionally checkpoint through a result backend
@@ -104,6 +113,7 @@
 // greedy-scheme ablations; see README.md for the quickstart, package map
 // and figure-regeneration instructions, docs/ARCHITECTURE.md for the
 // serving-system layer map and the life of a /v1/place request, and
-// docs/OPERATIONS.md for daemon flags, /v1/stats counter semantics and
-// the replica failure-recovery runbook.
+// docs/OPERATIONS.md for daemon flags, /v1/stats counter semantics,
+// metrics and request tracing, and the replica failure-recovery
+// runbook.
 package lowlat

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"lowlat/internal/obs"
 	"lowlat/internal/store"
 	"lowlat/internal/sweep"
 )
@@ -229,6 +230,13 @@ type Stats struct {
 	// only).
 	Surfaces       int `json:"surfaces,omitempty"`
 	SurfaceSamples int `json:"surface_samples,omitempty"`
+	// Stages carries per-stage latency histogram snapshots (solve,
+	// store_read, store_write, predict, replicate, heal, remote_hop, ...)
+	// keyed by stage name. Wrapping backends merge their own stages into
+	// the wrapped backend's; the cluster merges every replica's, so the
+	// top-level map is always the full-tree distribution (exact bucket
+	// sums — quantiles are recomputed after merging, never averaged).
+	Stages map[string]obs.Snapshot `json:"stages,omitempty"`
 	// Replicas carries per-replica snapshots (cluster only).
 	Replicas []Stats `json:"replicas,omitempty"`
 }

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"lowlat/internal/obs"
 	"lowlat/internal/store"
 	"lowlat/internal/sweep"
 )
@@ -50,6 +52,7 @@ type Cached struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	coalesced atomic.Int64
+	obs       *obs.Registry
 }
 
 // cachedFlight is one in-progress Place dispatch shared by every caller
@@ -70,6 +73,7 @@ func NewCached(inner Backend, opts CachedOptions) *Cached {
 		lru:   newCachedLRU(opts.Size),
 		keys:  newCachedLRU(opts.Size),
 		fl:    make(map[string]*cachedFlight),
+		obs:   obs.NewRegistry(),
 	}
 }
 
@@ -105,9 +109,11 @@ func (c *Cached) PlaceSourced(ctx context.Context, spec store.CellSpec) (store.R
 	spec = spec.Normalized()
 	rk := spec.String()
 	// Hot path: a spec served before maps straight to its content key.
+	t0 := time.Now()
 	if rs, ok := c.keys.get(rk); ok {
 		if r, hit := c.lru.get(rs.Key.String()); hit {
 			c.hits.Add(1)
+			c.obs.Observe(ctx, obs.StageCachedPlace, time.Since(t0))
 			return r, SourceCache, nil
 		}
 	}
@@ -207,6 +213,7 @@ func (c *Cached) Stats() Stats {
 	s.CacheHits = c.hits.Load()
 	s.CacheMisses = c.misses.Load()
 	s.Coalesced = c.coalesced.Load()
+	s.Stages = obs.MergeStages(s.Stages, c.obs.Snapshot())
 	return s
 }
 

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"lowlat/internal/engine"
+	"lowlat/internal/obs"
 	"lowlat/internal/routing"
 	"lowlat/internal/store"
 	"lowlat/internal/sweep"
@@ -62,6 +64,7 @@ type Local struct {
 	sem    chan struct{} // admission slots (MaxInflight)
 	work   chan struct{} // compute slots (Workers)
 	c      counters
+	obs    *obs.Registry
 }
 
 // NewLocal builds a Local backend over an open store. The store may be
@@ -76,6 +79,7 @@ func NewLocal(st *store.Store, opts LocalOptions) *Local {
 		solver: routing.NewSolverCache(),
 		sem:    make(chan struct{}, opts.MaxInflight),
 		work:   make(chan struct{}, opts.Workers),
+		obs:    obs.NewRegistry(),
 	}
 }
 
@@ -92,10 +96,18 @@ func (l *Local) Put(r store.Result) error { return l.st.Put(r) }
 // Lookup returns the stored result for a content key.
 func (l *Local) Lookup(k store.CellKey) (store.Result, bool) {
 	l.c.lookups.Add(1)
-	r, ok := l.st.Get(k)
+	r, ok := l.storeGet(context.Background(), k)
 	if ok {
 		l.c.storeHits.Add(1)
 	}
+	return r, ok
+}
+
+// storeGet is st.Get with the store_read stage recorded.
+func (l *Local) storeGet(ctx context.Context, k store.CellKey) (store.Result, bool) {
+	t0 := time.Now()
+	r, ok := l.st.Get(k)
+	l.obs.Observe(ctx, obs.StageStoreRead, time.Since(t0))
 	return r, ok
 }
 
@@ -159,7 +171,7 @@ func (l *Local) place(ctx context.Context, spec store.CellSpec) (store.Result, S
 			Scheme: scheme.Name(),
 			Config: store.ConfigDigest(scheme),
 		}
-		if res, hit := l.st.Get(k); hit {
+		if res, hit := l.storeGet(ctx, k); hit {
 			l.c.memoHits.Add(1)
 			l.c.storeHits.Add(1)
 			return res, SourceStore, nil
@@ -186,18 +198,20 @@ func (l *Local) place(ctx context.Context, spec store.CellSpec) (store.Result, S
 	l.work <- struct{}{}
 	defer func() { <-l.work }()
 
+	t0 := time.Now()
 	m, err := sweep.GenerateMatrix(g, spec.Seed, spec.Load, spec.Locality, l.st)
+	l.obs.Observe(ctx, obs.StageMatrix, time.Since(t0))
 	if err != nil {
 		return store.Result{}, "", fmt.Errorf("generate matrix: %w", err)
 	}
 	key := store.KeyFor(g, m, scheme)
 	// A store predating its memo can hold the cell even on a memo miss.
-	if res, hit := l.st.Get(key); hit {
+	if res, hit := l.storeGet(ctx, key); hit {
 		l.c.storeHits.Add(1)
 		return res, SourceStore, nil
 	}
 
-	res, err := l.compute(sweep.Cell{
+	res, err := l.compute(ctx, sweep.Cell{
 		Key: key,
 		Meta: store.Meta{
 			Net:      net.Name,
@@ -218,7 +232,10 @@ func (l *Local) place(ctx context.Context, spec store.CellSpec) (store.Result, S
 	if err != nil {
 		return store.Result{}, "", err
 	}
-	if err := l.st.Put(res); err != nil {
+	t0 = time.Now()
+	err = l.st.Put(res)
+	l.obs.Observe(ctx, obs.StageStoreWrite, time.Since(t0))
+	if err != nil {
 		return store.Result{}, "", fmt.Errorf("persist cell: %w", err)
 	}
 	return res, SourceComputed, nil
@@ -229,15 +246,18 @@ func (l *Local) place(ctx context.Context, spec store.CellSpec) (store.Result, S
 // backend's shared solver cache. The computation deliberately runs on a
 // background context: in the serving daemon the leader of a coalesced
 // flight computes for its followers, so a disconnecting leader must not
-// abort them.
-func (l *Local) compute(c sweep.Cell) (store.Result, error) {
+// abort them. ctx is used only to carry the caller's trace into the
+// solve-stage observation, never for cancellation.
+func (l *Local) compute(ctx context.Context, c sweep.Cell) (store.Result, error) {
 	out := <-engine.Stream(context.Background(), 1, []sweep.Cell{c},
 		func(_ context.Context, _ int, c sweep.Cell) (store.Result, error) {
 			if l.opts.OnPlace != nil {
 				l.opts.OnPlace(c.Key)
 			}
 			l.c.computed.Add(1)
+			t0 := time.Now()
 			p, err := l.solver.Place(c.Scenario.Scheme, c.Scenario.Graph, c.Scenario.Matrix)
+			l.obs.Observe(ctx, obs.StageSolve, time.Since(t0))
 			if err != nil {
 				return store.Result{}, fmt.Errorf("%s: %w", c.Scenario.Tag, err)
 			}
@@ -262,5 +282,6 @@ func (l *Local) Stats() Stats {
 		Rejected:    l.c.rejected.Load(),
 		InFlight:    l.c.inflight.Load(),
 		Errors:      l.c.errors.Load(),
+		Stages:      l.obs.Snapshot(),
 	}
 }

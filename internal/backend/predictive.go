@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lowlat/internal/obs"
 	"lowlat/internal/predict"
 	"lowlat/internal/routing"
 	"lowlat/internal/store"
@@ -91,6 +92,7 @@ type Predictive struct {
 	fallbacks atomic.Int64
 	refined   atomic.Int64
 	dropped   atomic.Int64
+	obs       *obs.Registry
 }
 
 // NewPredictive wraps inner with the predictive fast path. Train the
@@ -109,6 +111,7 @@ func NewPredictive(inner Backend, opts PredictiveOptions) *Predictive {
 		opts:  opts,
 		nets:  make(map[string]netInfo),
 		stop:  make(chan struct{}),
+		obs:   obs.NewRegistry(),
 	}
 	if opts.Refine {
 		p.refine = make(chan store.CellSpec, opts.RefineQueue)
@@ -255,7 +258,10 @@ func (p *Predictive) PlaceSourced(ctx context.Context, spec store.CellSpec) (sto
 	// schemes without a dial), exactly what stored Meta carries.
 	headroom := routing.Headroom(scheme)
 	at := predict.Coord{Headroom: headroom, Load: spec.Load, Locality: spec.Locality}
-	if est, ok := p.idx.Predict(info.fp, scheme.Name(), spec.Seed, at); ok {
+	t0 := time.Now()
+	est, ok := p.idx.Predict(info.fp, scheme.Name(), spec.Seed, at)
+	p.obs.Observe(ctx, obs.StagePredict, time.Since(t0))
+	if ok {
 		p.predicted.Add(1)
 		if p.refine != nil && !est.Exact {
 			p.enqueueRefine(spec)
@@ -336,5 +342,6 @@ func (p *Predictive) Stats() Stats {
 	s.Refined = p.refined.Load()
 	s.RefineDropped = p.dropped.Load()
 	s.Surfaces, s.SurfaceSamples = p.idx.Len()
+	s.Stages = obs.MergeStages(s.Stages, p.obs.Snapshot())
 	return s
 }

@@ -3,7 +3,9 @@ package backend
 import (
 	"context"
 	"fmt"
+	"time"
 
+	"lowlat/internal/obs"
 	"lowlat/internal/store"
 	"lowlat/internal/sweep"
 )
@@ -16,15 +18,16 @@ import (
 // a writing process — the natural shape for read replicas over a store
 // one sweep fills.
 type Store struct {
-	st *store.Store
-	c  counters
+	st  *store.Store
+	c   counters
+	obs *obs.Registry
 }
 
 // NewStore builds a read-only backend over an open store (typically one
 // opened with store.OpenReadOnly; a writable store works too and is
 // simply never written).
 func NewStore(st *store.Store) *Store {
-	return &Store{st: st}
+	return &Store{st: st, obs: obs.NewRegistry()}
 }
 
 // Store exposes the backing store.
@@ -33,10 +36,18 @@ func (b *Store) Store() *store.Store { return b.st }
 // Lookup returns the stored result for a content key.
 func (b *Store) Lookup(k store.CellKey) (store.Result, bool) {
 	b.c.lookups.Add(1)
-	r, ok := b.st.Get(k)
+	r, ok := b.storeGet(context.Background(), k)
 	if ok {
 		b.c.storeHits.Add(1)
 	}
+	return r, ok
+}
+
+// storeGet is st.Get with the store_read stage recorded.
+func (b *Store) storeGet(ctx context.Context, k store.CellKey) (store.Result, bool) {
+	t0 := time.Now()
+	r, ok := b.st.Get(k)
+	b.obs.Observe(ctx, obs.StageStoreRead, time.Since(t0))
 	return r, ok
 }
 
@@ -71,7 +82,7 @@ func (b *Store) Place(ctx context.Context, spec store.CellSpec) (store.Result, e
 }
 
 // PlaceSourced is Place with provenance (always SourceStore on success).
-func (b *Store) PlaceSourced(_ context.Context, spec store.CellSpec) (store.Result, Source, error) {
+func (b *Store) PlaceSourced(ctx context.Context, spec store.CellSpec) (store.Result, Source, error) {
 	b.c.places.Add(1)
 	spec = spec.Normalized()
 	scheme, err := CheckSpec(spec)
@@ -92,7 +103,7 @@ func (b *Store) PlaceSourced(_ context.Context, spec store.CellSpec) (store.Resu
 			Scheme: scheme.Name(),
 			Config: store.ConfigDigest(scheme),
 		}
-		if res, hit := b.st.Get(k); hit {
+		if res, hit := b.storeGet(ctx, k); hit {
 			b.c.memoHits.Add(1)
 			b.c.storeHits.Add(1)
 			return res, SourceStore, nil
@@ -115,5 +126,6 @@ func (b *Store) Stats() Stats {
 		StoreHits:   b.c.storeHits.Load(),
 		MemoHits:    b.c.memoHits.Load(),
 		Errors:      b.c.errors.Load(),
+		Stages:      b.obs.Snapshot(),
 	}
 }

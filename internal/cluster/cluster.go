@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"lowlat/internal/backend"
+	"lowlat/internal/obs"
 	"lowlat/internal/store"
 	"lowlat/internal/sweep"
 )
@@ -150,6 +151,7 @@ type Backend struct {
 	hintsDropped atomic.Int64
 	healed       atomic.Int64
 	healSweeps   atomic.Int64
+	obs          *obs.Registry
 }
 
 // labeled is implemented by backends that carry a natural stable name
@@ -200,6 +202,7 @@ func New(replicas []backend.Backend, opts Options) (*Backend, error) {
 		hmu:       make([]sync.Mutex, len(replicas)),
 		hints:     make([][]store.Result, len(replicas)),
 		stop:      make(chan struct{}),
+		obs:       obs.NewRegistry(),
 	}
 	if opts.AntiEntropyInterval > 0 {
 		c.wg.Add(1)
@@ -522,13 +525,18 @@ func (c *Backend) replicate(owners []int, served int, res store.Result) {
 	}
 }
 
-// putTo persists one result on replica i through its Putter extension.
+// putTo persists one result on replica i through its Putter extension,
+// recording the copy under the replicate stage (hint drains and heal
+// copies included — every cross-replica write is a replication write).
 func (c *Backend) putTo(i int, r store.Result) error {
 	p, ok := c.replicas[i].(backend.Putter)
 	if !ok {
 		return fmt.Errorf("cluster: replica %s accepts no writes", c.labels[i])
 	}
-	return p.Put(r)
+	t0 := time.Now()
+	err := p.Put(r)
+	c.obs.Observe(context.Background(), obs.StageReplicate, time.Since(t0))
+	return err
 }
 
 // Query fans the filter out to every healthy replica concurrently and
@@ -656,6 +664,11 @@ func (c *Backend) Stats() backend.Stats {
 		}(i, r)
 	}
 	wg.Wait()
+	// Stage histograms roll up the same way counters do: the cluster's own
+	// stages (replicate, heal) merge with every replica's — exact bucket
+	// sums, so the top-level p50/p90/p99 are true cluster-wide quantiles.
+	// Each replica's unmerged snapshot stays visible under Replicas.
+	out.Stages = obs.MergeStages(nil, c.obs.Snapshot())
 	for i, rs := range snaps {
 		out.Cells += rs.Cells
 		out.MemoEntries += rs.MemoEntries
@@ -668,6 +681,7 @@ func (c *Backend) Stats() backend.Stats {
 		if c.down[i].Load() {
 			out.Down++
 		}
+		out.Stages = obs.MergeStages(out.Stages, rs.Stages)
 		out.Replicas = append(out.Replicas, rs)
 	}
 	return out

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lowlat/internal/backend"
+	"lowlat/internal/obs"
 	"lowlat/internal/store"
 )
 
@@ -141,6 +142,8 @@ func (c *Backend) Heal(ctx context.Context) (HealReport, error) {
 	c.healMu.Lock()
 	defer c.healMu.Unlock()
 	c.healSweeps.Add(1)
+	t0 := time.Now()
+	defer func() { c.obs.Observe(ctx, obs.StageHeal, time.Since(t0)) }()
 
 	var rep HealReport
 	drainedBefore := c.hintsDrained.Load()

@@ -21,6 +21,7 @@ import (
 var lintedPackages = []string{
 	"../backend",
 	"../cluster",
+	"../obs",
 }
 
 func TestExportedDeclarationsAreDocumented(t *testing.T) {

@@ -376,7 +376,18 @@ func TestRegistryRunsEverything(t *testing.T) {
 		t.Fatalf("experiments = %v", names)
 	}
 	var buf bytes.Buffer
+	// This test's claim is registry dispatch — every name runs and renders
+	// a table — not the figures' numbers, which the per-figure tests above
+	// pin on the full testSubset. Running all 14 drivers again on that
+	// subset was the package's single biggest time sink and pushed the
+	// suite against go test's 10-minute default timeout on the 1-CPU CI
+	// box, so this test runs a minimal class-spanning slice instead.
+	registrySubset := map[string]bool{
+		"star-12": true, "grid-4x4": true, "gts-like": true, "intercont-2x10-3": true,
+	}
 	cfg := testConfig()
+	cfg.TMsPerTopology = 1
+	cfg.NetworkFilter = func(n Network) bool { return registrySubset[n.Name] }
 	for _, name := range names {
 		buf.Reset()
 		if err := Run(name, cfg, &buf); err != nil {

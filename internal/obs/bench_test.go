@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkHistogramRecord measures the hot-path cost of one histogram
+// observation — the overhead every instrumented stage pays. The budget
+// is < 100ns/op; the implementation is a bucket index computation plus
+// four atomic operations, so it should land well under.
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	d := 137 * time.Microsecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(d)
+	}
+}
+
+// BenchmarkHistogramRecordParallel measures the contended case: every
+// serving worker recording into the same stage histogram.
+func BenchmarkHistogramRecordParallel(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := 137 * time.Microsecond
+		for pb.Next() {
+			h.Record(d)
+		}
+	})
+}
+
+// BenchmarkSnapshot measures the cost of one registry snapshot — the
+// /v1/stats path — with a populated histogram.
+func BenchmarkSnapshot(b *testing.B) {
+	var h Histogram
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Snapshot()
+	}
+}

@@ -1,0 +1,323 @@
+// Package obs is the observability plane threaded through every serving
+// tier: lock-cheap mergeable latency histograms with per-stage
+// registries, request-ID tracing carried on contexts, a bounded ring of
+// recent slow requests, and a Prometheus-text metrics renderer. It is
+// deliberately dependency-free (standard library only) so every layer —
+// backends, the cluster, the HTTP skin, the sweep orchestrator — can
+// record into it without dragging a metrics SDK through the repository.
+//
+// The paper's case for low-latency-capable topologies only cashes out if
+// the serving layer can *prove* its latency at runtime; this package is
+// the measurement plane the cISP-style "track tail latency continuously"
+// question is answered from. The design mirrors production metric
+// pipelines at miniature scale:
+//
+//   - Histogram is log-bucketed (4 sub-buckets per power of two over
+//     nanosecond values), records with a handful of atomic adds — no
+//     locks on the hot path — and snapshots into a Snapshot whose sparse
+//     bucket list survives JSON, so replicas' histograms merge
+//     cluster-wide into exact bucket sums (quantiles are then estimated
+//     once, over the merged buckets, not averaged across replicas).
+//   - Registry is a name→Histogram table; stages are plain strings and
+//     the Stage* constants name the ones the serving stack records.
+//   - Snapshot carries p50/p90/p99 so /v1/stats answers SLO questions
+//     directly.
+package obs
+
+import (
+	"context"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names recorded by the serving stack. A stage is just a string —
+// nothing registers them — but sharing the constants keeps /v1/stats,
+// /metrics and the docs in agreement.
+const (
+	// StageSolve times one exact placement solve (the engine invocation).
+	StageSolve = "solve"
+	// StageMatrix times one traffic-matrix generation (calibration LPs).
+	StageMatrix = "matrix"
+	// StageStoreRead times one content-key read against a local store.
+	StageStoreRead = "store_read"
+	// StageStoreWrite times one cell persist into a local store.
+	StageStoreWrite = "store_write"
+	// StagePredict times one interpolation-index prediction attempt.
+	StagePredict = "predict"
+	// StageReplicate times one replication write to a cluster peer.
+	StageReplicate = "replicate"
+	// StageHeal times one full anti-entropy heal sweep.
+	StageHeal = "heal"
+	// StageRemoteHop times one HTTP round trip to a downstream daemon.
+	StageRemoteHop = "remote_hop"
+	// StageCachedPlace times one Place answered from a client-side cache.
+	StageCachedPlace = "cached_place"
+	// StageSweepPlace times one sweep cell dispatch (solve or farm-out).
+	StageSweepPlace = "sweep_place"
+)
+
+// Bucket layout: values below 1<<subBits nanoseconds get exact unit
+// buckets; above that, each power of two splits into 1<<subBits
+// log-linear sub-buckets (relative error ≤ 1/2^subBits ≈ 25%, plenty for
+// p99 reporting across nine decades of latency). 252 buckets cover the
+// full int64 nanosecond range.
+const (
+	subBits    = 2
+	subCount   = 1 << subBits
+	numBuckets = (64-subBits)*subCount + subCount
+)
+
+// Histogram is a fixed-layout log-bucketed latency histogram safe for
+// concurrent use. Record is a few atomic adds — no locks, no allocation
+// — so it can sit on nanosecond-scale hot paths. The zero value is ready
+// to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketOf maps a non-negative nanosecond value to its bucket index.
+func bucketOf(ns int64) int {
+	v := uint64(ns)
+	if v < subCount {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // position of the leading bit, ≥ subBits
+	frac := (v >> (uint(e) - subBits)) & (subCount - 1)
+	return (e-subBits)*subCount + subCount + int(frac)
+}
+
+// bucketBounds returns the [lo, hi) nanosecond range of bucket b.
+func bucketBounds(b int) (lo, hi int64) {
+	if b < subCount {
+		return int64(b), int64(b) + 1
+	}
+	i := b - subCount
+	e := uint(i/subCount) + subBits
+	frac := uint64(i % subCount)
+	width := int64(1) << (e - subBits)
+	lo = int64((subCount + frac) << (e - subBits))
+	return lo, lo + width
+}
+
+// Record adds one observation. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		m := h.max.Load()
+		if ns <= m || h.max.CompareAndSwap(m, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot captures the histogram's current state. Concurrent Records
+// may land between the field reads — a snapshot is a monitoring view,
+// not a transaction — but every recorded observation appears in some
+// later snapshot.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Count: h.count.Load(),
+		SumNS: h.sum.Load(),
+		MaxNS: h.max.Load(),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, [2]int64{int64(i), n})
+		}
+	}
+	s.refresh()
+	return s
+}
+
+// Snapshot is one histogram's point-in-time state: totals, the sparse
+// bucket list (pairs of [bucket index, count], ascending by index), and
+// nearest-rank quantile estimates computed over the buckets. Snapshots
+// are what travel in /v1/stats — the bucket list is exact, so replicas'
+// snapshots merge into a cluster-wide distribution with Merge and the
+// quantiles stay honest after any number of hops.
+type Snapshot struct {
+	// Count is the number of recorded observations; SumNS and MaxNS their
+	// nanosecond total and maximum.
+	Count int64 `json:"count"`
+	SumNS int64 `json:"sum_ns"`
+	MaxNS int64 `json:"max_ns,omitempty"`
+	// P50NS, P90NS and P99NS are nearest-rank quantile estimates in
+	// nanoseconds (bucket midpoints; ≤ 25% relative bucket error).
+	P50NS int64 `json:"p50_ns"`
+	P90NS int64 `json:"p90_ns"`
+	P99NS int64 `json:"p99_ns"`
+	// Buckets is the sparse bucket list: [bucket index, count] pairs in
+	// ascending index order, only non-empty buckets present.
+	Buckets [][2]int64 `json:"buckets,omitempty"`
+}
+
+// refresh recomputes the quantile fields from the bucket list.
+func (s *Snapshot) refresh() {
+	s.P50NS = s.quantile(0.50)
+	s.P90NS = s.quantile(0.90)
+	s.P99NS = s.quantile(0.99)
+}
+
+// quantile estimates the q-quantile (nearest rank) from the buckets,
+// answering each bucket's midpoint. Returns 0 for an empty snapshot.
+func (s *Snapshot) quantile(q float64) int64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b[1]
+		if seen >= rank {
+			lo, hi := bucketBounds(int(b[0]))
+			mid := lo + (hi-lo)/2
+			if mid > s.MaxNS && s.MaxNS > 0 {
+				// The top bucket's midpoint can overshoot the true maximum;
+				// never report a quantile above an observed value.
+				return s.MaxNS
+			}
+			return mid
+		}
+	}
+	return s.MaxNS
+}
+
+// Merge folds another snapshot into this one: counts, sums and buckets
+// add, the maximum takes the larger, and the quantiles are recomputed
+// over the merged buckets. Merging exact bucket counts (rather than
+// averaging quantiles) is what makes a cluster-wide p99 meaningful.
+func (s *Snapshot) Merge(o Snapshot) {
+	s.Count += o.Count
+	s.SumNS += o.SumNS
+	if o.MaxNS > s.MaxNS {
+		s.MaxNS = o.MaxNS
+	}
+	s.Buckets = mergeBuckets(s.Buckets, o.Buckets)
+	s.refresh()
+}
+
+// mergeBuckets merges two ascending sparse bucket lists, summing counts
+// for shared indices.
+func mergeBuckets(a, b [][2]int64) [][2]int64 {
+	if len(a) == 0 {
+		return append([][2]int64(nil), b...)
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([][2]int64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i][0] < b[j][0]:
+			out = append(out, a[i])
+			i++
+		case a[i][0] > b[j][0]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, [2]int64{a[i][0], a[i][1] + b[j][1]})
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// MergeStages folds src's per-stage snapshots into dst, allocating dst
+// when needed — the cluster-wide roll-up helper. dst is returned.
+func MergeStages(dst, src map[string]Snapshot) map[string]Snapshot {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]Snapshot, len(src))
+	}
+	for name, snap := range src {
+		cur := dst[name]
+		cur.Merge(snap)
+		dst[name] = cur
+	}
+	return dst
+}
+
+// Registry is a named-histogram table: one histogram per stage,
+// created on first use. A nil *Registry is valid and records nothing —
+// components accept an optional registry without nil checks. All methods
+// are safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{hists: make(map[string]*Histogram)}
+}
+
+// Hist returns the named histogram, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Hist(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Observe records one stage duration into the registry's histogram and,
+// when ctx carries a Trace, into the request's stage timings. Safe on a
+// nil registry (the trace still records).
+func (r *Registry) Observe(ctx context.Context, stage string, d time.Duration) {
+	if h := r.Hist(stage); h != nil {
+		h.Record(d)
+	}
+	TraceFrom(ctx).Stage(stage, d)
+}
+
+// Snapshot captures every histogram in the registry, keyed by stage
+// name. Returns nil on a nil or empty registry.
+func (r *Registry) Snapshot() map[string]Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.hists) == 0 {
+		return nil
+	}
+	out := make(map[string]Snapshot, len(r.hists))
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}

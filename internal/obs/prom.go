@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Metric is one scalar for the Prometheus text exposition: a counter or
+// gauge with its fully qualified name (the renderer does not prefix).
+type Metric struct {
+	// Name is the metric name, e.g. "lowlat_place_requests_total".
+	Name string
+	// Kind is "counter" or "gauge" (the # TYPE line).
+	Kind string
+	// Value is the sample value.
+	Value float64
+}
+
+// WriteMetrics renders scalars and per-stage latency histograms in the
+// Prometheus text exposition format (version 0.0.4): each scalar gets
+// its # TYPE line, and every stage becomes one series of the
+// <ns>_stage_latency_seconds histogram labeled {stage="..."} with
+// cumulative le buckets, _sum and _count — the shape prometheus,
+// VictoriaMetrics and vendor agents all scrape natively. Output is
+// deterministic: scalars render in the order given, stages sorted by
+// name, so smoke tests can assert on it.
+func WriteMetrics(w io.Writer, ns string, scalars []Metric, stages map[string]Snapshot) error {
+	for _, m := range scalars {
+		kind := m.Kind
+		if kind == "" {
+			kind = "gauge"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n",
+			m.Name, kind, m.Name, formatFloat(m.Value)); err != nil {
+			return err
+		}
+	}
+	if len(stages) == 0 {
+		return nil
+	}
+	hist := ns + "_stage_latency_seconds"
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", hist); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(stages))
+	for name := range stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := stages[name]
+		var cum int64
+		for _, b := range s.Buckets {
+			cum += b[1]
+			_, hi := bucketBounds(int(b[0]))
+			if _, err := fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d\n",
+				hist, name, formatFloat(float64(hi)/1e9), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n%s_sum{stage=%q} %s\n%s_count{stage=%q} %d\n",
+			hist, name, s.Count,
+			hist, name, formatFloat(float64(s.SumNS)/1e9),
+			hist, name, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip representation, integers without an exponent.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

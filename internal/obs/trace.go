@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// RequestIDHeader is the HTTP header request IDs travel in: the serving
+// edge accepts a caller-supplied ID here (or mints one), echoes it on
+// the response, and the typed client forwards it on every downstream
+// hop — which is what stitches one request's log lines together across
+// a cluster front and its owning replica.
+const RequestIDHeader = "X-Request-ID"
+
+// NewRequestID mints a fresh request ID: 8 random bytes, hex-encoded.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; an empty-entropy ID
+		// still traces a request, it just isn't unique.
+		return "00000000deadbeef"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// StageTiming is one recorded stage duration inside a traced request.
+type StageTiming struct {
+	// Stage is the stage name (a Stage* constant or endpoint label).
+	Stage string `json:"stage"`
+	// DurNS is the stage's duration in nanoseconds.
+	DurNS int64 `json:"dur_ns"`
+}
+
+// Trace accumulates one request's observability record as it crosses
+// layers: the request ID, per-stage timings (recorded by the same
+// Registry.Observe calls that feed the histograms), and free-form
+// annotations (cell key, source) the handler attaches for the request
+// log. A nil *Trace is valid and records nothing, so code paths without
+// a traced request carry no conditionals. Safe for concurrent use.
+type Trace struct {
+	// ID is the request ID (minted at the edge or caller-supplied).
+	ID string
+
+	mu     sync.Mutex
+	stages []StageTiming
+	attrs  []string // alternating key, value — insertion-ordered
+}
+
+// NewTrace returns a trace for the given request ID.
+func NewTrace(id string) *Trace { return &Trace{ID: id} }
+
+// Stage records one stage duration. No-op on a nil trace.
+func (t *Trace) Stage(stage string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	t.mu.Lock()
+	t.stages = append(t.stages, StageTiming{Stage: stage, DurNS: ns})
+	t.mu.Unlock()
+}
+
+// Annotate attaches a key/value pair for the request log (last write
+// wins per key). No-op on a nil trace.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 0; i < len(t.attrs); i += 2 {
+		if t.attrs[i] == key {
+			t.attrs[i+1] = value
+			return
+		}
+	}
+	t.attrs = append(t.attrs, key, value)
+}
+
+// Stages returns a copy of the recorded stage timings in record order.
+// Nil on a nil trace.
+func (t *Trace) Stages() []StageTiming {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]StageTiming(nil), t.stages...)
+}
+
+// Attrs returns the annotations as alternating key, value pairs in
+// insertion order. Nil on a nil trace.
+func (t *Trace) Attrs() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.attrs...)
+}
+
+// traceKey is the context key traces travel under.
+type traceKey struct{}
+
+// WithTrace returns a context carrying the trace.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil — which every Trace
+// method accepts — when the context carries none.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// RequestIDFrom returns the context's request ID, or "" when the
+// context carries no trace.
+func RequestIDFrom(ctx context.Context) string {
+	if t := TraceFrom(ctx); t != nil {
+		return t.ID
+	}
+	return ""
+}

@@ -10,6 +10,7 @@ import (
 	"net/url"
 	"strconv"
 
+	"lowlat/internal/obs"
 	"lowlat/internal/store"
 	"lowlat/internal/sweep"
 )
@@ -47,8 +48,13 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues one request and decodes a 2xx JSON body into out.
+// do issues one request and decodes a 2xx JSON body into out. When the
+// request context carries a trace, its ID travels on X-Request-ID, so
+// the downstream daemon logs the same request ID as this hop's caller.
 func (c *Client) do(req *http.Request, out any) error {
+	if id := obs.RequestIDFrom(req.Context()); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lowlat/internal/backend"
+	"lowlat/internal/obs"
 	"lowlat/internal/store"
 	"lowlat/internal/sweep"
 )
@@ -43,11 +44,18 @@ type Remote struct {
 	queries atomic.Int64
 	errs    atomic.Int64
 	retried atomic.Int64
+	obs     *obs.Registry
 }
 
 // NewRemote wraps a Client in the backend interface.
 func NewRemote(c *Client, opts RemoteOptions) *Remote {
-	return &Remote{c: c, opts: opts.withDefaults()}
+	return &Remote{c: c, opts: opts.withDefaults(), obs: obs.NewRegistry()}
+}
+
+// hop records one HTTP round trip into the remote_hop stage histogram
+// (and the request's trace, when ctx carries one).
+func (r *Remote) hop(ctx context.Context, t0 time.Time) {
+	r.obs.Observe(ctx, obs.StageRemoteHop, time.Since(t0))
 }
 
 // BaseURL returns the daemon root this backend talks to (cluster labels
@@ -82,7 +90,9 @@ func (r *Remote) Lookup(k store.CellKey) (store.Result, bool) {
 	r.lookups.Add(1)
 	ctx, cancel := r.ctx()
 	defer cancel()
+	t0 := time.Now()
 	res, err := r.c.Cell(ctx, k.String())
+	r.hop(ctx, t0)
 	if err != nil {
 		var se *StatusError
 		if !errors.As(err, &se) || se.Code != 404 {
@@ -117,7 +127,9 @@ func (r *Remote) PlaceSourced(ctx context.Context, spec store.CellSpec) (store.R
 	err := r.opts.Retry.Do(ctx, RetryableStatus,
 		func() { r.retried.Add(1) },
 		func() error {
+			t0 := time.Now()
 			p, err := r.c.Place(ctx, req)
+			r.hop(ctx, t0)
 			if err != nil {
 				return err
 			}
@@ -146,7 +158,9 @@ func (r *Remote) Query(f sweep.Filter) []store.Result {
 // QueryContext is the error-aware Query the cluster's fan-out uses.
 func (r *Remote) QueryContext(ctx context.Context, f sweep.Filter) ([]store.Result, error) {
 	r.queries.Add(1)
+	t0 := time.Now()
 	res, err := r.c.Query(ctx, f)
+	r.hop(ctx, t0)
 	if err != nil {
 		r.errs.Add(1)
 		return nil, r.wrap(err)
@@ -162,7 +176,10 @@ func (r *Remote) QueryContext(ctx context.Context, f sweep.Filter) ([]store.Resu
 func (r *Remote) Put(res store.Result) error {
 	ctx, cancel := r.ctx()
 	defer cancel()
-	if err := r.c.Replicate(ctx, res); err != nil {
+	t0 := time.Now()
+	err := r.c.Replicate(ctx, res)
+	r.hop(ctx, t0)
+	if err != nil {
 		r.errs.Add(1)
 		return r.wrap(err)
 	}
@@ -228,6 +245,7 @@ func (r *Remote) Stats() backend.Stats {
 		Errors:  r.errs.Load(),
 		Retried: r.retried.Load(),
 	}
+	out.Stages = obs.MergeStages(nil, r.obs.Snapshot())
 	ctx, cancel := r.ctx()
 	defer cancel()
 	st, err := r.c.Stats(ctx)
@@ -243,5 +261,9 @@ func (r *Remote) Stats() backend.Stats {
 	out.Computed = st.Computed
 	out.Rejected = st.Rejected
 	out.InFlight = st.InFlight
+	// The daemon's own stage histograms (solve, store reads/writes, its
+	// HTTP endpoints) merge under this client's remote_hop, so a front's
+	// stats see through the wire.
+	out.Stages = obs.MergeStages(out.Stages, st.Stages)
 	return out
 }

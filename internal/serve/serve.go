@@ -35,13 +35,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"lowlat/internal/backend"
+	"lowlat/internal/obs"
 	"lowlat/internal/predict"
 	"lowlat/internal/store"
 	"lowlat/internal/sweep"
@@ -91,6 +94,17 @@ type Options struct {
 	// PredictOptions tunes the interpolation index built when Predict is
 	// set (confidence radius, minimum support, roughness bound).
 	PredictOptions predict.Options
+	// Logger, when non-nil, receives one structured record per request:
+	// request ID, endpoint, status, duration, handler annotations (cell
+	// key, answer source) and per-stage timings. Nil disables request
+	// logging; latency histograms and the slow ring record regardless.
+	Logger *slog.Logger
+	// SlowThreshold is the request duration at or above which a request
+	// is retained in the /v1/slow ring (default 500ms; negative disables
+	// retention).
+	SlowThreshold time.Duration
+	// SlowRingSize bounds the /v1/slow ring in entries (default 64).
+	SlowRingSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +116,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PlaceTimeout <= 0 {
 		o.PlaceTimeout = 10 * time.Minute
+	}
+	if o.SlowThreshold == 0 {
+		o.SlowThreshold = 500 * time.Millisecond
 	}
 	return o
 }
@@ -167,6 +184,16 @@ type Stats struct {
 	// Replicas carries per-replica backend snapshots when the server
 	// fronts a cluster.
 	Replicas []backend.Stats `json:"replicas,omitempty"`
+	// SlowRequests counts requests that crossed the slow threshold since
+	// the server started (including entries the ring has since evicted).
+	SlowRequests int64 `json:"slow_requests,omitempty"`
+	// Stages carries per-stage latency histogram snapshots — the
+	// backend's (solve, store_read/store_write, predict, replicate, heal,
+	// remote_hop; cluster-merged across replicas when fronting a cluster)
+	// plus this server's per-endpoint http_* timings. Each snapshot
+	// reports count/sum/max, p50/p90/p99 and the exact sparse buckets the
+	// quantiles were computed from.
+	Stages map[string]obs.Snapshot `json:"stages,omitempty"`
 }
 
 // counters is the server's HTTP-layer atomic counter block; compute-side
@@ -236,6 +263,13 @@ type DigestResponse struct {
 	Keys   []string `json:"keys,omitempty"`
 }
 
+// SlowResponse is the /v1/slow payload: the most recent slow requests
+// (newest first) and the all-time count, including evicted entries.
+type SlowResponse struct {
+	Total    int64           `json:"total"`
+	Requests []obs.SlowEntry `json:"requests"`
+}
+
 // apiError is an error with an HTTP status.
 type apiError struct {
 	code int
@@ -260,6 +294,9 @@ type Server struct {
 	flights *flightGroup
 	c       counters
 	mux     *http.ServeMux
+	h       http.Handler // mux wrapped in the tracing middleware
+	obs     *obs.Registry
+	slow    *obs.SlowRing
 }
 
 // New builds a Server over an open store: a Local backend when the store
@@ -305,6 +342,8 @@ func NewBackendServer(b backend.Backend, opts Options) *Server {
 		keys:    newLRU[store.CellKey](opts.CacheSize),
 		flights: newFlightGroup(),
 		mux:     http.NewServeMux(),
+		obs:     obs.NewRegistry(),
+		slow:    obs.NewSlowRing(opts.SlowRingSize),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
@@ -314,14 +353,109 @@ func NewBackendServer(b backend.Backend, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/replicate", s.handleReplicate)
 	s.mux.HandleFunc("GET /v1/digest", s.handleDigest)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/slow", s.handleSlow)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.h = s.traced(s.mux)
 	return s
+}
+
+// traced is the edge middleware every request crosses: it accepts a
+// caller-supplied X-Request-ID (or mints one), attaches a Trace to the
+// request context — the same trace backend stages observe into — echoes
+// the ID on the response, records the endpoint's latency histogram,
+// emits the structured request log, and retains slow requests in the
+// /v1/slow ring.
+func (s *Server) traced(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(obs.RequestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		tr := obs.NewTrace(id)
+		w.Header().Set(obs.RequestIDHeader, id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		d := time.Since(t0)
+
+		ep := endpointLabel(r.URL.Path)
+		s.obs.Hist("http_" + ep).Record(d)
+		attrs := tr.Attrs()
+		if s.opts.Logger != nil {
+			args := make([]any, 0, 12+len(attrs))
+			args = append(args, "id", id, "endpoint", ep, "method", r.Method,
+				"status", sw.status, "dur", d)
+			for i := 0; i+1 < len(attrs); i += 2 {
+				args = append(args, attrs[i], attrs[i+1])
+			}
+			if st := tr.Stages(); len(st) > 0 {
+				args = append(args, "stages", stagesString(st))
+			}
+			s.opts.Logger.Info("request", args...)
+		}
+		if s.opts.SlowThreshold > 0 && d >= s.opts.SlowThreshold {
+			e := obs.SlowEntry{
+				ID:       id,
+				Endpoint: ep,
+				Status:   sw.status,
+				Start:    t0,
+				DurNS:    int64(d),
+				Stages:   tr.Stages(),
+			}
+			for i := 0; i+1 < len(attrs); i += 2 {
+				switch attrs[i] {
+				case "key", "spec":
+					e.Detail = attrs[i+1]
+				case "source":
+					e.Source = attrs[i+1]
+				}
+			}
+			s.slow.Add(e)
+		}
+	})
+}
+
+// statusWriter captures the handler's status code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// endpointLabel maps a request path to its histogram/log label:
+// "/v1/place" -> "place", "/healthz" -> "healthz".
+func endpointLabel(path string) string {
+	p := strings.TrimPrefix(path, "/v1/")
+	p = strings.Trim(p, "/")
+	if p == "" {
+		return "root"
+	}
+	return strings.ReplaceAll(p, "/", "_")
+}
+
+// stagesString renders stage timings as "solve=12.3ms store_write=80µs"
+// for the request log.
+func stagesString(st []obs.StageTiming) string {
+	var b strings.Builder
+	for i, t := range st {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", t.Stage, time.Duration(t.DurNS))
+	}
+	return b.String()
 }
 
 // Backend exposes the backend the server fronts.
 func (s *Server) Backend() backend.Backend { return s.b }
 
-// Handler returns the server's HTTP handler (for tests and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler (for tests and embedding),
+// tracing middleware included.
+func (s *Server) Handler() http.Handler { return s.h }
 
 // Stats snapshots the counters: the HTTP layer's own (requests, LRU
 // hits, coalesces) merged with the backend's (store gauges, hit/compute/
@@ -365,6 +499,10 @@ func (s *Server) Stats() Stats {
 		HealSweeps:    bs.HealSweeps,
 
 		Replicas: bs.Replicas,
+
+		SlowRequests: s.slow.Total(),
+		// Copy before merging: bs.Stages is the backend's own snapshot map.
+		Stages: obs.MergeStages(obs.MergeStages(nil, bs.Stages), s.obs.Snapshot()),
 	}
 }
 
@@ -376,7 +514,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	if s.owned != nil {
 		defer s.owned.Close() // stop the refinement worker with the server
 	}
-	srv := &http.Server{Handler: s.mux}
+	srv := &http.Server{Handler: s.h}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -418,6 +556,47 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleSlow serves the bounded ring of recent slow requests, newest
+// first — the "what just hurt" view with each request's ID, endpoint,
+// status and per-stage breakdown.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	entries := s.slow.Snapshot()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	writeJSON(w, http.StatusOK, SlowResponse{Total: s.slow.Total(), Requests: entries})
+}
+
+// handleMetrics renders the counters and stage histograms in the
+// Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	scalars := []obs.Metric{
+		{Name: "lowlat_store_cells", Kind: "gauge", Value: float64(st.StoreCells)},
+		{Name: "lowlat_memo_entries", Kind: "gauge", Value: float64(st.MemoEntries)},
+		{Name: "lowlat_queries_total", Kind: "counter", Value: float64(st.Queries)},
+		{Name: "lowlat_cell_lookups_total", Kind: "counter", Value: float64(st.CellLookups)},
+		{Name: "lowlat_place_requests_total", Kind: "counter", Value: float64(st.PlaceRequests)},
+		{Name: "lowlat_cache_hits_total", Kind: "counter", Value: float64(st.CacheHits)},
+		{Name: "lowlat_cache_misses_total", Kind: "counter", Value: float64(st.CacheMisses)},
+		{Name: "lowlat_store_hits_total", Kind: "counter", Value: float64(st.StoreHits)},
+		{Name: "lowlat_memo_hits_total", Kind: "counter", Value: float64(st.MemoHits)},
+		{Name: "lowlat_coalesced_total", Kind: "counter", Value: float64(st.Coalesced)},
+		{Name: "lowlat_computed_total", Kind: "counter", Value: float64(st.Computed)},
+		{Name: "lowlat_rejected_total", Kind: "counter", Value: float64(st.Rejected)},
+		{Name: "lowlat_in_flight", Kind: "gauge", Value: float64(st.InFlight)},
+		{Name: "lowlat_cached_entries", Kind: "gauge", Value: float64(st.CachedEntries)},
+		{Name: "lowlat_predicted_total", Kind: "counter", Value: float64(st.Predicted)},
+		{Name: "lowlat_predict_fallbacks_total", Kind: "counter", Value: float64(st.PredictFallbacks)},
+		{Name: "lowlat_replications_total", Kind: "counter", Value: float64(st.Replications)},
+		{Name: "lowlat_replicated_total", Kind: "counter", Value: float64(st.Replicated)},
+		{Name: "lowlat_healed_total", Kind: "counter", Value: float64(st.Healed)},
+		{Name: "lowlat_slow_requests_total", Kind: "counter", Value: float64(st.SlowRequests)},
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WriteMetrics(w, "lowlat", scalars, st.Stages)
 }
 
 // parseFilter builds a sweep.Filter from query parameters. Like the CLI,
@@ -488,8 +667,11 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ks := key.String()
+	tr := obs.TraceFrom(r.Context())
+	tr.Annotate("key", ks)
 	if res, ok := s.lru.get(ks); ok {
 		s.c.cacheHits.Add(1)
+		tr.Annotate("source", "cache")
 		writeJSON(w, http.StatusOK, CellResponse{Source: "cache", Result: res})
 		return
 	}
@@ -500,6 +682,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.lru.add(ks, res)
+	tr.Annotate("source", "store")
 	writeJSON(w, http.StatusOK, CellResponse{Source: "store", Result: res})
 }
 
@@ -531,11 +714,14 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 
 	rk := spec.String()
+	tr := obs.TraceFrom(r.Context())
+	tr.Annotate("spec", rk)
 	// Hot path: a request key served before maps straight to its content
 	// key — LRU lookup with no graph build, no flight.
 	if ck, ok := s.keys.get(rk); ok {
 		if res, hit := s.lru.get(ck.String()); hit {
 			s.c.cacheHits.Add(1)
+			tr.Annotate("source", "cache")
 			writeJSON(w, http.StatusOK, PlaceResponse{Source: "cache", Result: res})
 			return
 		}
@@ -543,12 +729,13 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	s.c.cacheMisses.Add(1)
 
 	out, err := s.flights.do(r.Context(), rk,
-		func() (outcome, error) { return s.placeMiss(rk, spec) },
+		func() (outcome, error) { return s.placeMiss(tr, rk, spec) },
 		func() { s.c.coalesced.Add(1) })
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	tr.Annotate("source", out.source)
 	writeJSON(w, http.StatusOK, PlaceResponse{
 		Source:    out.source,
 		Predicted: out.source == string(backend.SourcePredicted),
@@ -562,9 +749,12 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 // request context — the leader computes for its followers, so a
 // disconnecting leader must not abort the flight — but it is bounded by
 // PlaceTimeout so a blackholed downstream cannot pin the flight (and
-// its request key) forever.
-func (s *Server) placeMiss(rk string, spec store.CellSpec) (outcome, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), s.opts.PlaceTimeout)
+// its request key) forever. The leader's trace rides along explicitly
+// (cancellation is severed, observability is not), so backend stage
+// timings land on the leader's log line and the request ID reaches
+// downstream daemons.
+func (s *Server) placeMiss(tr *obs.Trace, rk string, spec store.CellSpec) (outcome, error) {
+	ctx, cancel := context.WithTimeout(obs.WithTrace(context.Background(), tr), s.opts.PlaceTimeout)
 	defer cancel()
 	res, src, err := backend.PlaceSourced(ctx, s.b, spec)
 	if err != nil {

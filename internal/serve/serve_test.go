@@ -2,12 +2,16 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -579,8 +583,13 @@ func goldenStore(t *testing.T) *store.Store {
 	return st
 }
 
-// checkGolden compares got against testdata/<name>, rewriting the file
-// when UPDATE_GOLDEN=1.
+// checkGolden compares got against testdata/<name> as a stable
+// projection, rewriting the file when UPDATE_GOLDEN=1. Every field the
+// golden document records must match the response exactly — values,
+// array lengths, nesting — but fields the response has *grown* since the
+// golden was recorded are ignored, so adding a counter or a histogram to
+// /v1/stats does not churn every golden in testdata. Removing or
+// changing a recorded field still fails.
 func checkGolden(t *testing.T, name string, got []byte) {
 	t.Helper()
 	path := filepath.Join("testdata", name)
@@ -597,9 +606,61 @@ func checkGolden(t *testing.T, name string, got []byte) {
 	if err != nil {
 		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
 	}
-	if string(want) != string(got) {
-		t.Fatalf("%s drifted:\n--- got\n%s\n--- want\n%s", name, got, want)
+	var wantV, gotV any
+	if err := json.Unmarshal(want, &wantV); err != nil {
+		t.Fatalf("%s: golden is not JSON: %v", name, err)
 	}
+	if err := json.Unmarshal(got, &gotV); err != nil {
+		t.Fatalf("%s: response is not JSON: %v\n%s", name, err, got)
+	}
+	if diff := projectDiff("$", wantV, gotV); diff != "" {
+		t.Fatalf("%s drifted: %s\n--- got\n%s\n--- want\n%s", name, diff, got, want)
+	}
+}
+
+// projectDiff reports the first difference between want and got,
+// comparing only the structure want records: object keys absent from
+// want are ignored in got, everything else must match exactly.
+func projectDiff(path string, want, got any) string {
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			return fmt.Sprintf("%s: want object, got %T", path, got)
+		}
+		keys := make([]string, 0, len(w))
+		for k := range w {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			gv, ok := g[k]
+			if !ok {
+				return fmt.Sprintf("%s.%s: missing from response", path, k)
+			}
+			if d := projectDiff(path+"."+k, w[k], gv); d != "" {
+				return d
+			}
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok {
+			return fmt.Sprintf("%s: want array, got %T", path, got)
+		}
+		if len(g) != len(w) {
+			return fmt.Sprintf("%s: want %d elements, got %d", path, len(w), len(g))
+		}
+		for i := range w {
+			if d := projectDiff(fmt.Sprintf("%s[%d]", path, i), w[i], g[i]); d != "" {
+				return d
+			}
+		}
+	default:
+		if !reflect.DeepEqual(want, got) {
+			return fmt.Sprintf("%s: want %v, got %v", path, want, got)
+		}
+	}
+	return ""
 }
 
 func get(t *testing.T, c *Client, path string) []byte {

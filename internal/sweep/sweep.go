@@ -13,9 +13,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"lowlat/internal/engine"
 	"lowlat/internal/graph"
+	"lowlat/internal/obs"
 	"lowlat/internal/routing"
 	"lowlat/internal/store"
 	"lowlat/internal/tm"
@@ -292,6 +294,11 @@ type Options struct {
 	// cancelling the run context inside OnPlace aborts the cell before
 	// it computes.
 	OnPlace func(c Cell)
+	// Obs, when non-nil, receives one sweep_place observation per cell
+	// dispatch (in-process solve or backend farm-out alike), so a sweep's
+	// per-cell latency distribution is reportable the same way a daemon's
+	// serving stages are. Nil records nothing.
+	Obs *obs.Registry
 }
 
 // Run plans the grid, skips cells the store already holds, places the
@@ -345,7 +352,9 @@ func Run(ctx context.Context, st *store.Store, grid Grid, opts Options) (*Report
 			if err := ctx.Err(); err != nil {
 				return store.Result{}, err
 			}
+			t0 := time.Now()
 			res, err := opts.Backend.Place(ctx, c.Spec)
+			opts.Obs.Observe(ctx, obs.StageSweepPlace, time.Since(t0))
 			if err != nil {
 				return store.Result{}, fmt.Errorf("%s: %w", c.Scenario.Tag, err)
 			}
@@ -367,7 +376,9 @@ func Run(ctx context.Context, st *store.Store, grid Grid, opts Options) (*Report
 			if err := ctx.Err(); err != nil {
 				return store.Result{}, err
 			}
+			t0 := time.Now()
 			p, err := cache.Place(c.Scenario.Scheme, c.Scenario.Graph, c.Scenario.Matrix)
+			opts.Obs.Observe(ctx, obs.StageSweepPlace, time.Since(t0))
 			if err != nil {
 				return store.Result{}, fmt.Errorf("%s: %w", c.Scenario.Tag, err)
 			}

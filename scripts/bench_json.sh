@@ -18,6 +18,12 @@ trap 'rm -f "$tmp"' EXIT
 # suffixes so AblationB4Place (a different, much heavier family) stays
 # out of this subset.
 go test -run NONE -bench 'Landscape|Dynamics|PredictivePlace|ExactPlace' -benchtime 1x ./... > "$tmp"
+
+# The histogram-record hot path is nanoseconds, so -benchtime 1x would
+# measure clock noise; give it real iterations in a second, cheap run and
+# merge the rows before the JSON conversion. The PR8 budget it tracks is
+# < 100 ns/op.
+go test -run NONE -bench 'HistogramRecord' -benchtime 200000x ./internal/obs >> "$tmp"
 cat "$tmp"
 
 awk '

@@ -46,6 +46,19 @@ curl -fsS "$base/v1/place" -d "$body" | grep -q '"source": "cache"' || fail "cac
 curl -fsS "$base/v1/summary" | grep -q '"classes"' || fail "summary"
 curl -fsS "$base/v1/stats" | grep -q '"computed": 1' || fail "stats"
 
+# The observability surface: /v1/stats carries per-stage latency
+# quantiles, /metrics speaks Prometheus text format (scalar counters plus
+# the stage histograms — the computed place above recorded a solve), and
+# /v1/slow answers even when empty.
+curl -fsS "$base/v1/stats" | grep -q '"stages"' || fail "stats stages"
+metrics="$(curl -fsS "$base/metrics")"
+echo "$metrics" | grep -q '^lowlat_place_requests_total 3$' || fail "metrics place counter"
+echo "$metrics" | grep -q '^lowlat_computed_total 1$' || fail "metrics computed counter"
+echo "$metrics" | grep -q '# TYPE lowlat_stage_latency_seconds histogram' || fail "metrics histogram type"
+echo "$metrics" | grep -q 'lowlat_stage_latency_seconds_count{stage="solve"}' || fail "metrics solve histogram"
+echo "$metrics" | grep -q 'lowlat_stage_latency_seconds_bucket{stage="http_place",le="+Inf"}' || fail "metrics http histogram"
+curl -fsS "$base/v1/slow" | grep -q '"total"' || fail "slow ring"
+
 kill -TERM "$pid"
 wait "$pid" || fail "daemon exit status"
 grep -q "shut down cleanly" "$log" || fail "clean shutdown message"

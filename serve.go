@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 
+	"lowlat/internal/obs"
 	"lowlat/internal/serve"
 	"lowlat/internal/store"
 )
@@ -37,6 +38,23 @@ type PlaceResponse = serve.PlaceResponse
 
 // LandscapeSummary is the per-class CDF aggregate /v1/summary returns.
 type LandscapeSummary = serve.Summary
+
+// StageSnapshot is one stage's latency-histogram snapshot as it appears
+// under "stages" in /v1/stats: count, sum, max and the p50/p90/p99
+// quantiles in nanoseconds, plus the sparse buckets that make snapshots
+// mergeable across daemons without losing counts.
+type StageSnapshot = obs.Snapshot
+
+// SlowRequest is one entry in a daemon's /v1/slow ring: a request that
+// crossed the server's slow threshold, with its ID, endpoint, source,
+// duration and per-stage timings.
+type SlowRequest = obs.SlowEntry
+
+// RequestIDHeader is the HTTP header carrying a request's trace ID
+// ("X-Request-ID"): send one to a daemon and the same ID comes back in
+// the response, appears in the daemon's request log, and propagates to
+// every downstream replica the request touches.
+const RequestIDHeader = obs.RequestIDHeader
 
 // NewQueryServer builds a query server over an open result store (opened
 // with OpenResultStore, or read-only with OpenResultStoreReadOnly — a
