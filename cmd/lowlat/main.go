@@ -14,15 +14,18 @@
 //	lowlat query -store results -scheme sp
 //	lowlat export -store results -format csv -o results.csv
 //	lowlat stats -addr http://127.0.0.1:8080
+//	lowlat watch -addr http://127.0.0.1:8080
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,6 +33,7 @@ import (
 
 	"lowlat/internal/backend"
 	"lowlat/internal/cluster"
+	"lowlat/internal/obs"
 	"lowlat/internal/dynamics"
 	"lowlat/internal/engine"
 	"lowlat/internal/experiments"
@@ -82,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdHeal(args[1:], stdout, stderr)
 	case "stats":
 		err = cmdStats(args[1:], stdout, stderr)
+	case "watch":
+		err = cmdWatch(args[1:], stdout, stderr)
 	case "help", "-h", "--help":
 		// Requested help is a success path: print to stdout so it pipes.
 		usage(stdout)
@@ -175,7 +181,13 @@ func usage(w io.Writer) {
   lowlat stats -addr <url>                    render a daemon's /v1/stats for
          a human: counters, then p50/p90/p99/max per latency stage (a
          cluster front reports cluster-merged histograms)
-         flags: -timeout <d> (default 30s)
+         flags: -timeout <d> (default 30s) -json (raw /v1/stats JSON)
+  lowlat watch -addr <url>                    live health view over the daemon's
+         /v1/watch stream: health roll-up, SLO burn rates, rolling window
+         rates per endpoint, and state-transition events as they happen
+         flags: -interval <d> (server default 2s) -for <d> (stop after;
+                default until interrupted) -plain (append blocks, no
+                terminal redraw — for logs and pipes)
   remote flags (query/export/sweep): -replicas <R> (replicated -cluster
          ownership), -remote-cache <n> (client-side LRU + coalescing)`)
 }
@@ -832,6 +844,7 @@ func cmdStats(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("stats", stderr)
 	addr := fs.String("addr", "", "base URL of a running lowlatd (required)")
 	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	jsonOut := fs.Bool("json", false, "emit the raw /v1/stats JSON (machine-readable, round-trips into serve.Stats)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -844,8 +857,106 @@ func cmdStats(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
 	printStats(stdout, st)
 	return nil
+}
+
+// cmdWatch subscribes to a daemon's /v1/watch stream and renders each
+// snapshot: the health roll-up with its reasons, per-objective burn
+// rates, the smallest rolling window per endpoint, and journal events
+// as they happen. By default every snapshot redraws the terminal;
+// -plain appends blocks instead (logs, pipes, tests).
+func cmdWatch(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("watch", stderr)
+	addr := fs.String("addr", "", "base URL of a running lowlatd (required)")
+	interval := fs.Duration("interval", 0, "snapshot period (0 = the server's default, 2s)")
+	forDur := fs.Duration("for", 0, "stop after this long (0 = watch until interrupted)")
+	plain := fs.Bool("plain", false, "append one block per snapshot instead of redrawing the terminal")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("watch: -addr is required")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *forDur > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *forDur)
+		defer cancel()
+	}
+	var recent []obs.Event
+	got := false
+	err := serve.NewClient(cluster.NormalizeBaseURL(*addr)).Watch(ctx, *interval,
+		func(ev serve.WatchEvent) error {
+			got = true
+			recent = append(recent, ev.Events...)
+			if len(recent) > 8 {
+				recent = recent[len(recent)-8:]
+			}
+			if !*plain {
+				fmt.Fprint(stdout, "\033[H\033[2J") // cursor home + clear
+			}
+			renderWatch(stdout, ev, recent)
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	if !got {
+		return fmt.Errorf("watch: stream ended before the first snapshot")
+	}
+	return nil
+}
+
+// renderWatch prints one watch snapshot.
+func renderWatch(w io.Writer, ev serve.WatchEvent, recent []obs.Event) {
+	fmt.Fprintf(w, "%s  health: %s\n", ev.Time.Format("15:04:05"), ev.Health.Status)
+	for _, reason := range ev.Health.Reasons {
+		fmt.Fprintf(w, "  ! %s\n", reason)
+	}
+	if len(ev.Health.SLOs) > 0 {
+		fmt.Fprintf(w, "objectives:\n  %-40s %-5s %8s %8s %7s\n",
+			"objective", "state", "burn", "short", "budget")
+		for _, so := range ev.Health.SLOs {
+			fmt.Fprintf(w, "  %-40s %-5s %7.2fx %7.2fx %6.0f%%\n",
+				so.Objective, so.State, so.BurnLong, so.BurnShort, so.BudgetRemaining*100)
+		}
+	}
+	if len(ev.Windows) > 0 {
+		names := make([]string, 0, len(ev.Windows))
+		for name := range ev.Windows {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "endpoints (%s window):\n  %-20s %9s %10s %10s %10s\n",
+			ev.Windows[names[0]][0].Window, "stage", "rate", "p50", "p99", "max")
+		for _, name := range names {
+			ws := ev.Windows[name][0] // smallest span first
+			fmt.Fprintf(w, "  %-20s %8.1f/s %10s %10s %10s\n",
+				name, ws.Rate, fmtNS(ws.P50NS), fmtNS(ws.P99NS), fmtNS(ws.MaxNS))
+		}
+	}
+	if len(recent) > 0 {
+		fmt.Fprintln(w, "events:")
+		for _, e := range recent {
+			detail := e.Detail
+			if e.Subject != "" {
+				detail = e.Subject + ": " + detail
+			}
+			origin := ""
+			if e.Origin != "" {
+				origin = " [" + e.Origin + "]"
+			}
+			fmt.Fprintf(w, "  %s %-14s%s %s\n", e.Time.Format("15:04:05"), e.Type, origin, detail)
+		}
+	}
+	fmt.Fprintln(w)
 }
 
 // printStats renders one stats snapshot: a mode line, the non-zero-able

@@ -3,8 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -12,6 +14,7 @@ import (
 	"lowlat/internal/engine"
 	"lowlat/internal/geo"
 	"lowlat/internal/graph"
+	"lowlat/internal/obs"
 	"lowlat/internal/routing"
 	"lowlat/internal/serve"
 	"lowlat/internal/store"
@@ -124,6 +127,109 @@ func TestStatsCommand(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("stats output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestStatsJSONRoundTrip pins `stats -json`: the output is the raw
+// /v1/stats payload, it decodes into serve.Stats, and re-encoding the
+// decoded struct reproduces the daemon's JSON exactly — no field of the
+// wire format is silently dropped by the Go type.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := serve.NewBackendServer(backend.NewStore(st), serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// Prime requests so histograms, windows and counters are non-trivial.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/v1/query")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"stats", "-addr", ts.URL, "-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("stats -json: exit %d (stderr %q)", code, errOut.String())
+	}
+	var decoded serve.Stats
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("stats -json output does not decode into serve.Stats: %v\n%s", err, out.String())
+	}
+	if decoded.Backend != "store" || decoded.Queries != 3 {
+		t.Fatalf("decoded stats = backend %q queries %d, want store/3", decoded.Backend, decoded.Queries)
+	}
+	if len(decoded.Windows["http_query"]) == 0 {
+		t.Fatalf("decoded stats carries no http_query windows: %v", decoded.Windows)
+	}
+	reencoded, err := json.Marshal(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b any
+	if err := json.Unmarshal(out.Bytes(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(reencoded, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("stats JSON does not round-trip through serve.Stats:\nwire: %s\nre-encoded: %s", out.String(), reencoded)
+	}
+}
+
+// TestWatchCommand pins the watch subcommand: exit codes, and a short
+// -plain session against a live daemon renders the health line, the SLO
+// table and the endpoint window table.
+func TestWatchCommand(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"watch"}, &out, &errOut); code != 1 {
+		t.Fatalf("watch without -addr: exit %d, want 1", code)
+	}
+	if code := run([]string{"watch", "-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("watch bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"watch", "-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("watch -h: exit %d, want 0", code)
+	}
+	if code := run([]string{"watch", "-addr", "http://127.0.0.1:1", "-for", "1s"}, &out, &errOut); code != 1 {
+		t.Fatalf("watch against dead daemon: exit %d, want 1", code)
+	}
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	objs, err := obs.ParseObjectives("http_query p99 < 1s over 1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewBackendServer(backend.NewStore(st), serve.Options{Objectives: objs})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"watch", "-addr", ts.URL, "-plain", "-interval", "30ms", "-for", "200ms"}, &out, &errOut); code != 0 {
+		t.Fatalf("watch: exit %d (stderr %q)", code, errOut.String())
+	}
+	for _, want := range []string{"health: ok", "http_query p99 < 1s over 1m", "endpoints", "http_query"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("watch output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "\033[") {
+		t.Fatalf("-plain output contains escape codes:\n%q", out.String())
 	}
 }
 

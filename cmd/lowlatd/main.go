@@ -36,6 +36,11 @@
 //	                                              and per-stage timings
 //	lowlatd -store results -slow 100ms            requests at or above 100ms
 //	                                              land in the /v1/slow ring
+//	lowlatd -store results -slo "http_place p99 < 50ms over 5m, error_rate < 1% over 1h"
+//	                                              declare SLOs: /v1/health rolls
+//	                                              their burn rates into
+//	                                              ok/degraded/critical, /metrics
+//	                                              gains lowlat_slo_* gauges
 //	lowlatd -store results -debug-addr 127.0.0.1:0
 //	                                              second listener for operators:
 //	                                              /debug/pprof/* and /metrics
@@ -49,9 +54,16 @@
 //	POST /v1/place                      {"net","seed","scheme","headroom","load","locality"}
 //	POST /v1/replicate                  accept one computed cell from a cluster peer
 //	GET  /v1/digest?keys=1              key-set digest (and keys) for anti-entropy
-//	GET  /v1/stats                      counters + per-stage latency quantiles
+//	GET  /v1/stats                      counters + per-stage latency quantiles + rolling windows
 //	GET  /v1/slow                       recent requests over the -slow threshold
+//	GET  /v1/health                     readiness: SLO states, burn rates, down replicas
+//	GET  /v1/events?since=&limit=       state-transition journal (replica folds on cluster fronts)
+//	GET  /v1/watch?interval=2s          live snapshot stream (SSE, not JSON-per-request)
 //	GET  /metrics                       Prometheus text format (not JSON)
+//
+// The daemon keeps one event journal across its serving and cluster
+// layers, so a front's /v1/events interleaves replica down/up, hint and
+// heal transitions with its own SLO and health changes.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully, draining in-flight
 // requests.
@@ -75,6 +87,7 @@ import (
 
 	"lowlat/internal/backend"
 	"lowlat/internal/cluster"
+	"lowlat/internal/obs"
 	"lowlat/internal/serve"
 	"lowlat/internal/store"
 	"lowlat/internal/sweep"
@@ -107,6 +120,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	antiEntropy := fs.Duration("anti-entropy", 0, "with -cluster and -replicas > 1: background heal-sweep interval — exchange key digests and copy cells onto owners missing them (0 = off)")
 	logFormat := fs.String("log", "off", "structured request logging on stderr: off | text | json (one slog line per request with its X-Request-ID and stage timings)")
 	slowThreshold := fs.Duration("slow", 0, "requests at or above this duration land in the /v1/slow ring (0 = the 500ms default, negative = off)")
+	sloSpec := fs.String("slo", "", "comma-separated service-level objectives evaluated into /v1/health and lowlat_slo_* gauges, e.g. \"http_place p99 < 50ms over 5m, error_rate < 1% over 1h\"")
+	sloPage := fs.Float64("slo-page", 0, "burn rate both SLO windows must reach before an objective pages (0 = the default 2)")
+	journalSize := fs.Int("journal", 0, "event-journal entries retained for /v1/events (0 = 1024)")
 	debugAddr := fs.String("debug-addr", "", "optional second listener for operators: /debug/pprof/* and /metrics (port 0 picks one; the bound address is printed)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -137,6 +153,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	objectives, err := obs.ParseObjectives(*sloSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "lowlatd: -slo: %v\n", err)
+		return 2
+	}
+	// One journal across the serving and cluster layers: replica
+	// transitions and SLO/health changes interleave in /v1/events.
+	journal := obs.NewJournal(*journalSize)
+
 	opts := serve.Options{
 		Workers:       *workers,
 		MaxInflight:   *maxInflight,
@@ -146,6 +171,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		PredictRefine: *predictRefine,
 		Logger:        logger,
 		SlowThreshold: *slowThreshold,
+		Objectives:    objectives,
+		SLOPageBurn:   *sloPage,
+		Journal:       journal,
 	}
 	var srv *serve.Server
 	var serving string
@@ -156,6 +184,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		cb, err := cluster.FromSpec(*clusterSpec, serve.RemoteOptions{}, cluster.Options{
 			Replicas:            *replicas,
 			AntiEntropyInterval: *antiEntropy,
+			Journal:             journal,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "lowlatd: %v\n", err)
@@ -254,7 +283,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		go func() { _ = http.Serve(dln, dmux) }()
 	}
 
-	err := srv.ListenAndServe(ctx, *addr, func(bound net.Addr) {
+	err = srv.ListenAndServe(ctx, *addr, func(bound net.Addr) {
 		fmt.Fprintf(stdout, "lowlatd: serving %s on http://%s\n", serving, bound)
 	})
 	if err != nil {

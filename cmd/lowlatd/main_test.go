@@ -61,6 +61,117 @@ func TestExitCodes(t *testing.T) {
 	if !strings.Contains(errOut.String(), missing) {
 		t.Fatalf("stderr does not name the store: %q", errOut.String())
 	}
+	// A malformed objective is a usage error, caught before any listener.
+	errOut.Reset()
+	if code := run(ctx, []string{"-store", t.TempDir(), "-slo", "p99 not-a-grammar"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad -slo exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-slo") {
+		t.Fatalf("stderr does not blame -slo: %q", errOut.String())
+	}
+}
+
+// TestHealthPlaneEndToEnd boots a daemon with a declared SLO and walks
+// the health plane over real HTTP: /v1/health reports the objective,
+// /v1/events serves a cursor-addressable journal, and /v1/watch streams
+// at least one SSE snapshot.
+func TestHealthPlaneEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errOut syncBuffer
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run(ctx, []string{"-store", dir, "-addr", "127.0.0.1:0", "-workers", "1",
+			"-slo", "http_query p99 < 1s over 1m, error_rate < 5% over 5m"}, &out, &errOut)
+	}()
+	var base string
+	deadline := time.After(30 * time.Second)
+	for base == "" {
+		if m := urlRE.FindString(out.String()); m != "" {
+			base = m
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("daemon never printed its address; stdout=%q stderr=%q", out.String(), errOut.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	resp, err := http.Get(base + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(base + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		SLOs   []struct {
+			Objective string `json:"objective"`
+			State     string `json:"state"`
+		} `json:"slos"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("/v1/health = %d %+v, want 200 ok", resp.StatusCode, health)
+	}
+	if len(health.SLOs) != 2 || health.SLOs[0].Objective != "http_query p99 < 1s over 1m" {
+		t.Fatalf("/v1/health objectives = %+v, want both declared SLOs", health.SLOs)
+	}
+
+	resp, err = http.Get(base + "/v1/events?since=0&limit=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events struct {
+		NextSince int64 `json:"next_since"`
+		Events    []any `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/events = %d", resp.StatusCode)
+	}
+
+	wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	req, err := http.NewRequestWithContext(wctx, http.MethodGet, base+"/v1/watch?interval=100ms", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := wresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("/v1/watch content type = %q, want text/event-stream", ct)
+	}
+	buf := make([]byte, 4096)
+	n, _ := wresp.Body.Read(buf)
+	wcancel()
+	wresp.Body.Close()
+	if first := string(buf[:n]); !strings.Contains(first, "event: snapshot") || !strings.Contains(first, `"health"`) {
+		t.Fatalf("first watch frame = %q, want an SSE snapshot with health", first)
+	}
+
+	cancel()
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("daemon exit = %d, want 0; stderr=%q", code, errOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
 }
 
 var urlRE = regexp.MustCompile(`http://[0-9.:]+`)

@@ -43,7 +43,13 @@
 // merged cluster-wide into /v1/stats (StageSnapshot), X-Request-ID
 // tracing from the HTTP edge to the owning replica (RequestIDHeader),
 // structured request logs, a slow-request ring (/v1/slow, SlowRequest),
-// a Prometheus-text /metrics endpoint and an opt-in pprof listener.
+// a Prometheus-text /metrics endpoint and an opt-in pprof listener; and
+// the live health plane on top of it: rolling 1m/5m/1h latency windows
+// per stage, a declarative SLO/error-budget engine (ParseObjectives)
+// with multi-window burn-rate alerting on /v1/health (HealthReport), a
+// bounded journal of cluster state transitions served with a cursor on
+// /v1/events (ClusterEvent), and the /v1/watch SSE stream behind
+// `lowlat watch` (WatchSnapshot).
 //
 // The implementation lives under internal/:
 //
@@ -102,8 +108,10 @@
 //     rebuild even a replica restored from an empty store
 //   - internal/obs — the dependency-free observability kernel the
 //     serving tiers share: lock-cheap log-bucketed latency histograms
-//     with mergeable snapshots, request traces carried by context,
-//     the bounded slow-request ring, and the Prometheus text renderer
+//     with mergeable snapshots and lock-free rolling windows, request
+//     traces carried by context, the bounded slow-request ring, the
+//     Prometheus text renderer, the SLO/error-budget engine, and the
+//     bounded event journal
 //   - internal/experiments — one driver per results figure plus
 //     fig_dynamics, all routed through the engine; the landscape and
 //     headroom drivers optionally checkpoint through a result backend
@@ -114,6 +122,6 @@
 // and figure-regeneration instructions, docs/ARCHITECTURE.md for the
 // serving-system layer map and the life of a /v1/place request, and
 // docs/OPERATIONS.md for daemon flags, /v1/stats counter semantics,
-// metrics and request tracing, and the replica failure-recovery
-// runbook.
+// metrics and request tracing, and the replica failure-recovery and
+// SLO-alerting runbooks.
 package lowlat

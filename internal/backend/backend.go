@@ -237,6 +237,28 @@ type Stats struct {
 	// top-level map is always the full-tree distribution (exact bucket
 	// sums — quantiles are recomputed after merging, never averaged).
 	Stages map[string]obs.Snapshot `json:"stages,omitempty"`
+	// Windows carries per-stage rolling-window snapshots keyed by stage
+	// name, each a list of windows smallest span first. Wrapping backends
+	// merge like Stages (bucket sums per window name, rates recomputed),
+	// so the top level is the cluster-wide windowed view the SLO engine
+	// evaluates.
+	Windows map[string][]obs.WindowSnapshot `json:"windows,omitempty"`
 	// Replicas carries per-replica snapshots (cluster only).
 	Replicas []Stats `json:"replicas,omitempty"`
+}
+
+// Eventer is the optional event-journal extension: return structured
+// state-transition events recorded after the cursor, oldest first, at
+// most limit (limit <= 0 means all retained). A cluster implements it
+// by folding its own journal with its replicas', tagging each event's
+// Origin; /v1/events serves it.
+type Eventer interface {
+	Events(ctx context.Context, since int64, limit int) ([]obs.Event, error)
+}
+
+// DownReporter is the optional cheap-health extension: name the
+// replicas currently marked down, without the full Stats fan-out.
+// /v1/health uses it for readiness reasons on cluster fronts.
+type DownReporter interface {
+	DownReplicas() []string
 }

@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,6 +85,17 @@ type Options struct {
 	// store seeded before replication) receive copies. Close stops the
 	// sweeper. Zero disables it; Heal can always be called explicitly.
 	AntiEntropyInterval time.Duration
+	// Journal, when set, receives a structured event at every state
+	// transition the cluster detects: replica down/up, reroutes, hint
+	// queue/drain/drop, read-repairs and heal sweeps. A daemon shares
+	// one journal between its cluster backend and its HTTP server so
+	// /v1/events tells the whole story in one sequence. Nil journals no
+	// events.
+	Journal *obs.Journal
+	// Windows, when set, is the window geometry the cluster's own stage
+	// histograms roll on (zero value: obs defaults). Tests shrink it so
+	// storm scenarios rotate in milliseconds.
+	Windows obs.WindowConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -152,6 +164,7 @@ type Backend struct {
 	healed       atomic.Int64
 	healSweeps   atomic.Int64
 	obs          *obs.Registry
+	journal      *obs.Journal
 }
 
 // labeled is implemented by backends that carry a natural stable name
@@ -202,7 +215,8 @@ func New(replicas []backend.Backend, opts Options) (*Backend, error) {
 		hmu:       make([]sync.Mutex, len(replicas)),
 		hints:     make([][]store.Result, len(replicas)),
 		stop:      make(chan struct{}),
-		obs:       obs.NewRegistry(),
+		obs:       obs.NewRegistryWindows(opts.Windows),
+		journal:   opts.Journal,
 	}
 	if opts.AntiEntropyInterval > 0 {
 		c.wg.Add(1)
@@ -237,19 +251,33 @@ func (c *Backend) Labels() []string { return append([]string(nil), c.labels...) 
 
 // MarkDown flags replica i as unhealthy: its keys reroute to ring
 // successors until MarkUp or a successful Probe.
-func (c *Backend) MarkDown(i int) { c.down[i].Store(true) }
+func (c *Backend) MarkDown(i int) { c.markDown(i, "operator mark") }
 
 // MarkUp clears replica i's health mark and delivers any hinted-handoff
 // writes that queued while it was down.
 func (c *Backend) MarkUp(i int) { c.markUp(i) }
 
-// markUp is the one down→up transition: clear the mark, then drain the
-// replica's hint queue in order. Every recovery path — operator MarkUp,
-// a passing Probe, the automatic re-probe — funnels through here, so a
-// rejoining replica always receives the writes it missed before it
-// receives new traffic.
+// markDown is the one up→down transition: set the mark and, when this
+// call actually flipped it (the CAS filters the stampede of requests
+// that all notice a dead replica at once), journal the event. Every
+// detection path — failed probe, failed write, failed drain — funnels
+// through here.
+func (c *Backend) markDown(i int, why string) {
+	if c.down[i].CompareAndSwap(false, true) {
+		c.journal.Record(obs.EventReplicaDown, c.labels[i], why)
+	}
+}
+
+// markUp is the one down→up transition: clear the mark (journaling the
+// recovery when the mark was actually set), then drain the replica's
+// hint queue in order. Every recovery path — operator MarkUp, a passing
+// Probe, the automatic re-probe — funnels through here, so a rejoining
+// replica always receives the writes it missed before it receives new
+// traffic.
 func (c *Backend) markUp(i int) {
-	c.down[i].Store(false)
+	if c.down[i].CompareAndSwap(true, false) {
+		c.journal.Record(obs.EventReplicaUp, c.labels[i], "")
+	}
 	c.drainHints(i)
 }
 
@@ -305,7 +333,7 @@ func (c *Backend) Probe(ctx context.Context) int {
 		err := p.Probe(pctx)
 		cancel()
 		if err != nil {
-			c.down[i].Store(true)
+			c.markDown(i, "probe failed: "+err.Error())
 			down++
 			continue
 		}
@@ -393,7 +421,7 @@ func (c *Backend) Lookup(k store.CellKey) (store.Result, bool) {
 func (c *Backend) repair(i int, res store.Result) {
 	if err := c.putTo(i, res); err != nil {
 		if errors.Is(err, backend.ErrUnavailable) {
-			c.down[i].Store(true)
+			c.markDown(i, "read-repair write failed")
 			c.queueHint(i, res)
 			return
 		}
@@ -401,6 +429,7 @@ func (c *Backend) repair(i int, res store.Result) {
 		return
 	}
 	c.readRepairs.Add(1)
+	c.journal.Record(obs.EventReadRepair, c.labels[i], "key "+res.Key.String())
 }
 
 // Place routes a spec to its owning replica; a replica that fails with
@@ -430,7 +459,7 @@ func (c *Backend) PlaceSourced(ctx context.Context, spec store.CellSpec) (store.
 		res, src, err := backend.PlaceSourced(ctx, c.replicas[i], spec)
 		if err != nil {
 			if errors.Is(err, backend.ErrUnavailable) {
-				c.down[i].Store(true)
+				c.markDown(i, "place failed")
 				lastErr = err
 				continue
 			}
@@ -439,6 +468,8 @@ func (c *Backend) PlaceSourced(ctx context.Context, spec store.CellSpec) (store.
 		}
 		if i != owner {
 			c.rerouted.Add(1)
+			c.journal.Record(obs.EventReroute, c.labels[i],
+				fmt.Sprintf("placement rerouted off down owner %s", c.labels[owner]))
 		}
 		if c.r > 1 && res.Key != (store.CellKey{}) {
 			// Replicate to the owners of the *content key* — the set
@@ -476,7 +507,7 @@ func (c *Backend) Put(r store.Result) error {
 		}
 		if err := c.putTo(i, r); err != nil {
 			if errors.Is(err, backend.ErrUnavailable) {
-				c.down[i].Store(true)
+				c.markDown(i, "replication write failed")
 				c.queueHint(i, r)
 			} else {
 				c.errs.Add(1)
@@ -514,7 +545,7 @@ func (c *Backend) replicate(owners []int, served int, res store.Result) {
 		}
 		if err := c.putTo(i, res); err != nil {
 			if errors.Is(err, backend.ErrUnavailable) {
-				c.down[i].Store(true)
+				c.markDown(i, "put failed")
 				c.queueHint(i, res)
 			} else {
 				c.errs.Add(1)
@@ -595,7 +626,7 @@ func (c *Backend) QueryContext(ctx context.Context, f sweep.Filter) ([]store.Res
 			c.errs.Add(1)
 			errs = append(errs, fmt.Errorf("%s: %w", c.labels[i], p.err))
 			if errors.Is(p.err, backend.ErrUnavailable) {
-				c.down[i].Store(true)
+				c.markDown(i, "query fan-out failed")
 			}
 			continue
 		}
@@ -669,6 +700,7 @@ func (c *Backend) Stats() backend.Stats {
 	// sums, so the top-level p50/p90/p99 are true cluster-wide quantiles.
 	// Each replica's unmerged snapshot stays visible under Replicas.
 	out.Stages = obs.MergeStages(nil, c.obs.Snapshot())
+	out.Windows = obs.MergeWindows(nil, c.obs.Windows())
 	for i, rs := range snaps {
 		out.Cells += rs.Cells
 		out.MemoEntries += rs.MemoEntries
@@ -682,7 +714,65 @@ func (c *Backend) Stats() backend.Stats {
 			out.Down++
 		}
 		out.Stages = obs.MergeStages(out.Stages, rs.Stages)
+		out.Windows = obs.MergeWindows(out.Windows, rs.Windows)
 		out.Replicas = append(out.Replicas, rs)
 	}
 	return out
 }
+
+// DownReplicas names the replicas currently marked down — the cheap
+// health probe /v1/health leans on (no Stats fan-out, no network). Nil
+// when every replica is healthy.
+func (c *Backend) DownReplicas() []string {
+	var out []string
+	for i := range c.down {
+		if c.down[i].Load() {
+			out = append(out, c.labels[i])
+		}
+	}
+	return out
+}
+
+// Events serves the cluster's view of the event journal: its own
+// journal (exact since-cursor semantics) folded with every replica's
+// retained events, each tagged with the replica's label as Origin.
+// Cursor semantics across origins are approximate — `since` is applied
+// per origin journal — so the fold is a convenience view; pollers that
+// need exactness follow one origin at a time. Replicas that expose no
+// journal (plain stores, down daemons) contribute nothing and cost no
+// failure. Returns nil when the cluster has no journal and no replica
+// answered.
+func (c *Backend) Events(ctx context.Context, since int64, limit int) ([]obs.Event, error) {
+	out := append([]obs.Event(nil), c.journal.Since(since, limit)...)
+	for i, r := range c.replicas {
+		ev, ok := r.(backend.Eventer)
+		if !ok || !c.healthy(i) {
+			continue
+		}
+		evs, err := ev.Events(ctx, since, limit)
+		if err != nil {
+			continue // a replica that cannot answer just contributes nothing
+		}
+		for _, e := range evs {
+			if e.Origin == "" {
+				e.Origin = c.labels[i]
+			} else {
+				e.Origin = c.labels[i] + "/" + e.Origin
+			}
+			out = append(out, e)
+		}
+	}
+	// Interleave by time so the folded view reads as one story; ties
+	// keep origin-local order because each journal is already ascending.
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Time.Before(out[b].Time) })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// Journal exposes the journal the cluster records transitions into. A
+// serving front compares it against its own to tell whether the daemon
+// shares one journal across layers (in which case the cluster's Events
+// fold already carries the front's entries).
+func (c *Backend) Journal() *obs.Journal { return c.journal }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"lowlat/internal/backend"
@@ -63,9 +64,11 @@ func (c *Backend) queueHint(i int, r store.Result) {
 	if len(c.hints[i]) >= c.opts.HandoffLimit {
 		c.hints[i] = c.hints[i][1:]
 		c.hintsDropped.Add(1)
+		c.journal.Record(obs.EventHintDropped, c.labels[i], "handoff queue full; oldest hint shed")
 	}
 	c.hints[i] = append(c.hints[i], r)
 	c.hintsQueued.Add(1)
+	c.journal.Record(obs.EventHintQueued, c.labels[i], "key "+r.Key.String())
 }
 
 // drainHints delivers replica i's queued hints in FIFO order — called on
@@ -80,10 +83,17 @@ func (c *Backend) drainHints(i int) {
 	if len(pending) == 0 {
 		return
 	}
+	delivered := 0
+	defer func() {
+		if delivered > 0 {
+			c.journal.Record(obs.EventHintDrained, c.labels[i],
+				fmt.Sprintf("%d of %d queued hints delivered", delivered, len(pending)))
+		}
+	}()
 	for n, r := range pending {
 		if err := c.putTo(i, r); err != nil {
 			if errors.Is(err, backend.ErrUnavailable) {
-				c.down[i].Store(true)
+				c.markDown(i, "hint drain failed")
 				c.hmu[i].Lock()
 				c.hints[i] = append(pending[n:], c.hints[i]...)
 				c.hmu[i].Unlock()
@@ -96,6 +106,7 @@ func (c *Backend) drainHints(i int) {
 			continue
 		}
 		c.hintsDrained.Add(1)
+		delivered++
 	}
 }
 
@@ -170,7 +181,7 @@ func (c *Backend) Heal(ctx context.Context) (HealReport, error) {
 		d, _, err := kd.KeyDigest(ctx)
 		if err != nil {
 			if errors.Is(err, backend.ErrUnavailable) {
-				c.down[i].Store(true)
+				c.markDown(i, "key digest fetch failed")
 			}
 			continue
 		}
@@ -205,7 +216,7 @@ func (c *Backend) Heal(ctx context.Context) (HealReport, error) {
 		keys, err := kl.Keys(ctx)
 		if err != nil {
 			if errors.Is(err, backend.ErrUnavailable) {
-				c.down[i].Store(true)
+				c.markDown(i, "key list fetch failed")
 			}
 			continue
 		}
@@ -223,6 +234,11 @@ func (c *Backend) Heal(ctx context.Context) (HealReport, error) {
 		return rep, ctx.Err()
 	}
 
+	defer func() {
+		c.journal.Record(obs.EventHealSweep, "",
+			fmt.Sprintf("healed %d of %d keys across %d replicas (drained %d, failed %d)",
+				rep.Healed, rep.Keys, rep.Replicas, rep.Drained, rep.Failed))
+	}()
 	for k, holders := range union {
 		for _, o := range c.ring.owners(k.String(), c.r) {
 			if inv[o] == nil || inv[o][k] {
@@ -235,7 +251,7 @@ func (c *Backend) Heal(ctx context.Context) (HealReport, error) {
 			}
 			if err := c.putTo(o, res); err != nil {
 				if errors.Is(err, backend.ErrUnavailable) {
-					c.down[o].Store(true)
+					c.markDown(o, "heal copy failed")
 					c.queueHint(o, res)
 				} else {
 					c.errs.Add(1)

@@ -29,6 +29,11 @@ type faulty struct {
 	st    *store.Store
 	down  atomic.Bool
 
+	// failDelay, when set, makes every failure slow — the latency shape
+	// of a dialing client timing out against a dead host rather than an
+	// instant connection refusal. Set before the replica sees traffic.
+	failDelay time.Duration
+
 	putMu  sync.Mutex
 	putLog []store.Result
 }
@@ -68,6 +73,9 @@ func (f *faulty) store() *store.Store {
 }
 
 func (f *faulty) fail() error {
+	if f.failDelay > 0 {
+		time.Sleep(f.failDelay)
+	}
 	return fmt.Errorf("faulty replica is down: %w", backend.ErrUnavailable)
 }
 

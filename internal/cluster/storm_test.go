@@ -1,0 +1,219 @@
+package cluster_test
+
+// The kill-one storm is the health plane's acceptance test: a 3-replica
+// R=2 cluster front with a declared latency SLO, serving over real HTTP,
+// has one replica killed mid-run. The killed replica fails *slowly* (the
+// latency shape of a dead host, not a connection refusal), so the
+// requests that discover the outage blow the p99 budget. The test then
+// walks the whole loop the plane promises operators:
+//
+//	kill    -> /v1/health pages (named reason, burn >= PageBurn) and
+//	           names the down replica
+//	journal -> replica-down, hint-queued, replica-up, heal-sweep appear
+//	           in that order
+//	heal    -> the windows rotate the storm out and the page clears back
+//	           to ok, with the SLO transition journaled both ways
+//
+// Fault injection and probing are deterministic (in-process replicas,
+// manual Probe/Heal); only the window rotation rides the real clock.
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lowlat/internal/backend"
+	"lowlat/internal/cluster"
+	"lowlat/internal/obs"
+	"lowlat/internal/serve"
+)
+
+// stormWindow is the SLO window geometry: a 2s objective window of 250ms
+// sub-slots, long enough that the storm's slow requests stay visible
+// while the test polls for the page, short enough that the page clears
+// within seconds of the heal.
+const (
+	stormSlot   = 250 * time.Millisecond
+	stormWindow = 2 * time.Second
+	stormDelay  = 300 * time.Millisecond // slow-fail latency of the dead replica
+)
+
+// pollHealth polls /v1/health until the report satisfies ok, failing the
+// test on deadline. The last report is returned for detail asserts.
+func pollHealth(t *testing.T, c *serve.Client, what string, ok func(*serve.HealthReport) bool) *serve.HealthReport {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		rep, err := c.HealthReport(context.Background())
+		if err != nil {
+			t.Fatalf("waiting for %s: %v", what, err)
+		}
+		if ok(rep) {
+			return rep
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health never reached %s; last report %+v", what, rep)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func TestKillOneStormPagesAndClears(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second rolling-window test")
+	}
+	reps := []*faulty{newFaulty(t), newFaulty(t), newFaulty(t)}
+	const victimIdx = 2
+	victim := reps[victimIdx]
+	victim.failDelay = stormDelay
+
+	// One journal shared by the cluster layer and the serving layer, the
+	// way lowlatd wires a cluster front: replica transitions and SLO/health
+	// transitions interleave in one sequence.
+	journal := obs.NewJournal(256)
+	cb, err := cluster.New(
+		[]backend.Backend{reps[0], reps[1], reps[2]},
+		cluster.Options{
+			Replicas: 2,
+			// Down marks stick until the test probes explicitly: recovery
+			// is a deliberate step, not a race against the reprobe clock.
+			ReprobeInterval: time.Hour,
+			Journal:         journal,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cb.Close() })
+	victimLabel := cb.Labels()[victimIdx]
+
+	srv := serve.NewBackendServer(cb, serve.Options{
+		Objectives:     mustParseObjectives(t, "http_place p99 < 50ms over 2s"),
+		SLOMinInterval: -1,
+		Windows:        obs.WindowConfig{Slot: stormSlot, Windows: []time.Duration{stormWindow}},
+		Journal:        journal,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := serve.NewClient(ts.URL)
+	c.HTTPClient = ts.Client()
+	ctx := context.Background()
+
+	place := func(seed int64) {
+		t.Helper()
+		if _, err := c.Place(ctx, serve.PlaceRequest{Net: "star-6", Seed: seed, Scheme: "sp"}); err != nil {
+			t.Fatalf("place seed %d: %v", seed, err)
+		}
+	}
+
+	// Calm baseline: a couple of placements, health ok, no objectives hot.
+	place(1)
+	place(2)
+	rep := pollHealth(t, c, "baseline ok", func(r *serve.HealthReport) bool { return r.Status == serve.HealthOK })
+	if len(rep.SLOs) != 1 || rep.SLOs[0].State != obs.SLOOK {
+		t.Fatalf("baseline SLOs = %+v, want one ok objective", rep.SLOs)
+	}
+
+	// Kill one replica and drive the storm. Every key whose owner set
+	// includes the victim either reroutes off it (slow first discovery)
+	// or hints its replication write; 12 distinct keys guarantee both on
+	// any balanced ring.
+	victim.down.Store(true)
+	for seed := int64(10); seed < 22; seed++ {
+		place(seed)
+	}
+
+	// The page must fire: critical status, the objective paging with burn
+	// at or past the threshold, the reason naming the stage, and the down
+	// replica named.
+	rep = pollHealth(t, c, "page", func(r *serve.HealthReport) bool {
+		return r.Status == serve.HealthCritical && len(r.SLOs) == 1 && r.SLOs[0].State == obs.SLOPage
+	})
+	st := rep.SLOs[0]
+	if st.BurnLong < 2 || st.BurnShort < 2 {
+		t.Fatalf("paging burn = %.1fx/%.1fx, want >= 2x on both windows", st.BurnLong, st.BurnShort)
+	}
+	if !strings.Contains(st.Reason, "http_place") {
+		t.Fatalf("page reason = %q, want the stage named", st.Reason)
+	}
+	if len(rep.DownReplicas) != 1 || rep.DownReplicas[0] != victimLabel {
+		t.Fatalf("down replicas = %v, want [%s]", rep.DownReplicas, victimLabel)
+	}
+
+	// Recover: revive the replica, re-probe (marks it up and drains its
+	// hints), and run a heal sweep.
+	victim.down.Store(false)
+	if down := cb.Probe(ctx); down != 0 {
+		t.Fatalf("probe after revival reports %d down, want 0", down)
+	}
+	if _, err := cb.Heal(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The page clears once the storm's slow observations rotate out of
+	// the objective window; the healed report carries no residue.
+	rep = pollHealth(t, c, "clear", func(r *serve.HealthReport) bool { return r.Status == serve.HealthOK })
+	if len(rep.DownReplicas) != 0 || len(rep.Reasons) != 0 {
+		t.Fatalf("healed report has residue: %+v", rep)
+	}
+	if rep.SLOs[0].State != obs.SLOOK {
+		t.Fatalf("healed SLO = %+v, want ok", rep.SLOs[0])
+	}
+
+	// The journal tells the story in order: down -> hint -> up -> heal,
+	// with the SLO paging during the storm and clearing after it.
+	ev, err := c.Events(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := map[string]int{}
+	for i, e := range ev.Events {
+		if _, seen := first[e.Type]; !seen {
+			first[e.Type] = i
+		}
+	}
+	order := []string{obs.EventReplicaDown, obs.EventHintQueued, obs.EventReplicaUp, obs.EventHealSweep}
+	for i := 1; i < len(order); i++ {
+		a, aok := first[order[i-1]]
+		b, bok := first[order[i]]
+		if !aok || !bok || a >= b {
+			t.Fatalf("journal missing or misordered %s -> %s; events: %+v", order[i-1], order[i], kinds(ev.Events))
+		}
+	}
+	var sloDetails []string
+	for _, e := range ev.Events {
+		if e.Type == obs.EventSLOState {
+			sloDetails = append(sloDetails, e.Detail)
+		}
+	}
+	if len(sloDetails) < 2 ||
+		!strings.Contains(sloDetails[0], "-> page") ||
+		!strings.HasSuffix(sloDetails[len(sloDetails)-1], "-> ok") {
+		t.Fatalf("SLO transitions = %v, want a page during the storm and ok after the heal", sloDetails)
+	}
+	down := first[obs.EventReplicaDown]
+	if sloUp := first[obs.EventSLOState]; sloUp < down {
+		t.Fatalf("SLO paged (event %d) before the replica went down (event %d)", sloUp, down)
+	}
+}
+
+// kinds projects events to their type names for failure messages.
+func kinds(evs []obs.Event) []string {
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.Type
+	}
+	return out
+}
+
+// mustParseObjectives parses an objective list or fails the test.
+func mustParseObjectives(t *testing.T, s string) []obs.Objective {
+	t.Helper()
+	objs, err := obs.ParseObjectives(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return objs
+}

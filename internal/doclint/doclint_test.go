@@ -22,6 +22,7 @@ var lintedPackages = []string{
 	"../backend",
 	"../cluster",
 	"../obs",
+	"../serve",
 }
 
 func TestExportedDeclarationsAreDocumented(t *testing.T) {

@@ -31,6 +31,47 @@ func BenchmarkHistogramRecordParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkWindowedRecord measures the windowed hot path: one
+// observation into the cumulative histogram plus the live sub-slot,
+// including the clock read that drives rotation. The ISSUE budget is
+// ≤ 100ns/op — roughly two plain Records plus time.Now.
+func BenchmarkWindowedRecord(b *testing.B) {
+	w := NewWindowed(WindowConfig{})
+	d := 137 * time.Microsecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Record(d)
+	}
+}
+
+// BenchmarkWindowedRecordParallel measures the contended windowed case.
+func BenchmarkWindowedRecordParallel(b *testing.B) {
+	w := NewWindowed(WindowConfig{})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := 137 * time.Microsecond
+		for pb.Next() {
+			w.Record(d)
+		}
+	})
+}
+
+// BenchmarkWindowRotate measures a worst-case record: every iteration
+// advances the fake clock a full slot, so each Record performs the slot
+// rotation (pointer swap, slot retirement, freezing). This bounds the
+// pause a recorder can ever absorb — and rotation contention falls back
+// to TryLock, so concurrent recorders never even pay this much.
+func BenchmarkWindowRotate(b *testing.B) {
+	clk := newFakeClock()
+	w := NewWindowed(WindowConfig{Slot: time.Second, now: clk.now})
+	d := 137 * time.Microsecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clk.advance(time.Second)
+		w.Record(d)
+	}
+}
+
 // BenchmarkSnapshot measures the cost of one registry snapshot — the
 // /v1/stats path — with a populated histogram.
 func BenchmarkSnapshot(b *testing.B) {

@@ -199,6 +199,31 @@ func (s *Snapshot) quantile(q float64) int64 {
 	return s.MaxNS
 }
 
+// Quantile estimates an arbitrary q-quantile (0 < q < 1) the same way
+// the P50/P90/P99 fields are computed: nearest rank over the sparse
+// buckets, answering bucket midpoints, clamped to the observed maximum.
+// The SLO engine uses it for objectives on quantiles beyond the three
+// precomputed ones.
+func (s Snapshot) Quantile(q float64) int64 { return s.quantile(q) }
+
+// FractionAbove returns the fraction of observations strictly above ns,
+// judged by bucket midpoints — the "bad fraction" an SLO burn rate is
+// built from. Buckets are ≤25% wide, so the answer inherits the same
+// relative error as the quantile estimates. Zero for an empty snapshot.
+func (s Snapshot) FractionAbove(ns int64) float64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	var bad int64
+	for _, b := range s.Buckets {
+		lo, hi := bucketBounds(int(b[0]))
+		if lo+(hi-lo)/2 > ns {
+			bad += b[1]
+		}
+	}
+	return float64(bad) / float64(s.Count)
+}
+
 // Merge folds another snapshot into this one: counts, sums and buckets
 // add, the maximum takes the larger, and the quantiles are recomputed
 // over the merged buckets. Merging exact bucket counts (rather than
@@ -259,23 +284,33 @@ func MergeStages(dst, src map[string]Snapshot) map[string]Snapshot {
 	return dst
 }
 
-// Registry is a named-histogram table: one histogram per stage,
-// created on first use. A nil *Registry is valid and records nothing —
-// components accept an optional registry without nil checks. All methods
-// are safe for concurrent use.
+// Registry is a named-histogram table: one windowed histogram per
+// stage, created on first use, all rolling on the registry's window
+// geometry. A nil *Registry is valid and records nothing — components
+// accept an optional registry without nil checks. All methods are safe
+// for concurrent use.
 type Registry struct {
 	mu    sync.RWMutex
-	hists map[string]*Histogram
+	cfg   WindowConfig
+	hists map[string]*Windowed
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with the default window
+// geometry (DefaultSlot sub-slots, DefaultWindows spans).
 func NewRegistry() *Registry {
-	return &Registry{hists: make(map[string]*Histogram)}
+	return NewRegistryWindows(WindowConfig{})
+}
+
+// NewRegistryWindows returns an empty registry whose histograms roll on
+// the given window geometry (zero config = defaults). Tests use short
+// slots to drive rotations in milliseconds.
+func NewRegistryWindows(cfg WindowConfig) *Registry {
+	return &Registry{cfg: cfg.withDefaults(), hists: make(map[string]*Windowed)}
 }
 
 // Hist returns the named histogram, creating it on first use. Returns
 // nil on a nil registry.
-func (r *Registry) Hist(name string) *Histogram {
+func (r *Registry) Hist(name string) *Windowed {
 	if r == nil {
 		return nil
 	}
@@ -288,7 +323,7 @@ func (r *Registry) Hist(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h = r.hists[name]; h == nil {
-		h = &Histogram{}
+		h = NewWindowed(r.cfg)
 		r.hists[name] = h
 	}
 	return h
@@ -320,4 +355,39 @@ func (r *Registry) Snapshot() map[string]Snapshot {
 		out[name] = h.Snapshot()
 	}
 	return out
+}
+
+// Windows captures every histogram's rolling windows, keyed by stage
+// name. Returns nil on a nil or empty registry.
+func (r *Registry) Windows() map[string][]WindowSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.hists) == 0 {
+		return nil
+	}
+	out := make(map[string][]WindowSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		out[name] = h.Windows()
+	}
+	return out
+}
+
+// Window resolves one stage's snapshot over one named window — the
+// WindowLookup the SLO engine evaluates a live registry through. ok is
+// false when the stage has never recorded or the window is not
+// configured.
+func (r *Registry) Window(stage, window string) (WindowSnapshot, bool) {
+	if r == nil {
+		return WindowSnapshot{}, false
+	}
+	r.mu.RLock()
+	h := r.hists[stage]
+	r.mu.RUnlock()
+	if h == nil {
+		return WindowSnapshot{}, false
+	}
+	return h.Window(window)
 }

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestJournal pins ring semantics: ascending seqs, since-cursor
+// filtering, limits, bounded retention with cursor-tolerant eviction.
+func TestJournal(t *testing.T) {
+	j := NewJournal(4)
+	if j.LastSeq() != 0 || j.Since(0, 0) != nil {
+		t.Fatal("empty journal leaked data")
+	}
+	for i := 1; i <= 3; i++ {
+		j.Record(EventReplicaDown, fmt.Sprintf("r%d", i), "probe failed")
+	}
+	evs := j.Since(0, 0)
+	if len(evs) != 3 || evs[0].Seq != 1 || evs[2].Seq != 3 {
+		t.Fatalf("events = %+v, want seqs 1..3", evs)
+	}
+	if evs[0].Type != EventReplicaDown || evs[0].Subject != "r1" || evs[0].Time.IsZero() {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	// Cursor: only what follows.
+	if evs = j.Since(2, 0); len(evs) != 1 || evs[0].Seq != 3 {
+		t.Fatalf("Since(2) = %+v, want seq 3 only", evs)
+	}
+	if j.Since(3, 0) != nil {
+		t.Fatal("Since(last) returned events")
+	}
+	// Limit.
+	if evs = j.Since(0, 2); len(evs) != 2 || evs[1].Seq != 2 {
+		t.Fatalf("Since(0, limit 2) = %+v", evs)
+	}
+	// Overflow: ring of 4 keeps the newest 4; a stale cursor resumes
+	// from the oldest retained event without duplicates.
+	for i := 4; i <= 7; i++ {
+		j.Record(EventReplicaUp, fmt.Sprintf("r%d", i), "")
+	}
+	evs = j.Since(0, 0)
+	if len(evs) != 4 || evs[0].Seq != 4 || evs[3].Seq != 7 {
+		t.Fatalf("post-overflow events = %+v, want seqs 4..7", evs)
+	}
+	if j.LastSeq() != 7 {
+		t.Fatalf("LastSeq = %d, want 7", j.LastSeq())
+	}
+
+	var nilJ *Journal
+	nilJ.Record("x", "", "")
+	if nilJ.Since(0, 0) != nil || nilJ.LastSeq() != 0 {
+		t.Fatal("nil journal leaked data")
+	}
+}
+
+// TestJournalConcurrent hammers Record and Since concurrently; seqs in
+// any read must be strictly ascending.
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				j.Record(EventReroute, "k", "")
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		evs := j.Since(0, 0)
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Seq <= evs[i-1].Seq {
+				t.Fatalf("non-ascending seqs %d, %d", evs[i-1].Seq, evs[i].Seq)
+			}
+		}
+		select {
+		case <-done:
+			if j.LastSeq() != 2000 {
+				t.Fatalf("LastSeq = %d, want 2000", j.LastSeq())
+			}
+			return
+		default:
+		}
+	}
+}

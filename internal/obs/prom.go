@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Metric is one scalar for the Prometheus text exposition: a counter or
@@ -14,26 +15,83 @@ type Metric struct {
 	Name string
 	// Kind is "counter" or "gauge" (the # TYPE line).
 	Kind string
+	// Help is the one-line # HELP text; empty emits no HELP line.
+	Help string
+	// Labels are label name/value pairs rendered in the order given;
+	// values are escaped per the exposition format.
+	Labels [][2]string
 	// Value is the sample value.
 	Value float64
 }
 
-// WriteMetrics renders scalars and per-stage latency histograms in the
-// Prometheus text exposition format (version 0.0.4): each scalar gets
-// its # TYPE line, and every stage becomes one series of the
-// <ns>_stage_latency_seconds histogram labeled {stage="..."} with
-// cumulative le buckets, _sum and _count — the shape prometheus,
-// VictoriaMetrics and vendor agents all scrape natively. Output is
-// deterministic: scalars render in the order given, stages sorted by
-// name, so smoke tests can assert on it.
-func WriteMetrics(w io.Writer, ns string, scalars []Metric, stages map[string]Snapshot) error {
-	for _, m := range scalars {
-		kind := m.Kind
-		if kind == "" {
-			kind = "gauge"
+// series renders the metric's sample identity: name plus label set.
+func (m Metric) series() string {
+	if len(m.Labels) == 0 {
+		return m.Name
+	}
+	var b strings.Builder
+	b.WriteString(m.Name)
+	b.WriteByte('{')
+	for i, kv := range m.Labels {
+		if i > 0 {
+			b.WriteByte(',')
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n",
-			m.Name, kind, m.Name, formatFloat(m.Value)); err != nil {
+		fmt.Fprintf(&b, "%s=\"%s\"", kv[0], escapeLabel(kv[1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text exposition format:
+// backslash, double quote and newline become \\, \" and \n.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// WriteMetrics renders scalars and per-stage latency histograms in the
+// Prometheus text exposition format (version 0.0.4): each metric family
+// gets its # HELP and # TYPE lines (HELP first, once per family even
+// when labeled samples repeat the name), and every stage becomes one
+// series of the <ns>_stage_latency_seconds histogram labeled
+// {stage="..."} with cumulative le buckets, _sum and _count — the shape
+// prometheus, VictoriaMetrics and vendor agents all scrape natively.
+// Output is deterministic: scalars render in the order given, stages
+// sorted by name, so smoke tests can assert on it.
+func WriteMetrics(w io.Writer, ns string, scalars []Metric, stages map[string]Snapshot) error {
+	seen := make(map[string]bool, len(scalars))
+	for _, m := range scalars {
+		if !seen[m.Name] {
+			seen[m.Name] = true
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+					return err
+				}
+			}
+			kind := m.Kind
+			if kind == "" {
+				kind = "gauge"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, kind); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", m.series(), formatFloat(m.Value)); err != nil {
 			return err
 		}
 	}
@@ -41,7 +99,7 @@ func WriteMetrics(w io.Writer, ns string, scalars []Metric, stages map[string]Sn
 		return nil
 	}
 	hist := ns + "_stage_latency_seconds"
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", hist); err != nil {
+	if _, err := fmt.Fprintf(w, "# HELP %s Cumulative per-stage latency distribution in seconds.\n# TYPE %s histogram\n", hist, hist); err != nil {
 		return err
 	}
 	names := make([]string, 0, len(stages))
@@ -51,19 +109,20 @@ func WriteMetrics(w io.Writer, ns string, scalars []Metric, stages map[string]Sn
 	sort.Strings(names)
 	for _, name := range names {
 		s := stages[name]
+		label := escapeLabel(name)
 		var cum int64
 		for _, b := range s.Buckets {
 			cum += b[1]
 			_, hi := bucketBounds(int(b[0]))
-			if _, err := fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d\n",
-				hist, name, formatFloat(float64(hi)/1e9), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{stage=\"%s\",le=\"%s\"} %d\n",
+				hist, label, formatFloat(float64(hi)/1e9), cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n%s_sum{stage=%q} %s\n%s_count{stage=%q} %d\n",
-			hist, name, s.Count,
-			hist, name, formatFloat(float64(s.SumNS)/1e9),
-			hist, name, s.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{stage=\"%s\",le=\"+Inf\"} %d\n%s_sum{stage=\"%s\"} %s\n%s_count{stage=\"%s\"} %d\n",
+			hist, label, s.Count,
+			hist, label, formatFloat(float64(s.SumNS)/1e9),
+			hist, label, s.Count); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteMetricsConformance validates the full exposition text the
+// way a scraper would: every family emits # HELP (when given) strictly
+// before # TYPE, every sample belongs to a declared family, label
+// values are escaped, and histogram le buckets are monotone
+// non-decreasing and end at +Inf == _count.
+func TestWriteMetricsConformance(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 64; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	var sb strings.Builder
+	err := WriteMetrics(&sb, "lowlat",
+		[]Metric{
+			{Name: "lowlat_up", Kind: "gauge", Help: "Whether the daemon is up.", Value: 1},
+			{Name: "lowlat_reqs_total", Kind: "counter", Help: "Total requests.", Value: 42},
+			{Name: "lowlat_slo_burn", Kind: "gauge", Help: "SLO burn rate.",
+				Labels: [][2]string{{"objective", `place p99 < 50ms over 5m`}}, Value: 1.5},
+			{Name: "lowlat_slo_burn", Kind: "gauge", Help: "SLO burn rate.",
+				Labels: [][2]string{{"objective", "tricky \"quoted\"\\slash\nnewline"}}, Value: 0.5},
+			{Name: "lowlat_nohelp", Value: 3},
+		},
+		map[string]Snapshot{"solve": h.Snapshot(), "odd\"stage": h.Snapshot()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// Escaping: the raw specials must appear escaped, never bare inside
+	// a label value.
+	if !strings.Contains(out, `tricky \"quoted\"\\slash\nnewline`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `stage="odd\"stage"`) {
+		t.Fatalf("stage label not escaped:\n%s", out)
+	}
+
+	typed := map[string]string{}  // family -> kind
+	helped := map[string]bool{}   // family -> HELP seen
+	sampled := map[string]bool{}  // family -> sample seen
+	type bucketState struct{ last float64; lastCum int64; inf bool; count int64; hasCount bool }
+	buckets := map[string]*bucketState{} // histogram family+labels(-le) -> state
+	for ln, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d empty", ln)
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: HELP without text: %q", ln, line)
+			}
+			if _, already := typed[name]; already {
+				t.Fatalf("line %d: HELP for %s after its TYPE", ln, name)
+			}
+			if sampled[name] {
+				t.Fatalf("line %d: HELP for %s after its samples", ln, name)
+			}
+			helped[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok || (kind != "counter" && kind != "gauge" && kind != "histogram") {
+				t.Fatalf("line %d: bad TYPE: %q", ln, line)
+			}
+			if _, already := typed[name]; already {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln, name)
+			}
+			typed[name] = kind
+			continue
+		}
+		// Sample line: <series> <value>. Label values may contain
+		// spaces, so split after the closing brace when labels exist.
+		var series, val string
+		if i := strings.LastIndexByte(line, '}'); i >= 0 {
+			series, val = line[:i+1], strings.TrimSpace(line[i+1:])
+		} else {
+			var ok bool
+			series, val, ok = strings.Cut(line, " ")
+			if !ok {
+				t.Fatalf("line %d: malformed sample %q", ln, line)
+			}
+		}
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln, val, err)
+		}
+		name := series
+		var labels string
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name, labels = series[:i], series[i:]
+			if !strings.HasSuffix(labels, "}") {
+				t.Fatalf("line %d: unterminated label set %q", ln, labels)
+			}
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && typed[base] == "histogram" {
+				family = base
+			}
+		}
+		kind, ok := typed[family]
+		if !ok {
+			t.Fatalf("line %d: sample %s has no TYPE", ln, name)
+		}
+		sampled[family] = true
+		if family == "lowlat_nohelp" {
+			// HELP is optional; omission must not break the family.
+		} else if !helped[family] {
+			t.Fatalf("line %d: family %s sampled without HELP", ln, family)
+		}
+		if kind != "histogram" {
+			continue
+		}
+		// Histogram discipline per series (labels minus le).
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			i := strings.Index(labels, ",le=\"")
+			if i < 0 {
+				t.Fatalf("line %d: bucket without le label: %q", ln, line)
+			}
+			le := strings.TrimSuffix(labels[i+5:], "\"}")
+			key := family + labels[:i] + "}"
+			st := buckets[key]
+			if st == nil {
+				st = &bucketState{last: -1}
+				buckets[key] = st
+			}
+			cum, _ := strconv.ParseInt(val, 10, 64)
+			if cum < st.lastCum {
+				t.Fatalf("line %d: cumulative bucket count decreased (%d -> %d)", ln, st.lastCum, cum)
+			}
+			st.lastCum = cum
+			if le == "+Inf" {
+				st.inf = true
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad le %q", ln, le)
+			}
+			if st.inf {
+				t.Fatalf("line %d: finite bucket after +Inf", ln)
+			}
+			if bound <= st.last {
+				t.Fatalf("line %d: le %v not increasing past %v", ln, bound, st.last)
+			}
+			st.last = bound
+		case strings.HasSuffix(name, "_count"):
+			st := buckets[family+labels]
+			if st == nil {
+				t.Fatalf("line %d: _count with no buckets for %q", ln, family+labels)
+			}
+			st.count, _ = strconv.ParseInt(val, 10, 64)
+			st.hasCount = true
+		}
+	}
+	for key, st := range buckets {
+		if !st.inf {
+			t.Errorf("histogram series %s missing +Inf bucket", key)
+		}
+		if !st.hasCount || st.count != st.lastCum {
+			t.Errorf("histogram series %s: _count %d != +Inf cumulative %d", key, st.count, st.lastCum)
+		}
+	}
+	if len(buckets) != 2 {
+		t.Fatalf("expected 2 histogram series, saw %d", len(buckets))
+	}
+}

@@ -1,0 +1,401 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the SLO/error-budget engine: declarative objectives
+// evaluated against the rolling windows into burn rates and ok/warn/page
+// alert states — the Google-SRE multi-window multi-burn-rate recipe at
+// miniature scale. An objective like
+//
+//	http_place p99 < 50ms over 5m
+//
+// implies an error budget: at most 1% of observations (1 - 0.99) may
+// exceed 50ms over any 5m window. The engine measures the *bad fraction*
+// (observations above target / total) per window; burn rate is bad
+// fraction divided by budget, so burn 1.0 means "spending budget exactly
+// as fast as allowed" and burn 10 means the budget is gone in a tenth of
+// the window. Alerting is two-window: warn when the objective window's
+// burn reaches 1, page only when BOTH the objective window and the short
+// window burn at ≥ PageBurn — the long window proves the problem is
+// real, the short window proves it is still happening, and the pair is
+// what makes the page clear promptly after a heal.
+//
+//	error_rate < 1% over 1h
+//
+// works the same way with the budget stated directly: bad fraction is
+// count(<stage>_errors) / count(<stage>) over the window.
+
+// SLOState is an objective's alert state.
+type SLOState string
+
+// Alert states, in escalation order.
+const (
+	// SLOOK means the objective is within budget.
+	SLOOK SLOState = "ok"
+	// SLOWarn means the objective window is burning budget at >= 1x.
+	SLOWarn SLOState = "warn"
+	// SLOPage means both windows are burning at >= the page threshold.
+	SLOPage SLOState = "page"
+)
+
+// severity orders states for the health roll-up.
+func (s SLOState) severity() int {
+	switch s {
+	case SLOPage:
+		return 2
+	case SLOWarn:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Objective kinds.
+const (
+	// ObjectiveQuantile bounds a latency quantile: "http_place p99 < 50ms over 5m".
+	ObjectiveQuantile = "quantile"
+	// ObjectiveErrorRate bounds an error fraction: "http_place error_rate < 1% over 1h".
+	ObjectiveErrorRate = "error_rate"
+)
+
+// DefaultSLOStage is the stage an objective without an explicit stage
+// applies to — the aggregate HTTP plane ("error_rate < 1% over 1h"
+// means the daemon-wide 5xx fraction).
+const DefaultSLOStage = "http"
+
+// ErrorsSuffix is appended to a stage name to find its error counter:
+// an error_rate objective on stage S divides count(S+ErrorsSuffix) by
+// count(S) over the window.
+const ErrorsSuffix = "_errors"
+
+// Objective is one parsed service-level objective. Build with
+// ParseObjective; Budget and the window name are derived at parse time.
+type Objective struct {
+	// Raw is the objective as written, the identity used in statuses,
+	// journal events and /metrics labels.
+	Raw string `json:"raw"`
+	// Stage is the stage the objective applies to ("http_place").
+	Stage string `json:"stage"`
+	// Kind is ObjectiveQuantile or ObjectiveErrorRate.
+	Kind string `json:"kind"`
+	// Quantile is the bounded quantile for ObjectiveQuantile (0.99).
+	Quantile float64 `json:"quantile,omitempty"`
+	// TargetNS is the latency bound for ObjectiveQuantile.
+	TargetNS int64 `json:"target_ns,omitempty"`
+	// Budget is the allowed bad fraction: 1 - Quantile for quantile
+	// objectives, the stated threshold for error-rate objectives.
+	Budget float64 `json:"budget"`
+	// Window is the objective (long) window span.
+	Window time.Duration `json:"window_ns"`
+}
+
+// WindowName names the objective's window ("5m"), matching the
+// registry's window naming.
+func (o Objective) WindowName() string { return WindowName(o.Window) }
+
+// ParseObjective parses one declarative objective. Grammar:
+//
+//	[stage] pNN < <duration> over <window>     e.g. http_place p99 < 50ms over 5m
+//	[stage] error_rate < <percent> over <window>  e.g. error_rate < 1% over 1h
+//
+// The stage defaults to DefaultSLOStage when omitted. The comparator
+// may be "<" or "<=". Percent accepts "1%" or a bare fraction "0.01".
+func ParseObjective(s string) (Objective, error) {
+	o := Objective{Raw: strings.Join(strings.Fields(s), " ")}
+	f := strings.Fields(s)
+	// Locate the comparator and the "over" keyword.
+	lt, over := -1, -1
+	for i, tok := range f {
+		switch tok {
+		case "<", "<=":
+			lt = i
+		case "over":
+			over = i
+		}
+	}
+	if lt < 1 || over != lt+2 || over+2 != len(f) {
+		return o, fmt.Errorf("obs: objective %q: want \"[stage] p99 < 50ms over 5m\" or \"[stage] error_rate < 1%% over 1h\"", s)
+	}
+	metric := f[lt-1]
+	switch lt {
+	case 1:
+		o.Stage = DefaultSLOStage
+	case 2:
+		o.Stage = f[0]
+	default:
+		return o, fmt.Errorf("obs: objective %q: too many tokens before %q", s, f[lt])
+	}
+	w, err := time.ParseDuration(f[over+1])
+	if err != nil || w <= 0 {
+		return o, fmt.Errorf("obs: objective %q: bad window %q", s, f[over+1])
+	}
+	o.Window = w
+	target := f[lt+1]
+	switch {
+	case metric == ObjectiveErrorRate:
+		o.Kind = ObjectiveErrorRate
+		frac := target
+		pct := strings.HasSuffix(frac, "%")
+		frac = strings.TrimSuffix(frac, "%")
+		v, err := strconv.ParseFloat(frac, 64)
+		if err != nil {
+			return o, fmt.Errorf("obs: objective %q: bad rate %q", s, target)
+		}
+		if pct {
+			v /= 100
+		}
+		if v <= 0 || v >= 1 {
+			return o, fmt.Errorf("obs: objective %q: rate %q outside (0,1)", s, target)
+		}
+		o.Budget = v
+	case len(metric) > 1 && metric[0] == 'p':
+		q, err := strconv.ParseFloat(metric[1:], 64)
+		if err != nil || q <= 0 || q >= 100 {
+			return o, fmt.Errorf("obs: objective %q: bad quantile %q", s, metric)
+		}
+		d, err := time.ParseDuration(target)
+		if err != nil || d <= 0 {
+			return o, fmt.Errorf("obs: objective %q: bad latency target %q", s, target)
+		}
+		o.Kind = ObjectiveQuantile
+		o.Quantile = q / 100
+		o.TargetNS = int64(d)
+		o.Budget = 1 - o.Quantile
+	default:
+		return o, fmt.Errorf("obs: objective %q: unknown metric %q (want pNN or error_rate)", s, metric)
+	}
+	return o, nil
+}
+
+// ParseObjectives parses a comma- or semicolon-separated objective list
+// (the -slo flag format), skipping empty entries.
+func ParseObjectives(s string) ([]Objective, error) {
+	var out []Objective
+	for _, part := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ';' }) {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		o, err := ParseObjective(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// SLOStatus is one objective's evaluated state: current value against
+// target, budget remaining, and the two burn rates the alert state was
+// decided on.
+type SLOStatus struct {
+	// Objective is the objective as written (Objective.Raw).
+	Objective string `json:"objective"`
+	// Stage and Window identify what was measured.
+	Stage  string `json:"stage"`
+	Window string `json:"window"`
+	// State is the alert state: ok, warn or page.
+	State SLOState `json:"state"`
+	// Reason explains a non-ok state in one line; empty when ok.
+	Reason string `json:"reason,omitempty"`
+	// Count is the observations in the objective window the evaluation
+	// was based on (0 means no data, which reports ok).
+	Count int64 `json:"count"`
+	// CurrentNS is the observed quantile for quantile objectives.
+	CurrentNS int64 `json:"current_ns,omitempty"`
+	// CurrentRate is the observed error fraction for error-rate objectives.
+	CurrentRate float64 `json:"current_rate,omitempty"`
+	// BurnLong and BurnShort are budget burn rates over the objective
+	// window and the short window (1 = spending exactly at budget).
+	BurnLong  float64 `json:"burn_long"`
+	BurnShort float64 `json:"burn_short"`
+	// BudgetRemaining is the unspent fraction of the objective window's
+	// error budget, clamped to [0, 1].
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// SLOConfig tunes an SLOEngine. The zero value is usable: page at 2x
+// burn, 1-minute short window, 1-second evaluation cache, no journal.
+type SLOConfig struct {
+	// PageBurn is the burn rate both windows must reach to page
+	// (default 2: the budget would be gone in half the window).
+	PageBurn float64
+	// ShortWindow is the confirmation window for paging (default
+	// DefaultWindows[0] = 1m). It should be one of the registry's
+	// configured windows; when its snapshot is missing the objective
+	// window's burn stands in.
+	ShortWindow time.Duration
+	// MinInterval caches evaluations: two Evals closer together than
+	// this return the same statuses (default 1s; negative disables).
+	// Cluster fronts evaluate over a replica fan-out, so /v1/health and
+	// /metrics must not re-pay that on every scrape.
+	MinInterval time.Duration
+	// Journal, when set, receives an EventSLOState event on every
+	// objective state transition.
+	Journal *Journal
+
+	// now overrides the clock for tests; nil means time.Now.
+	now func() time.Time
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.PageBurn <= 0 {
+		c.PageBurn = 2
+	}
+	if c.ShortWindow <= 0 {
+		c.ShortWindow = DefaultWindows[0]
+	}
+	if c.MinInterval == 0 {
+		c.MinInterval = time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// SLOEngine evaluates a fixed objective set against a window lookup,
+// tracking state transitions across evaluations (journaled when
+// configured). A nil engine or an engine with no objectives evaluates
+// to nil. Safe for concurrent use.
+type SLOEngine struct {
+	cfg  SLOConfig
+	objs []Objective
+
+	mu      sync.Mutex
+	last    map[string]SLOState
+	cached  []SLOStatus
+	evalled time.Time
+}
+
+// NewSLOEngine builds an engine over the given objectives.
+func NewSLOEngine(objs []Objective, cfg SLOConfig) *SLOEngine {
+	return &SLOEngine{cfg: cfg.withDefaults(), objs: objs, last: make(map[string]SLOState, len(objs))}
+}
+
+// Objectives returns the engine's objective set (nil on a nil engine).
+func (e *SLOEngine) Objectives() []Objective {
+	if e == nil {
+		return nil
+	}
+	return e.objs
+}
+
+// Eval evaluates every objective against the lookup, returning one
+// status per objective in declaration order. Evaluations within
+// MinInterval of the previous one return the cached statuses without
+// touching the lookup. State transitions are recorded to the configured
+// journal. Nil on a nil engine or empty objective set.
+func (e *SLOEngine) Eval(lookup WindowLookup) []SLOStatus {
+	if e == nil || len(e.objs) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.cfg.now()
+	if e.cached != nil && e.cfg.MinInterval > 0 && now.Sub(e.evalled) < e.cfg.MinInterval {
+		return append([]SLOStatus(nil), e.cached...)
+	}
+	out := make([]SLOStatus, 0, len(e.objs))
+	for _, o := range e.objs {
+		st := evalObjective(o, e.cfg, lookup)
+		if prev, seen := e.last[o.Raw]; !seen || prev != st.State {
+			if seen || st.State != SLOOK {
+				from := prev
+				if !seen {
+					from = SLOOK
+				}
+				detail := fmt.Sprintf("%s -> %s", from, st.State)
+				if st.Reason != "" {
+					detail += ": " + st.Reason
+				}
+				e.cfg.Journal.Record(EventSLOState, o.Raw, detail)
+			}
+			e.last[o.Raw] = st.State
+		}
+		out = append(out, st)
+	}
+	e.cached, e.evalled = out, now
+	return append([]SLOStatus(nil), out...)
+}
+
+// evalObjective measures one objective over its windows.
+func evalObjective(o Objective, cfg SLOConfig, lookup WindowLookup) SLOStatus {
+	st := SLOStatus{Objective: o.Raw, Stage: o.Stage, Window: o.WindowName(), State: SLOOK, BudgetRemaining: 1}
+	long, ok := lookup(o.Stage, o.WindowName())
+	if !ok || long.Count == 0 {
+		return st // no data: within budget by definition
+	}
+	st.Count = long.Count
+	st.BurnLong = burn(o, long, lookup)
+	st.BurnShort = st.BurnLong
+	if short := WindowName(cfg.ShortWindow); short != o.WindowName() {
+		if ws, ok := lookup(o.Stage, short); ok && ws.Count > 0 {
+			st.BurnShort = burn(o, ws, lookup)
+		}
+	}
+	switch o.Kind {
+	case ObjectiveQuantile:
+		st.CurrentNS = long.Snapshot.Quantile(o.Quantile)
+	case ObjectiveErrorRate:
+		if bad, ok := lookup(o.Stage+ErrorsSuffix, o.WindowName()); ok && long.Count > 0 {
+			st.CurrentRate = float64(bad.Count) / float64(long.Count)
+		}
+	}
+	if st.BudgetRemaining = 1 - st.BurnLong; st.BudgetRemaining < 0 {
+		st.BudgetRemaining = 0
+	}
+	switch {
+	case st.BurnLong >= cfg.PageBurn && st.BurnShort >= cfg.PageBurn:
+		st.State = SLOPage
+	case st.BurnLong >= 1:
+		st.State = SLOWarn
+	}
+	if st.State != SLOOK {
+		switch o.Kind {
+		case ObjectiveQuantile:
+			st.Reason = fmt.Sprintf("%s p%g %s > target %s over %s (burn %.1fx/%.1fx)",
+				o.Stage, o.Quantile*100, time.Duration(st.CurrentNS), time.Duration(o.TargetNS), st.Window, st.BurnLong, st.BurnShort)
+		case ObjectiveErrorRate:
+			st.Reason = fmt.Sprintf("%s error rate %.2f%% > target %.2f%% over %s (burn %.1fx/%.1fx)",
+				o.Stage, st.CurrentRate*100, o.Budget*100, st.Window, st.BurnLong, st.BurnShort)
+		}
+	}
+	return st
+}
+
+// burn computes the budget burn rate of one objective over one window:
+// bad fraction divided by budget.
+func burn(o Objective, ws WindowSnapshot, lookup WindowLookup) float64 {
+	if ws.Count == 0 || o.Budget <= 0 {
+		return 0
+	}
+	var badFrac float64
+	switch o.Kind {
+	case ObjectiveQuantile:
+		badFrac = ws.Snapshot.FractionAbove(o.TargetNS)
+	case ObjectiveErrorRate:
+		bad, ok := lookup(o.Stage+ErrorsSuffix, ws.Window)
+		if !ok {
+			return 0
+		}
+		badFrac = float64(bad.Count) / float64(ws.Count)
+	}
+	return badFrac / o.Budget
+}
+
+// WorstState folds statuses into the most severe state (ok when empty).
+func WorstState(sts []SLOStatus) SLOState {
+	worst := SLOOK
+	for _, st := range sts {
+		if st.State.severity() > worst.severity() {
+			worst = st.State
+		}
+	}
+	return worst
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseObjective pins the objective grammar, both kinds, defaults
+// and rejection of malformed specs.
+func TestParseObjective(t *testing.T) {
+	o, err := ParseObjective("http_place p99 < 50ms over 5m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Stage != "http_place" || o.Kind != ObjectiveQuantile || o.Quantile != 0.99 ||
+		o.TargetNS != int64(50*time.Millisecond) || o.Window != 5*time.Minute {
+		t.Fatalf("parsed = %+v", o)
+	}
+	if o.Budget < 0.0099 || o.Budget > 0.0101 {
+		t.Fatalf("p99 budget = %v, want 0.01", o.Budget)
+	}
+	if o.WindowName() != "5m" {
+		t.Fatalf("window name = %q", o.WindowName())
+	}
+
+	o, err = ParseObjective("error_rate < 1% over 1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Stage != DefaultSLOStage || o.Kind != ObjectiveErrorRate || o.Budget != 0.01 || o.Window != time.Hour {
+		t.Fatalf("parsed = %+v", o)
+	}
+
+	o, err = ParseObjective("http_query error_rate <= 0.05 over 1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Stage != "http_query" || o.Budget != 0.05 {
+		t.Fatalf("parsed = %+v", o)
+	}
+
+	if o, err = ParseObjective("solve p50 < 2ms over 1m"); err != nil || o.Quantile != 0.5 || o.Budget != 0.5 {
+		t.Fatalf("p50 parse = %+v err=%v", o, err)
+	}
+
+	for _, bad := range []string{
+		"",
+		"p99 50ms over 5m",           // no comparator
+		"http_place p99 < 50ms",      // no window
+		"p99 < 50ms over soon",       // bad window
+		"pxx < 50ms over 5m",         // bad quantile
+		"p99 < fast over 5m",         // bad target
+		"error_rate < 150% over 5m",  // rate out of range
+		"a b p99 < 50ms over 5m",     // too many tokens
+		"latency_mean < 5ms over 1m", // unknown metric
+	} {
+		if _, err := ParseObjective(bad); err == nil {
+			t.Errorf("ParseObjective(%q) accepted", bad)
+		}
+	}
+
+	objs, err := ParseObjectives("http_place p99 < 50ms over 5m, error_rate < 1% over 1h")
+	if err != nil || len(objs) != 2 {
+		t.Fatalf("ParseObjectives = %+v err=%v", objs, err)
+	}
+	if _, err := ParseObjectives("nope"); err == nil {
+		t.Fatal("ParseObjectives accepted garbage")
+	}
+	if objs, err := ParseObjectives("  "); err != nil || objs != nil {
+		t.Fatalf("empty list = %+v err=%v", objs, err)
+	}
+}
+
+// lookupFrom builds a WindowLookup over literal snapshots for engine
+// tests: stage -> window -> snapshot.
+func lookupFrom(m map[string]map[string]Snapshot) WindowLookup {
+	return func(stage, window string) (WindowSnapshot, bool) {
+		s, ok := m[stage][window]
+		if !ok {
+			return WindowSnapshot{}, false
+		}
+		return WindowSnapshot{Window: window, Snapshot: s}, true
+	}
+}
+
+// snapOf builds a snapshot with good observations at goodNS and bad at
+// badNS.
+func snapOf(good, bad int, goodNS, badNS time.Duration) Snapshot {
+	var h Histogram
+	for i := 0; i < good; i++ {
+		h.Record(goodNS)
+	}
+	for i := 0; i < bad; i++ {
+		h.Record(badNS)
+	}
+	return h.Snapshot()
+}
+
+// TestSLOEngineStates walks one objective through ok -> warn -> page ->
+// ok and checks burn math, reasons, transition journaling and the
+// health roll-up.
+func TestSLOEngineStates(t *testing.T) {
+	obj, err := ParseObjective("http_place p90 < 10ms over 5m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewJournal(16)
+	clk := newFakeClock()
+	eng := NewSLOEngine([]Objective{obj}, SLOConfig{
+		PageBurn:    2,
+		ShortWindow: time.Minute,
+		MinInterval: -1, // every Eval is live
+		Journal:     j,
+		now:         clk.now,
+	})
+
+	// No data: ok, full budget.
+	sts := eng.Eval(lookupFrom(nil))
+	if len(sts) != 1 || sts[0].State != SLOOK || sts[0].BudgetRemaining != 1 {
+		t.Fatalf("no-data eval = %+v", sts)
+	}
+
+	// Healthy: bad fraction 0 -> ok. (p90 budget = 10%.)
+	healthy := map[string]map[string]Snapshot{
+		"http_place": {"5m": snapOf(100, 0, time.Millisecond, 0), "1m": snapOf(50, 0, time.Millisecond, 0)},
+	}
+	if sts = eng.Eval(lookupFrom(healthy)); sts[0].State != SLOOK {
+		t.Fatalf("healthy eval = %+v", sts[0])
+	}
+	if WorstState(sts) != SLOOK {
+		t.Fatal("worst of healthy != ok")
+	}
+
+	// 15% bad over 5m (burn 1.5) but a clean last minute: warn, not page.
+	warming := map[string]map[string]Snapshot{
+		"http_place": {"5m": snapOf(85, 15, time.Millisecond, 100*time.Millisecond), "1m": snapOf(50, 0, time.Millisecond, 0)},
+	}
+	sts = eng.Eval(lookupFrom(warming))
+	if sts[0].State != SLOWarn {
+		t.Fatalf("warming eval = %+v", sts[0])
+	}
+	if sts[0].BurnLong < 1.4 || sts[0].BurnLong > 1.6 || sts[0].BurnShort != 0 {
+		t.Fatalf("burns = %v/%v, want ~1.5/0", sts[0].BurnLong, sts[0].BurnShort)
+	}
+	if !strings.Contains(sts[0].Reason, "http_place p90") {
+		t.Fatalf("reason = %q", sts[0].Reason)
+	}
+
+	// 40% bad in both windows: page; budget exhausted.
+	storming := map[string]map[string]Snapshot{
+		"http_place": {"5m": snapOf(60, 40, time.Millisecond, 100*time.Millisecond), "1m": snapOf(30, 20, time.Millisecond, 100*time.Millisecond)},
+	}
+	sts = eng.Eval(lookupFrom(storming))
+	if sts[0].State != SLOPage || sts[0].BudgetRemaining != 0 {
+		t.Fatalf("storm eval = %+v", sts[0])
+	}
+	if sts[0].CurrentNS < int64(50*time.Millisecond) {
+		t.Fatalf("current p90 = %v, want ~100ms", time.Duration(sts[0].CurrentNS))
+	}
+
+	// Recovered: back to ok.
+	if sts = eng.Eval(lookupFrom(healthy)); sts[0].State != SLOOK {
+		t.Fatalf("recovered eval = %+v", sts[0])
+	}
+
+	// Transitions journaled: ok->warn, warn->page, page->ok.
+	evs := j.Since(0, 0)
+	if len(evs) != 3 {
+		t.Fatalf("journal has %d events, want 3: %+v", len(evs), evs)
+	}
+	for i, want := range []string{"ok -> warn", "warn -> page", "page -> ok"} {
+		if evs[i].Type != EventSLOState || !strings.HasPrefix(evs[i].Detail, want) {
+			t.Fatalf("event %d = %+v, want prefix %q", i, evs[i], want)
+		}
+		if evs[i].Subject != obj.Raw {
+			t.Fatalf("event subject = %q", evs[i].Subject)
+		}
+	}
+}
+
+// TestSLOEngineErrorRate pins error-rate objectives: bad fraction is
+// count(stage_errors)/count(stage) over the window.
+func TestSLOEngineErrorRate(t *testing.T) {
+	obj, err := ParseObjective("http p99 < 1s over 1m") // placeholder to reuse parse path
+	_ = obj
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := ParseObjective("error_rate < 10% over 1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewSLOEngine([]Objective{rate}, SLOConfig{MinInterval: -1, ShortWindow: time.Minute})
+	look := lookupFrom(map[string]map[string]Snapshot{
+		"http":        {"1m": snapOf(80, 0, time.Millisecond, 0)},
+		"http_errors": {"1m": snapOf(20, 0, 0, 0)},
+	})
+	sts := eng.Eval(look)
+	// 20 errors over 80 requests = 25% against a 10% budget: burn 2.5 on
+	// both windows (short == long) -> page.
+	if sts[0].State != SLOPage || sts[0].CurrentRate != 0.25 {
+		t.Fatalf("error-rate eval = %+v", sts[0])
+	}
+	if sts[0].BurnLong != 2.5 {
+		t.Fatalf("burn = %v, want 2.5", sts[0].BurnLong)
+	}
+}
+
+// TestSLOEngineCache pins the MinInterval evaluation cache.
+func TestSLOEngineCache(t *testing.T) {
+	obj, _ := ParseObjective("s p50 < 1ms over 1m")
+	clk := newFakeClock()
+	calls := 0
+	look := func(stage, window string) (WindowSnapshot, bool) {
+		calls++
+		return WindowSnapshot{}, false
+	}
+	eng := NewSLOEngine([]Objective{obj}, SLOConfig{MinInterval: time.Second, ShortWindow: time.Minute, now: clk.now})
+	eng.Eval(look)
+	eng.Eval(look) // cached: no lookup
+	if calls != 1 {
+		t.Fatalf("lookup called %d times, want 1 (second eval cached)", calls)
+	}
+	clk.advance(2 * time.Second)
+	eng.Eval(look)
+	if calls != 2 {
+		t.Fatalf("lookup called %d times after cache expiry, want 2", calls)
+	}
+
+	var nilEng *SLOEngine
+	if nilEng.Eval(look) != nil || nilEng.Objectives() != nil {
+		t.Fatal("nil engine leaked data")
+	}
+}

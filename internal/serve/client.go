@@ -1,14 +1,18 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
+	"time"
 
 	"lowlat/internal/obs"
 	"lowlat/internal/store"
@@ -204,6 +208,90 @@ func (c *Client) Digest(ctx context.Context, withKeys bool) (*DigestResponse, er
 // Health checks the daemon's liveness endpoint.
 func (c *Client) Health(ctx context.Context) error {
 	return c.get(ctx, "/healthz", nil, nil)
+}
+
+// HealthReport fetches the daemon's readiness evaluation — SLO states,
+// burn rates, down replicas. A critical daemon answers 503 carrying the
+// same JSON body; that decodes into a report here rather than an error,
+// so callers read Status instead of branching on the status code.
+func (c *Client) HealthReport(ctx context.Context) (*HealthReport, error) {
+	var out HealthReport
+	if err := c.get(ctx, "/v1/health", nil, &out); err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && se.Code == http.StatusServiceUnavailable &&
+			json.Unmarshal([]byte(se.Message), &out) == nil && out.Status != "" {
+			return &out, nil
+		}
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Events fetches the daemon's state-transition journal after the cursor.
+// limit <= 0 asks for everything retained.
+func (c *Client) Events(ctx context.Context, since int64, limit int) (*EventsResponse, error) {
+	q := url.Values{}
+	if since > 0 {
+		q.Set("since", strconv.FormatInt(since, 10))
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	q.Set("limit", strconv.Itoa(limit))
+	var out EventsResponse
+	if err := c.get(ctx, "/v1/events", q, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Watch subscribes to the daemon's /v1/watch stream, invoking fn for
+// each snapshot until ctx ends, fn returns an error, or the stream
+// breaks. interval <= 0 takes the server's default period. A cancelled
+// context reads as a clean stop (nil).
+func (c *Client) Watch(ctx context.Context, interval time.Duration, fn func(WatchEvent) error) error {
+	u := c.BaseURL + "/v1/watch"
+	if interval > 0 {
+		q := url.Values{}
+		q.Set("interval", interval.String())
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return fmt.Errorf("serve: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue // event: lines, keepalives, blank separators
+		}
+		var ev WatchEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return fmt.Errorf("serve: decode watch event: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return fmt.Errorf("serve: watch stream: %w", err)
+	}
+	return nil
 }
 
 // Stats fetches the daemon's counters.

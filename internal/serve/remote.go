@@ -246,6 +246,7 @@ func (r *Remote) Stats() backend.Stats {
 		Retried: r.retried.Load(),
 	}
 	out.Stages = obs.MergeStages(nil, r.obs.Snapshot())
+	out.Windows = obs.MergeWindows(nil, r.obs.Windows())
 	ctx, cancel := r.ctx()
 	defer cancel()
 	st, err := r.c.Stats(ctx)
@@ -263,7 +264,20 @@ func (r *Remote) Stats() backend.Stats {
 	out.InFlight = st.InFlight
 	// The daemon's own stage histograms (solve, store reads/writes, its
 	// HTTP endpoints) merge under this client's remote_hop, so a front's
-	// stats see through the wire.
+	// stats see through the wire — windows the same way.
 	out.Stages = obs.MergeStages(out.Stages, st.Stages)
+	out.Windows = obs.MergeWindows(out.Windows, st.Windows)
 	return out
+}
+
+// Events fetches the daemon's state-transition journal — the extension
+// a cluster front folds into its own /v1/events, tagging each entry
+// with this replica's label.
+func (r *Remote) Events(ctx context.Context, since int64, limit int) ([]obs.Event, error) {
+	resp, err := r.c.Events(ctx, since, limit)
+	if err != nil {
+		r.errs.Add(1)
+		return nil, r.wrap(err)
+	}
+	return resp.Events, nil
 }

@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -105,6 +106,35 @@ type Options struct {
 	SlowThreshold time.Duration
 	// SlowRingSize bounds the /v1/slow ring in entries (default 64).
 	SlowRingSize int
+	// Objectives are the declarative SLOs /v1/health and the
+	// lowlat_slo_* gauges evaluate (see obs.ParseObjective for the
+	// grammar). Empty means no SLO engine: /v1/health reports on down
+	// replicas alone.
+	Objectives []obs.Objective
+	// SLOPageBurn is the burn rate both windows must reach before an
+	// objective pages (default 2).
+	SLOPageBurn float64
+	// SLOMinInterval caches SLO evaluations (default 1s) — a cluster
+	// front's evaluation may fan out to replicas for backend-stage
+	// windows, so /v1/health and /metrics must not re-pay that per
+	// scrape. Negative disables caching (tests).
+	SLOMinInterval time.Duration
+	// Windows is the rolling-window geometry the server's endpoint
+	// histograms (and the SLO engine's short window) roll on; the zero
+	// value is the obs default (10s slots; 1m, 5m, 1h windows).
+	Windows obs.WindowConfig
+	// Journal is the event journal /v1/events serves and SLO/health
+	// transitions record into. A daemon fronting a cluster passes the
+	// same journal to cluster.Options.Journal so replica transitions and
+	// serving-layer transitions land in one sequence. Nil allocates a
+	// private JournalSize-entry journal.
+	Journal *obs.Journal
+	// JournalSize bounds the private journal allocated when Journal is
+	// nil (default 1024 entries).
+	JournalSize int
+	// WatchInterval is the default /v1/watch snapshot period when the
+	// request does not name one (default 2s).
+	WatchInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -119,6 +149,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SlowThreshold == 0 {
 		o.SlowThreshold = 500 * time.Millisecond
+	}
+	if o.Journal == nil {
+		o.Journal = obs.NewJournal(o.JournalSize)
+	}
+	if o.WatchInterval <= 0 {
+		o.WatchInterval = 2 * time.Second
 	}
 	return o
 }
@@ -194,6 +230,12 @@ type Stats struct {
 	// reports count/sum/max, p50/p90/p99 and the exact sparse buckets the
 	// quantiles were computed from.
 	Stages map[string]obs.Snapshot `json:"stages,omitempty"`
+	// Windows carries the rolling-window view of the same stages, keyed
+	// by stage name, smallest span first — the backend's merged with this
+	// server's http_* endpoint windows. Each entry reports the window
+	// name, covered span, observation rate and a full quantile snapshot
+	// over just that window.
+	Windows map[string][]obs.WindowSnapshot `json:"windows,omitempty"`
 }
 
 // counters is the server's HTTP-layer atomic counter block; compute-side
@@ -297,6 +339,13 @@ type Server struct {
 	h       http.Handler // mux wrapped in the tracing middleware
 	obs     *obs.Registry
 	slow    *obs.SlowRing
+	journal *obs.Journal
+	slo     *obs.SLOEngine
+
+	// healthState is the last /v1/health status served, for journaling
+	// ok→degraded→critical transitions exactly once each.
+	healthMu    sync.Mutex
+	healthState string
 }
 
 // New builds a Server over an open store: a Local backend when the store
@@ -336,14 +385,32 @@ func New(st *store.Store, opts Options) *Server {
 func NewBackendServer(b backend.Backend, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		b:       b,
-		opts:    opts,
-		lru:     newLRU[store.Result](opts.CacheSize),
-		keys:    newLRU[store.CellKey](opts.CacheSize),
-		flights: newFlightGroup(),
-		mux:     http.NewServeMux(),
-		obs:     obs.NewRegistry(),
-		slow:    obs.NewSlowRing(opts.SlowRingSize),
+		b:           b,
+		opts:        opts,
+		lru:         newLRU[store.Result](opts.CacheSize),
+		keys:        newLRU[store.CellKey](opts.CacheSize),
+		flights:     newFlightGroup(),
+		mux:         http.NewServeMux(),
+		obs:         obs.NewRegistryWindows(opts.Windows),
+		slow:        obs.NewSlowRing(opts.SlowRingSize),
+		journal:     opts.Journal,
+		healthState: HealthOK,
+	}
+	if len(opts.Objectives) > 0 {
+		s.slo = obs.NewSLOEngine(opts.Objectives, obs.SLOConfig{
+			PageBurn:    opts.SLOPageBurn,
+			MinInterval: opts.SLOMinInterval,
+			Journal:     s.journal,
+		})
+		// Pre-create the serving-layer stages error-rate objectives read,
+		// so an error-free server evaluates them against an empty local
+		// window instead of falling through to a backend stats fan-out.
+		for _, o := range opts.Objectives {
+			if o.Kind == obs.ObjectiveErrorRate && strings.HasPrefix(o.Stage, "http") {
+				s.obs.Hist(o.Stage)
+				s.obs.Hist(o.Stage + obs.ErrorsSuffix)
+			}
+		}
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
@@ -354,6 +421,9 @@ func NewBackendServer(b backend.Backend, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/digest", s.handleDigest)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/slow", s.handleSlow)
+	s.mux.HandleFunc("GET /v1/health", s.handleHealthReport)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/watch", s.handleWatch)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.h = s.traced(s.mux)
 	return s
@@ -380,6 +450,16 @@ func (s *Server) traced(next http.Handler) http.Handler {
 
 		ep := endpointLabel(r.URL.Path)
 		s.obs.Hist("http_" + ep).Record(d)
+		s.obs.Hist(obs.DefaultSLOStage).Record(d)
+		// Server-side failures (5xx) feed the error-rate SLO stages;
+		// client errors (4xx) are the caller's fault and don't burn
+		// budget. /v1/health is exempt: its 503 *reports* a paging
+		// objective, and counting it as an error would keep the budget
+		// burning on probe traffic alone.
+		if sw.status >= http.StatusInternalServerError && ep != "health" {
+			s.obs.Hist("http_" + ep + obs.ErrorsSuffix).Inc()
+			s.obs.Hist(obs.DefaultSLOStage + obs.ErrorsSuffix).Inc()
+		}
 		attrs := tr.Attrs()
 		if s.opts.Logger != nil {
 			args := make([]any, 0, 12+len(attrs))
@@ -425,6 +505,17 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Flush passes streaming flushes through to the wrapped writer, so the
+// SSE handler behind the middleware can push events incrementally.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // endpointLabel maps a request path to its histogram/log label:
 // "/v1/place" -> "place", "/healthz" -> "healthz".
@@ -502,7 +593,8 @@ func (s *Server) Stats() Stats {
 
 		SlowRequests: s.slow.Total(),
 		// Copy before merging: bs.Stages is the backend's own snapshot map.
-		Stages: obs.MergeStages(obs.MergeStages(nil, bs.Stages), s.obs.Snapshot()),
+		Stages:  obs.MergeStages(obs.MergeStages(nil, bs.Stages), s.obs.Snapshot()),
+		Windows: obs.MergeWindows(obs.MergeWindows(nil, bs.Windows), s.obs.Windows()),
 	}
 }
 
@@ -569,34 +661,76 @@ func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, SlowResponse{Total: s.slow.Total(), Requests: entries})
 }
 
-// handleMetrics renders the counters and stage histograms in the
-// Prometheus text exposition format.
+// handleMetrics renders the counters, stage histograms, SLO burn gauges
+// and the health gauge in the Prometheus text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	scalars := []obs.Metric{
-		{Name: "lowlat_store_cells", Kind: "gauge", Value: float64(st.StoreCells)},
-		{Name: "lowlat_memo_entries", Kind: "gauge", Value: float64(st.MemoEntries)},
-		{Name: "lowlat_queries_total", Kind: "counter", Value: float64(st.Queries)},
-		{Name: "lowlat_cell_lookups_total", Kind: "counter", Value: float64(st.CellLookups)},
-		{Name: "lowlat_place_requests_total", Kind: "counter", Value: float64(st.PlaceRequests)},
-		{Name: "lowlat_cache_hits_total", Kind: "counter", Value: float64(st.CacheHits)},
-		{Name: "lowlat_cache_misses_total", Kind: "counter", Value: float64(st.CacheMisses)},
-		{Name: "lowlat_store_hits_total", Kind: "counter", Value: float64(st.StoreHits)},
-		{Name: "lowlat_memo_hits_total", Kind: "counter", Value: float64(st.MemoHits)},
-		{Name: "lowlat_coalesced_total", Kind: "counter", Value: float64(st.Coalesced)},
-		{Name: "lowlat_computed_total", Kind: "counter", Value: float64(st.Computed)},
-		{Name: "lowlat_rejected_total", Kind: "counter", Value: float64(st.Rejected)},
-		{Name: "lowlat_in_flight", Kind: "gauge", Value: float64(st.InFlight)},
-		{Name: "lowlat_cached_entries", Kind: "gauge", Value: float64(st.CachedEntries)},
-		{Name: "lowlat_predicted_total", Kind: "counter", Value: float64(st.Predicted)},
-		{Name: "lowlat_predict_fallbacks_total", Kind: "counter", Value: float64(st.PredictFallbacks)},
-		{Name: "lowlat_replications_total", Kind: "counter", Value: float64(st.Replications)},
-		{Name: "lowlat_replicated_total", Kind: "counter", Value: float64(st.Replicated)},
-		{Name: "lowlat_healed_total", Kind: "counter", Value: float64(st.Healed)},
-		{Name: "lowlat_slow_requests_total", Kind: "counter", Value: float64(st.SlowRequests)},
+		{Name: "lowlat_store_cells", Kind: "gauge", Help: "Cells in the backend's visible store.", Value: float64(st.StoreCells)},
+		{Name: "lowlat_memo_entries", Kind: "gauge", Help: "Calibration memo entries in the backend's visible store.", Value: float64(st.MemoEntries)},
+		{Name: "lowlat_queries_total", Kind: "counter", Help: "Query and summary requests served.", Value: float64(st.Queries)},
+		{Name: "lowlat_cell_lookups_total", Kind: "counter", Help: "Cell lookups served.", Value: float64(st.CellLookups)},
+		{Name: "lowlat_place_requests_total", Kind: "counter", Help: "Place requests accepted.", Value: float64(st.PlaceRequests)},
+		{Name: "lowlat_cache_hits_total", Kind: "counter", Help: "Requests answered by the server's LRU.", Value: float64(st.CacheHits)},
+		{Name: "lowlat_cache_misses_total", Kind: "counter", Help: "Requests that consulted the LRU and fell through.", Value: float64(st.CacheMisses)},
+		{Name: "lowlat_store_hits_total", Kind: "counter", Help: "Places answered from persisted cells.", Value: float64(st.StoreHits)},
+		{Name: "lowlat_memo_hits_total", Kind: "counter", Help: "Places that derived their key from the calibration memo.", Value: float64(st.MemoHits)},
+		{Name: "lowlat_coalesced_total", Kind: "counter", Help: "Places that joined another request's in-flight computation.", Value: float64(st.Coalesced)},
+		{Name: "lowlat_computed_total", Kind: "counter", Help: "Placement engine invocations.", Value: float64(st.Computed)},
+		{Name: "lowlat_rejected_total", Kind: "counter", Help: "Places refused by admission control (429).", Value: float64(st.Rejected)},
+		{Name: "lowlat_in_flight", Kind: "gauge", Help: "Currently admitted computations.", Value: float64(st.InFlight)},
+		{Name: "lowlat_cached_entries", Kind: "gauge", Help: "Entries in the server's LRU response cache.", Value: float64(st.CachedEntries)},
+		{Name: "lowlat_predicted_total", Kind: "counter", Help: "Places answered by the interpolation fast path.", Value: float64(st.Predicted)},
+		{Name: "lowlat_predict_fallbacks_total", Kind: "counter", Help: "Predict-path requests handed to the exact path.", Value: float64(st.PredictFallbacks)},
+		{Name: "lowlat_replications_total", Kind: "counter", Help: "Cells accepted through /v1/replicate.", Value: float64(st.Replications)},
+		{Name: "lowlat_replicated_total", Kind: "counter", Help: "Replication copies pushed to secondary owners.", Value: float64(st.Replicated)},
+		{Name: "lowlat_healed_total", Kind: "counter", Help: "Cells copied onto owners by anti-entropy sweeps.", Value: float64(st.Healed)},
+		{Name: "lowlat_slow_requests_total", Kind: "counter", Help: "Requests that crossed the slow threshold.", Value: float64(st.SlowRequests)},
+	}
+	h := s.Health()
+	scalars = append(scalars,
+		obs.Metric{Name: "lowlat_health", Kind: "gauge",
+			Help: "Serving health: 0 ok, 1 degraded, 2 critical.", Value: float64(healthValue(h.Status))},
+		obs.Metric{Name: "lowlat_down_replicas", Kind: "gauge",
+			Help: "Replicas currently marked down behind this front.", Value: float64(len(h.DownReplicas))})
+	for _, so := range h.SLOs {
+		lbl := [][2]string{{"objective", so.Objective}}
+		scalars = append(scalars,
+			obs.Metric{Name: "lowlat_slo_state", Kind: "gauge", Labels: lbl,
+				Help: "SLO state per objective: 0 ok, 1 warn, 2 page.", Value: float64(sloValue(so.State))},
+			obs.Metric{Name: "lowlat_slo_burn_long", Kind: "gauge", Labels: lbl,
+				Help: "Error-budget burn rate over the objective's stated window.", Value: so.BurnLong},
+			obs.Metric{Name: "lowlat_slo_burn_short", Kind: "gauge", Labels: lbl,
+				Help: "Error-budget burn rate over the short confirmation window.", Value: so.BurnShort},
+			obs.Metric{Name: "lowlat_slo_budget_remaining", Kind: "gauge", Labels: lbl,
+				Help: "Fraction of the objective's error budget left in its window.", Value: so.BudgetRemaining})
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = obs.WriteMetrics(w, "lowlat", scalars, st.Stages)
+}
+
+// healthValue maps a health status to its gauge value.
+func healthValue(status string) int {
+	switch status {
+	case HealthCritical:
+		return 2
+	case HealthDegraded:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// sloValue maps an SLO state to its gauge value.
+func sloValue(st obs.SLOState) int {
+	switch st {
+	case obs.SLOPage:
+		return 2
+	case obs.SLOWarn:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // parseFilter builds a sweep.Filter from query parameters. Like the CLI,

@@ -19,11 +19,14 @@ trap 'rm -f "$tmp"' EXIT
 # out of this subset.
 go test -run NONE -bench 'Landscape|Dynamics|PredictivePlace|ExactPlace' -benchtime 1x ./... > "$tmp"
 
-# The histogram-record hot path is nanoseconds, so -benchtime 1x would
-# measure clock noise; give it real iterations in a second, cheap run and
-# merge the rows before the JSON conversion. The PR8 budget it tracks is
-# < 100 ns/op.
-go test -run NONE -bench 'HistogramRecord' -benchtime 200000x ./internal/obs >> "$tmp"
+# The histogram/windowed record hot paths are nanoseconds, so
+# -benchtime 1x would measure clock noise; give them real iterations in
+# a second, cheap run and merge the rows before the JSON conversion. The
+# budgets they track: HistogramRecord and WindowedRecord < 100 ns/op
+# (the PR8/PR9 Record budgets); WindowRotate is the slow path recorders
+# never block on, tracked for trajectory only.
+go test -run NONE -bench 'HistogramRecord|WindowedRecord' -benchtime 200000x ./internal/obs >> "$tmp"
+go test -run NONE -bench 'WindowRotate' -benchtime 20000x ./internal/obs >> "$tmp"
 cat "$tmp"
 
 awk '

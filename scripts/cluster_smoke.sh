@@ -124,6 +124,11 @@ total=$(( $(digest_count "$base_r1") + $(digest_count "$base_r2") + $(digest_cou
 "$bindir/lowlat" export -cluster "$rcluster" -replicas 2 -format csv > "$bindir/export_before.csv"
 [ "$(wc -l < "$bindir/export_before.csv")" = "5" ] || rfail "replicated export"
 
+# The health plane answers on every replica: a healthy daemon rolls up
+# to ok and serves its event journal with a cursor.
+curl -fsS "$base_r1/v1/health" | grep -q '"status": "ok"' || rfail "replica health report"
+curl -fsS "$base_r1/v1/events?since=0" | grep -q '"next_since"' || rfail "replica events cursor"
+
 # Kill one replica mid-run: every cell still has a live owner, so reads
 # through the replicated ring must keep answering with zero failures.
 # (The "of N" total counts copies on live replicas and depends on how

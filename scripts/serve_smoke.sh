@@ -57,7 +57,21 @@ echo "$metrics" | grep -q '^lowlat_computed_total 1$' || fail "metrics computed 
 echo "$metrics" | grep -q '# TYPE lowlat_stage_latency_seconds histogram' || fail "metrics histogram type"
 echo "$metrics" | grep -q 'lowlat_stage_latency_seconds_count{stage="solve"}' || fail "metrics solve histogram"
 echo "$metrics" | grep -q 'lowlat_stage_latency_seconds_bucket{stage="http_place",le="+Inf"}' || fail "metrics http histogram"
+echo "$metrics" | grep -q '^# HELP lowlat_place_requests_total ' || fail "metrics HELP line"
 curl -fsS "$base/v1/slow" | grep -q '"total"' || fail "slow ring"
+
+# The health plane: /v1/health rolls the daemon up to ok (a -slo-less
+# daemon has no objectives to burn), /v1/events serves the journal
+# cursor, and a second /metrics scrape after more traffic must move the
+# counters forward — monotonicity is what makes them rate()-able.
+curl -fsS "$base/v1/health" | grep -q '"status": "ok"' || fail "health report"
+curl -fsS "$base/v1/events?since=0" | grep -q '"next_since"' || fail "events cursor"
+counter() { echo "$1" | sed -n 's/^lowlat_place_requests_total \([0-9]*\)$/\1/p'; }
+curl -fsS "$base/v1/place" -d "$body" > /dev/null || fail "place before rescrape"
+metrics2="$(curl -fsS "$base/metrics")"
+first="$(counter "$metrics")"
+second="$(counter "$metrics2")"
+[ "$second" -gt "$first" ] || fail "metrics not monotonic: place counter $first -> $second"
 
 kill -TERM "$pid"
 wait "$pid" || fail "daemon exit status"

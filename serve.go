@@ -56,6 +56,45 @@ type SlowRequest = obs.SlowEntry
 // every downstream replica the request touches.
 const RequestIDHeader = obs.RequestIDHeader
 
+// StageWindow is one stage's rolling-window view as it appears under
+// "windows" in /v1/stats: the window name ("1m", "5m", "1h"), the span
+// actually covered, the observation rate, and the merged distribution
+// of the window's sub-slots.
+type StageWindow = obs.WindowSnapshot
+
+// SLOObjective is one parsed service-level objective — a latency
+// quantile or error-rate bound over a rolling window, declared with the
+// daemon's -slo flag or parsed with ParseObjectives and passed in
+// ServeOptions.Objectives.
+type SLOObjective = obs.Objective
+
+// SLOStatus is one objective's evaluated state on /v1/health: ok, warn
+// or page, with the observed value, the two burn rates the state was
+// decided on, and the budget remaining.
+type SLOStatus = obs.SLOStatus
+
+// HealthReport is the /v1/health roll-up: an ok/degraded/critical
+// status, one reason line per problem, the down replicas on cluster
+// fronts, and one SLOStatus per declared objective. The endpoint
+// answers 503 only when critical.
+type HealthReport = serve.HealthReport
+
+// ClusterEvent is one entry in a daemon's bounded state-transition
+// journal — replica down/up, hint queued/drained, heal sweep, SLO and
+// health changes — served oldest-first with a cursor by /v1/events.
+type ClusterEvent = obs.Event
+
+// WatchSnapshot is one /v1/watch server-sent event: the moment's
+// HealthReport, the rolling endpoint windows, and the journal entries
+// recorded since the previous snapshot. `lowlat watch` renders the
+// stream as a live terminal view.
+type WatchSnapshot = serve.WatchEvent
+
+// ParseObjectives parses a comma- or semicolon-separated objective list
+// in the -slo flag grammar ("http_place p99 < 50ms over 5m, error_rate
+// < 1% over 1h") into the objectives ServeOptions.Objectives accepts.
+func ParseObjectives(s string) ([]SLOObjective, error) { return obs.ParseObjectives(s) }
+
 // NewQueryServer builds a query server over an open result store (opened
 // with OpenResultStore, or read-only with OpenResultStoreReadOnly — a
 // read-only daemon serves stored cells but refuses to compute).
