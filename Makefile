@@ -6,12 +6,39 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck build short bench race sweep-smoke serve-smoke cluster-smoke predict-gate clean
+.PHONY: ci vet staticcheck analyze shellcheck govulncheck build short bench race sweep-smoke serve-smoke cluster-smoke predict-gate clean
 
-ci: vet staticcheck build short predict-gate bench
+ci: vet staticcheck analyze shellcheck build short predict-gate bench
 
 vet:
 	$(GO) vet ./...
+
+# Invariant analyzer suite (internal/analysis: detrange, atomicguard,
+# locked, sentinelerr, ctxflow, goexit) driven through go vet's
+# unitchecker protocol — see docs/DEVELOPING.md. The vettool binary is
+# built into bin/ (gitignored) so CI can cache it.
+VETTOOL := bin/lowlat-vet
+analyze:
+	$(GO) build -o $(VETTOOL) ./cmd/lowlat-vet
+	$(GO) vet -vettool=$(abspath $(VETTOOL)) ./...
+
+# shellcheck is optional locally, like staticcheck: skip with a pointer
+# when the binary is missing (CI always has it).
+shellcheck:
+	@if command -v shellcheck >/dev/null 2>&1; then \
+		shellcheck scripts/*.sh; \
+	else \
+		echo "shellcheck not installed; skipping (apt install shellcheck)"; \
+	fi
+
+# govulncheck needs the vulnerability database, so it is a standalone
+# target (CI runs it in the lint job) rather than part of `make ci`.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # staticcheck is optional locally: skip with a pointer when the binary is
 # missing instead of failing the whole gate (CI always installs it).
@@ -74,6 +101,7 @@ cluster-smoke:
 
 clean:
 	rm -f BENCH_ci.json
+	rm -rf bin
 	rm -rf $(SWEEP_STORE) $(SERVE_STORE) $(PREDICT_STORE)
 	rm -rf $(CLUSTER_STORE)-a $(CLUSTER_STORE)-b $(CLUSTER_STORE)-sweep
 	rm -rf $(CLUSTER_STORE)-r1 $(CLUSTER_STORE)-r2 $(CLUSTER_STORE)-r3 $(CLUSTER_STORE)-rsweep

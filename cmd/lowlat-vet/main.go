@@ -1,0 +1,312 @@
+// Command lowlat-vet runs the repo's invariant analyzer suite
+// (internal/analysis: detrange, atomicguard, locked, sentinelerr,
+// ctxflow, goexit) as a `go vet` tool:
+//
+//	go build -o bin/lowlat-vet ./cmd/lowlat-vet
+//	go vet -vettool=$(pwd)/bin/lowlat-vet ./...
+//
+// Driven by go vet it speaks the unitchecker protocol — the go command
+// hands it a JSON .cfg per package, with export data for every import,
+// and caches results against the binary's content hash. Run directly
+// with package patterns it loads the enclosing module from source
+// instead:
+//
+//	lowlat-vet ./...
+//
+// Exit status: 0 clean, 1 operational error, 2 findings — the same
+// contract as x/tools' unitchecker, which this command reimplements on
+// the standard library because the module builds offline with no
+// external dependencies. Test files are not analyzed in either mode,
+// matching the internal/analysis self-gate.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lowlat/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: 0 clean, 1 error, 2 findings.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lowlat-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Var(versionFlag{out: stdout}, "V", "print version and exit (the go vet tool-ID handshake)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (go vet -json)")
+	printFlags := fs.Bool("flags", false, "print flags as JSON (the go vet flag handshake)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *printFlags {
+		describeFlags(fs, stdout)
+		return 0
+	}
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return unitcheck(rest[0], *jsonOut, stdout, stderr)
+	}
+	return standalone(rest, stdout, stderr)
+}
+
+// versionFlag implements the -V=full protocol: go vet hashes the line
+// to key its result cache, so the output embeds a content hash of the
+// executable (same scheme as x/tools' unitchecker).
+type versionFlag struct{ out io.Writer }
+
+func (versionFlag) String() string { return "" }
+
+func (versionFlag) IsBoolFlag() bool { return false }
+
+// Set prints the version line and exits the process.
+func (v versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Fprintf(v.out, "%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+// describeFlags answers go vet's -flags handshake: a JSON list of the
+// tool's flags so the driver knows what it may forward.
+func describeFlags(fs *flag.FlagSet, out io.Writer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, _ := json.MarshalIndent(flags, "", "\t")
+	fmt.Fprintf(out, "%s\n", data)
+}
+
+// vetConfig is the per-package JSON configuration go vet writes for a
+// unitchecker-protocol tool.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package described by a go vet .cfg file.
+func unitcheck(cfgPath string, jsonOut bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "lowlat-vet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "lowlat-vet: parse %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The driver expects a facts file for every unit, even an empty one:
+	// dependents receive it via PackageVetx. The suite defines no
+	// cross-package facts, so the file is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "lowlat-vet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(stderr, "lowlat-vet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tconf := types.Config{
+		Importer:  mapImporter{m: cfg.ImportMap, imp: compilerImporter},
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "lowlat-vet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &analysis.Package{
+		Path:  cfg.ImportPath,
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	findings, err := analysis.RunSuite(analysis.Suite(), []*analysis.Package{pkg})
+	if err != nil {
+		fmt.Fprintf(stderr, "lowlat-vet: %v\n", err)
+		return 1
+	}
+	return report(findings, cfg.ID, jsonOut, stdout, stderr)
+}
+
+// mapImporter applies go vet's ImportMap (vendoring, module rewrites)
+// before delegating to the export-data importer.
+type mapImporter struct {
+	m   map[string]string
+	imp types.Importer
+}
+
+// Import resolves one import path to its type-checked package.
+func (mi mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := mi.m[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return mi.imp.Import(path)
+}
+
+// standalone loads the module containing the current directory from
+// source and runs the suite over every package — no go vet, no export
+// data, the same path the internal/analysis self-gate test uses.
+func standalone(args []string, stdout, stderr io.Writer) int {
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "lowlat-vet: %v\n", err)
+		return 1
+	}
+	for _, a := range args {
+		if a != "./..." && a != "." {
+			fmt.Fprintf(stderr, "lowlat-vet: standalone mode analyzes the whole module; got pattern %q (want ./...)\n", a)
+			return 1
+		}
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "lowlat-vet: %v\n", err)
+		return 1
+	}
+	findings, err := analysis.RunSuite(analysis.Suite(), pkgs)
+	if err != nil {
+		fmt.Fprintf(stderr, "lowlat-vet: %v\n", err)
+		return 1
+	}
+	return report(findings, "", false, stdout, stderr)
+}
+
+// report prints findings (plain to stderr, or the vet JSON shape to
+// stdout) and returns the exit status.
+func report(findings []analysis.Finding, pkgID string, jsonOut bool, stdout, stderr io.Writer) int {
+	if jsonOut {
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := make(map[string][]jsonDiag)
+		for _, f := range findings {
+			byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], jsonDiag{
+				Posn: f.Pos.String(), Message: f.Message,
+			})
+		}
+		out := map[string]map[string][]jsonDiag{pkgID: byAnalyzer}
+		data, _ := json.MarshalIndent(out, "", "\t")
+		fmt.Fprintf(stdout, "%s\n", data)
+		return 0 // -json mode reports findings in-band, like unitchecker
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stderr, "%s\n", f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module and returns its directory.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module vetprobe\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runIn executes the standalone entry point with the working directory
+// switched to dir.
+func runIn(t *testing.T, dir string) (code int, stderr string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var out, errb bytes.Buffer
+	code = run([]string{"./..."}, &out, &errb)
+	return code, errb.String()
+}
+
+// TestStandaloneCleanRepo runs the suite over this repository itself:
+// the tree must be finding-free (the same gate the internal/analysis
+// self-gate test pins, here through the CLI path).
+func TestStandaloneCleanRepo(t *testing.T) {
+	code, stderr := runIn(t, "../..")
+	if code != 0 {
+		t.Fatalf("lowlat-vet ./... on the repo: exit %d\n%s", code, stderr)
+	}
+}
+
+// injected pins one deliberate violation per analyzer class: each must
+// fail the standalone runner with its analyzer's name in the output.
+var injected = map[string]string{
+	"detrange": `package p
+
+import "fmt"
+
+func Emit(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+`,
+	"atomicguard": `package p
+
+import "sync/atomic"
+
+type c struct{ n uint64 }
+
+func (x *c) Inc() { atomic.AddUint64(&x.n, 1) }
+func (x *c) Get() uint64 { return x.n }
+`,
+	"locked": `package p
+
+import "sync"
+
+type t struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (x *t) Get() int { return x.n }
+`,
+	"sentinelerr": `package p
+
+import "errors"
+
+var ErrGone = errors.New("gone")
+
+func Is(err error) bool { return err == ErrGone }
+`,
+	"ctxflow": `package p
+
+import "context"
+
+func Do(name string, ctx context.Context) {
+	_ = name
+	_ = ctx
+}
+`,
+	"goexit": `package p
+
+func Spawn() {
+	go func() {
+		println("untracked")
+	}()
+}
+`,
+}
+
+func TestInjectedViolationEachClassFails(t *testing.T) {
+	for name, src := range injected {
+		t.Run(name, func(t *testing.T) {
+			dir := writeModule(t, map[string]string{"p/p.go": src})
+			code, stderr := runIn(t, dir)
+			if code != 2 {
+				t.Fatalf("injected %s violation: exit %d (want 2)\n%s", name, code, stderr)
+			}
+			if !strings.Contains(stderr, name+":") {
+				t.Fatalf("injected %s violation: diagnostics do not name the analyzer:\n%s", name, stderr)
+			}
+		})
+	}
+}
+
+// TestCleanModulePasses is the negative control for the injected set.
+func TestCleanModulePasses(t *testing.T) {
+	dir := writeModule(t, map[string]string{"p/p.go": `package p
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrGone = errors.New("gone")
+
+func Is(err error) bool { return errors.Is(err, ErrGone) }
+
+func Wrap(err error) error { return fmt.Errorf("op: %w", ErrGone) }
+`})
+	code, stderr := runIn(t, dir)
+	if code != 0 {
+		t.Fatalf("clean module: exit %d\n%s", code, stderr)
+	}
+}
+
+// TestGoVetProtocol drives the binary the way CI's `make analyze` does:
+// through `go vet -vettool`, whose unitchecker .cfg handshake (version
+// hash, flag listing, export-data typecheck, vetx output) this command
+// reimplements. Skipped under -short: it builds the tool and runs the
+// real go command.
+func TestGoVetProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool and execs go vet; covered by make analyze in CI lint")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "lowlat-vet")
+	build := exec.Command(goTool, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build vettool: %v\n%s", err, out)
+	}
+
+	dir := writeModule(t, map[string]string{"p/p.go": injected["sentinelerr"]})
+	vet := exec.Command(goTool, "vet", "-vettool="+bin, "./...")
+	vet.Dir = dir
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on a violating module succeeded:\n%s", out)
+	}
+	if !strings.Contains(string(out), "sentinelerr: sentinel ErrGone compared with ==") {
+		t.Fatalf("go vet -vettool output missing the diagnostic:\n%s", out)
+	}
+
+	clean := writeModule(t, map[string]string{"p/p.go": "package p\n\nfunc OK() int { return 1 }\n"})
+	vet = exec.Command(goTool, "vet", "-vettool="+bin, "./...")
+	vet.Dir = clean
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on a clean module failed: %v\n%s", err, out)
+	}
+}

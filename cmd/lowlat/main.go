@@ -33,11 +33,11 @@ import (
 
 	"lowlat/internal/backend"
 	"lowlat/internal/cluster"
-	"lowlat/internal/obs"
 	"lowlat/internal/dynamics"
 	"lowlat/internal/engine"
 	"lowlat/internal/experiments"
 	"lowlat/internal/metrics"
+	"lowlat/internal/obs"
 	"lowlat/internal/predict"
 	"lowlat/internal/routing"
 	"lowlat/internal/serve"

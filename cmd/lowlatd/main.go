@@ -280,6 +280,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		defer dln.Close()
 		fmt.Fprintf(stdout, "lowlatd: debug endpoints (pprof, metrics) on http://%s\n", dln.Addr())
+		//nolint:goexit // debug listener is process-lifetime; exit tears it down with dln closed by the deferred Close
 		go func() { _ = http.Serve(dln, dmux) }()
 	}
 

@@ -120,8 +120,12 @@
 // bench_new_test.go covers the simulator, file I/O, wire protocol, and
 // greedy-scheme ablations; see README.md for the quickstart, package map
 // and figure-regeneration instructions, docs/ARCHITECTURE.md for the
-// serving-system layer map and the life of a /v1/place request, and
+// serving-system layer map and the life of a /v1/place request,
 // docs/OPERATIONS.md for daemon flags, /v1/stats counter semantics,
 // metrics and request tracing, and the replica failure-recovery and
-// SLO-alerting runbooks.
+// SLO-alerting runbooks, and docs/DEVELOPING.md for the repo's
+// mechanically-enforced invariants: the internal/analysis suite
+// (detrange, atomicguard, locked, sentinelerr, ctxflow, goexit) run by
+// `make analyze` and the go test self-gate, the `// guarded by mu`
+// annotation grammar, and the nolint suppression grammar.
 package lowlat

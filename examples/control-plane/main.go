@@ -37,7 +37,8 @@ func main() {
 			fmt.Printf("  [controller] "+format+"\n", args...)
 		},
 	})
-	go srv.Serve(ln)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
 	defer srv.Close()
 	addr := ln.Addr().String()
 	fmt.Printf("controller listening on %s\n", addr)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 
 	"lowlat"
 )
@@ -87,7 +88,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nsummary: %d cells in %d classes\n", sum.Cells, len(sum.Classes))
-	for class, cs := range sum.Classes {
+	classes := make([]string, 0, len(sum.Classes))
+	for class := range sum.Classes {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		cs := sum.Classes[class]
 		fmt.Printf("  %-10s %d cells, %d nets, fit %.0f%%, stretch median %.3f\n",
 			class, cs.Cells, cs.Nets, cs.FitFraction*100, cs.Metrics["stretch"][2].V)
 	}

@@ -1,0 +1,14 @@
+package analysis
+
+import "testing"
+
+// Each analyzer is pinned by a golden testdata package: every expected
+// diagnostic is an explicit `// want` comment, clean idioms must stay
+// silent, and a //nolint suppression must silence its line.
+
+func TestDetrange(t *testing.T)    { RunWant(t, Detrange, "testdata/src", "detrange") }
+func TestAtomicguard(t *testing.T) { RunWant(t, Atomicguard, "testdata/src", "atomicguard") }
+func TestLocked(t *testing.T)      { RunWant(t, Locked, "testdata/src", "locked") }
+func TestSentinelerr(t *testing.T) { RunWant(t, Sentinelerr, "testdata/src", "sentinelerr") }
+func TestCtxflow(t *testing.T)     { RunWant(t, Ctxflow, "testdata/src", "ctxflow") }
+func TestGoexit(t *testing.T)      { RunWant(t, Goexit, "testdata/src", "goexit") }

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicguard enforces the lock-free hot-path invariant: once any code
+// in a package reaches a variable or field through sync/atomic, every
+// other access must be atomic too — one plain read beside an
+// atomic.Add is a data race the race detector only catches when the
+// interleaving happens to occur. Typed atomics (atomic.Uint64,
+// atomic.Pointer) are immune by construction and never flagged;
+// composite-literal initialization (construction before publication) is
+// allowed.
+var Atomicguard = &Analyzer{
+	Name: "atomicguard",
+	Doc: "a field accessed via sync/atomic anywhere must be accessed " +
+		"atomically everywhere in the package",
+	Run: runAtomicguard,
+}
+
+func runAtomicguard(pass *Pass) error {
+	// Pass 1: every &x handed to a sync/atomic call marks x atomic.
+	atomicVars := make(map[*types.Var]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgCall(pass.TypesInfo, call, "sync/atomic") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if v := addrOperand(pass.TypesInfo, arg); v != nil {
+					atomicVars[v] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other mention of those variables must itself sit
+	// inside a sync/atomic call.
+	WithStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !atomicVars[v] {
+			return
+		}
+		// A selector's .Sel ident is the access; the base ident of
+		// s.f (the "s") is not the guarded object, so no dedup issue.
+		if allowedAtomicContext(pass.TypesInfo, id, stack) {
+			return
+		}
+		pass.Reportf(id.Pos(),
+			"%s is accessed with sync/atomic elsewhere in this package; this plain access races — use sync/atomic here too",
+			v.Name())
+	})
+	return nil
+}
+
+// addrOperand resolves &expr (through parens/indexing) to the variable
+// or field being addressed, or nil.
+func addrOperand(info *types.Info, arg ast.Expr) *types.Var {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	expr := ast.Unparen(u.X)
+	for {
+		if ix, ok := expr.(*ast.IndexExpr); ok {
+			expr = ast.Unparen(ix.X)
+			continue
+		}
+		break
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// allowedAtomicContext reports whether the guarded ident at the top of
+// stack appears in a position that is safe by convention: as the &x
+// operand of a sync/atomic call, or as the key of a composite-literal
+// field (initialization before the value is shared).
+func allowedAtomicContext(info *types.Info, id *ast.Ident, stack []ast.Node) bool {
+	// Walk outward from the ident, skipping wrappers that don't change
+	// meaning (selector base, parens, indexing).
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.SelectorExpr, *ast.ParenExpr, *ast.IndexExpr:
+			continue
+		case *ast.KeyValueExpr:
+			// T{field: v} initialization: the key position is a def-like
+			// use; the value side is checked normally.
+			return containsNode(p.Key, id)
+		case *ast.UnaryExpr:
+			if p.Op != token.AND {
+				return false
+			}
+			// &x — safe only if the address feeds a sync/atomic call.
+			if i-1 >= 0 {
+				if call, ok := stack[i-1].(*ast.CallExpr); ok {
+					return isPkgCall(info, call, "sync/atomic")
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// containsNode reports whether needle appears within root.
+func containsNode(root ast.Node, needle ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == needle {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

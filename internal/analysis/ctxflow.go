@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Ctxflow enforces the context-plumbing contract behind X-Request-ID
+// tracing: context.Context parameters come first, and a function that
+// already receives a ctx must not mint a fresh context.Background() or
+// context.TODO() — doing so silently drops the caller's deadline,
+// cancellation, and trace identity.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "context.Context must be the first parameter, and functions " +
+		"receiving a ctx must not call context.Background()/TODO()",
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *Pass) error {
+	// Rule 1: parameter position.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft = n.Type
+			case *ast.FuncLit:
+				ft = n.Type
+			default:
+				return true
+			}
+			params := flattenParams(ft)
+			for i, p := range params {
+				if !isContextType(pass.TypesInfo.TypeOf(p.typ)) {
+					continue
+				}
+				if i > 0 {
+					pass.Reportf(p.pos,
+						"context.Context should be the first parameter, not parameter %d", i+1)
+				}
+				break // only the first ctx param matters
+			}
+			return true
+		})
+	}
+
+	// Rule 2: no fresh root contexts where a ctx is already in scope.
+	WithStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPkgCall(pass.TypesInfo, call, "context", "Background", "TODO") {
+			return
+		}
+		for _, fn := range enclosingFuncs(stack) {
+			var ft *ast.FuncType
+			switch fn := fn.(type) {
+			case *ast.FuncDecl:
+				ft = fn.Type
+			case *ast.FuncLit:
+				ft = fn.Type
+			}
+			for _, p := range flattenParams(ft) {
+				if isContextType(pass.TypesInfo.TypeOf(p.typ)) {
+					name, _ := calleeName(call)
+					pass.Reportf(call.Pos(),
+						"context.%s() inside a function that receives a ctx parameter drops cancellation and request tracing; derive from the parameter",
+						name)
+					return
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// param pairs a parameter's reporting position with its type
+// expression; anonymous and grouped parameters flatten to one entry per
+// declared name (or one per type when unnamed).
+type param struct {
+	pos token.Pos
+	typ ast.Expr
+}
+
+// flattenParams expands a signature's parameter list.
+func flattenParams(ft *ast.FuncType) []param {
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	var out []param
+	for _, f := range ft.Params.List {
+		if len(f.Names) == 0 {
+			out = append(out, param{pos: f.Pos(), typ: f.Type})
+			continue
+		}
+		for _, name := range f.Names {
+			out = append(out, param{pos: name.Pos(), typ: f.Type})
+		}
+	}
+	return out
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// Detrange enforces the byte-identical-export invariant: Go map
+// iteration order is random, so nothing may be emitted — marshalled,
+// written, printed, exported — from inside the body of a range over a
+// map. The deterministic idiom is to collect keys, sort, then emit.
+var Detrange = &Analyzer{
+	Name: "detrange",
+	Doc: "flag encoding/output calls lexically inside a range over a map; " +
+		"collect and sort before emitting so exports stay byte-identical",
+	Run: runDetrange,
+}
+
+// sinkNameRe matches callee names that emit bytes in call order:
+// marshalling, encoding, writing, printing and exporting. Appending to a
+// slice that is later sorted is fine and intentionally not matched.
+var sinkNameRe = regexp.MustCompile(`^(Marshal|Encode|Write|Fprint|Print|Export)`)
+
+func runDetrange(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rng.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := calleeName(call); ok && sinkNameRe.MatchString(name) {
+					pass.Reportf(call.Pos(),
+						"%s called inside range over map %s: iteration order is random; collect keys, sort, then emit",
+						name, render(rng.X))
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeName extracts the bare function or method name of a call.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+// render prints a short source form of simple expressions for
+// diagnostics ("s.index", "m").
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return render(e.Fun) + "(...)"
+	case *ast.StarExpr:
+		return "*" + render(e.X)
+	case *ast.ParenExpr:
+		return render(e.X)
+	case *ast.IndexExpr:
+		return render(e.X) + "[...]"
+	}
+	return "expression"
+}

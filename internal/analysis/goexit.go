@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Goexit enforces the goroutine-lifecycle rule the engine pool set in
+// PR 1: no naked `go` statements. Every spawned goroutine must be
+// visibly tracked — a deferred WaitGroup Done, a completion send or
+// close on a channel, or a deferred recover — so a panic cannot kill
+// the process from an anonymous stack and a shutdown cannot leak
+// workers. Calls to same-package functions are resolved one level deep;
+// a goroutine body the analyzer cannot see is reported for explicit
+// suppression with a reason.
+var Goexit = &Analyzer{
+	Name: "goexit",
+	Doc: "go statements must have panic recovery or a tracked lifecycle " +
+		"(defer wg.Done, channel send/close, or deferred recover)",
+	Run: runGoexit,
+}
+
+func runGoexit(pass *Pass) error {
+	decls := packageFuncDecls(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, resolvable := goBody(pass, decls, gs.Call)
+			if !resolvable {
+				pass.Reportf(gs.Pos(),
+					"cannot see the body of this goroutine to verify panic recovery or lifecycle tracking; wrap it or suppress with a reason")
+				return true
+			}
+			if !trackedLifecycle(body) {
+				pass.Reportf(gs.Pos(),
+					"naked goroutine: no deferred Done, channel send/close, or deferred recover in its body — a panic here crashes the process untracked")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageFuncDecls maps function objects to their declarations so `go
+// c.loop()` can be resolved within the package.
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// goBody resolves the body a go statement runs: a literal's own body,
+// or the declaration of a same-package function/method.
+func goBody(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) (*ast.BlockStmt, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, true
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil && fd.Body != nil {
+				return fd.Body, true
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil && fd.Body != nil {
+				return fd.Body, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// trackedLifecycle reports whether body visibly signals completion or
+// recovers panics: a deferred recover, any *.Done() call, a channel
+// send, or a close().
+func trackedLifecycle(body *ast.BlockStmt) bool {
+	tracked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tracked {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			tracked = true
+		case *ast.DeferStmt:
+			if callsRecover(n.Call) {
+				tracked = true
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					tracked = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" {
+					tracked = true
+				}
+			}
+		}
+		return !tracked
+	})
+	return tracked
+}
+
+// callsRecover reports whether a deferred call recovers: either a
+// literal whose body calls recover(), or a named helper whose name says
+// so (Recover, recoverPanic, ...).
+func callsRecover(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		found := false
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "recover" {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "recover")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "recover")
+	}
+	return false
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// Locked enforces the `// guarded by <mu>` field-annotation grammar: a
+// struct field annotated with the name of a sibling mutex field may only
+// be touched inside functions that visibly acquire that mutex (a
+// syntactic m.Lock/RLock/TryLock anywhere in the function) or whose name
+// carries the *Locked suffix convention (caller holds the lock).
+// Composite-literal construction is exempt — the value is not shared
+// yet.
+var Locked = &Analyzer{
+	Name: "locked",
+	Doc: "fields annotated `// guarded by mu` may only be accessed in " +
+		"functions that lock mu or are named *Locked",
+	Run: runLocked,
+}
+
+// guardedRe extracts the mutex field name from a field comment.
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// lockedSuffixRe matches function names that declare "caller holds the
+// lock": Locked, RLocked, lockedHelper-style suffixes.
+var lockedSuffixRe = regexp.MustCompile(`(Locked|locked)$`)
+
+// guard ties a guarded field to its mutex field object.
+type guard struct {
+	muName string
+	mu     *types.Var
+}
+
+func runLocked(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+
+	// lockers caches, per function declaration, the set of mutex vars
+	// it syntactically locks.
+	lockers := make(map[*ast.FuncDecl]map[*types.Var]bool)
+	locksOf := func(fn *ast.FuncDecl) map[*types.Var]bool {
+		if s, ok := lockers[fn]; ok {
+			return s
+		}
+		s := make(map[*types.Var]bool)
+		if fn.Body != nil {
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+				default:
+					return true
+				}
+				if base, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+					if v, ok := pass.TypesInfo.Uses[base.Sel].(*types.Var); ok {
+						s[v] = true
+					}
+				} else if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+						s[v] = true
+					}
+				}
+				return true
+			})
+		}
+		lockers[fn] = s
+		return s
+	}
+
+	WithStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return
+		}
+		g, ok := guards[v]
+		if !ok {
+			return
+		}
+		if inCompositeLitKey(id, stack) {
+			return
+		}
+		fn := enclosingFuncDecl(stack)
+		if fn == nil {
+			return
+		}
+		if lockedSuffixRe.MatchString(fn.Name.Name) {
+			return
+		}
+		if locksOf(fn)[g.mu] {
+			return
+		}
+		pass.Reportf(id.Pos(),
+			"%s is guarded by %s, but %s does not lock %s (lock it, or use the *Locked naming convention for caller-holds-lock helpers)",
+			v.Name(), g.muName, fn.Name.Name, g.muName)
+	})
+	return nil
+}
+
+// collectGuards scans struct declarations for annotated fields and
+// resolves each annotation to the named sibling mutex field. A broken
+// annotation (no such sibling) is itself a finding.
+func collectGuards(pass *Pass) map[*types.Var]guard {
+	guards := make(map[*types.Var]guard)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				muName := guardAnnotation(field)
+				if muName == "" {
+					continue
+				}
+				mu := findField(pass, st, muName)
+				if mu == nil {
+					pass.Reportf(field.Pos(),
+						"`guarded by %s` names no field of this struct", muName)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = guard{muName: muName, mu: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line
+// comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// findField resolves name to the *types.Var of a named field in st.
+// Annotations must name an explicit sibling field (an embedded
+// sync.Mutex can be named by declaring it `mu sync.Mutex`).
+func findField(pass *Pass, st *ast.StructType, name string) *types.Var {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				v, _ := pass.TypesInfo.Defs[n].(*types.Var)
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// inCompositeLitKey reports whether id is the key of a composite
+// literal element.
+func inCompositeLitKey(id *ast.Ident, stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.SelectorExpr, *ast.ParenExpr:
+			continue
+		case *ast.KeyValueExpr:
+			return containsNode(p.Key, id)
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// enclosingFuncDecl returns the outermost function declaration in
+// stack, or nil for package-level contexts.
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestSuiteSelfGate runs the full analyzer suite over every package of
+// this module from plain `go test`, so CI's short and race jobs inherit
+// the invariant checks without needing the cmd/lowlat-vet binary. Any
+// finding is a failure: fix the code or suppress the line with
+// `//nolint:<analyzer> // reason` (see docs/DEVELOPING.md).
+func TestSuiteSelfGate(t *testing.T) {
+	pkgs, err := LoadModule("../..")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the module walk looks broken", len(pkgs))
+	}
+	findings, err := RunSuite(Suite(), pkgs)
+	if err != nil {
+		t.Fatalf("run suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

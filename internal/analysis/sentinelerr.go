@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Sentinelerr enforces the sentinel-error contract the backend API
+// documents: sentinels like backend.ErrOverloaded or store.ErrReadOnly
+// travel through wrapping (%w) and proxies, so identity comparison
+// (==/!=, switch cases) silently stops matching the moment anyone adds
+// context. Comparisons must use errors.Is, wrapping must use %w, and
+// error text must never be string-matched.
+var Sentinelerr = &Analyzer{
+	Name: "sentinelerr",
+	Doc: "sentinel errors must be compared with errors.Is and wrapped " +
+		"with %w, never ==/!= or string-matched",
+	Run: runSentinelerr,
+}
+
+func runSentinelerr(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrCompare(pass, n)
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrCompare flags `x == ErrFoo`, `ErrFoo != x` and
+// `x.Error() == "..."` comparisons.
+func checkErrCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isNilIdent(pass, be.X) || isNilIdent(pass, be.Y) {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if v := sentinelOf(pass.TypesInfo, side); v != nil {
+			pass.Reportf(be.OpPos,
+				"sentinel %s compared with %s; use errors.Is so wrapped errors still match",
+				v.Name(), be.Op)
+			return
+		}
+	}
+	if errStringCall(pass, be.X) || errStringCall(pass, be.Y) {
+		pass.Reportf(be.OpPos,
+			"error text compared with %s; match the sentinel with errors.Is instead of its message", be.Op)
+	}
+}
+
+// checkErrSwitch flags `switch err { case ErrFoo: }` — identity
+// comparison in switch clothing.
+func checkErrSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(pass.TypesInfo.TypeOf(sw.Tag)) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if v := sentinelOf(pass.TypesInfo, e); v != nil {
+				pass.Reportf(e.Pos(),
+					"sentinel %s in a switch case compares by identity; use a switch on errors.Is", v.Name())
+			}
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass a sentinel without a
+// %w verb in the format — the wrap errors.Is needs is lost.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgCall(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || strings.Contains(lit.Value, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if v := sentinelOf(pass.TypesInfo, arg); v != nil {
+			pass.Reportf(arg.Pos(),
+				"sentinel %s formatted without %%w; errors.Is cannot unwrap the result", v.Name())
+		}
+	}
+}
+
+// sentinelOf resolves expr to a package-level error variable following
+// the Err*/err* naming convention, or nil.
+func sentinelOf(info *types.Info, expr ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	name := v.Name()
+	switch {
+	case strings.HasPrefix(name, "Err"):
+	case strings.HasPrefix(name, "err") && len(name) > 3 && name[3] >= 'A' && name[3] <= 'Z':
+		// unexported errFoo sentinels count too.
+	default:
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// errStringCall reports whether expr is a call to the Error() method of
+// an error value (string-matching an error's message).
+func errStringCall(pass *Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return isErrorType(pass.TypesInfo.TypeOf(sel.X))
+}
+
+// isErrorType reports whether t is or implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface)
+}
+
+// isNilIdent reports whether expr is the predeclared nil.
+func isNilIdent(pass *Pass, expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}

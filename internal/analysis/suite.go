@@ -1,0 +1,15 @@
+package analysis
+
+// Suite returns the repo's six invariant analyzers in stable name
+// order — the set cmd/lowlat-vet, `make analyze` and the self-gate test
+// all run.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Atomicguard,
+		Ctxflow,
+		Detrange,
+		Goexit,
+		Locked,
+		Sentinelerr,
+	}
+}

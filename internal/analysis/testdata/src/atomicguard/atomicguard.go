@@ -1,0 +1,51 @@
+package atomicguard
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	hits int64
+	safe atomic.Uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) bad() uint64 {
+	return c.n // want `n is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) badWrite() {
+	c.n = 0 // want `n is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) badBoth() int64 {
+	c.hits++ // want `hits is accessed with sync/atomic elsewhere`
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counter) good() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *counter) typed() uint64 {
+	return c.safe.Load()
+}
+
+func newCounter() *counter {
+	return &counter{n: 0, hits: 0}
+}
+
+var global int64
+
+func incGlobal() { atomic.AddInt64(&global, 1) }
+
+func badGlobal() int64 {
+	return global // want `global is accessed with sync/atomic elsewhere`
+}
+
+func suppressedInit() {
+	global = 0 //nolint:atomicguard // testdata: init before the updater goroutine starts
+}

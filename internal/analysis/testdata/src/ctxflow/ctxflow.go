@@ -1,0 +1,36 @@
+package ctxflow
+
+import "context"
+
+func bad(name string, ctx context.Context) { // want `context.Context should be the first parameter, not parameter 2`
+	_ = name
+	_ = ctx
+}
+
+func badBackground(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background() // want `context.Background\(\) inside a function that receives a ctx`
+}
+
+func badClosure(ctx context.Context) func() {
+	_ = ctx
+	return func() {
+		_ = context.TODO() // want `context.TODO\(\) inside a function that receives a ctx`
+	}
+}
+
+func good(ctx context.Context, name string) context.Context {
+	_ = name
+	sub, cancel := context.WithCancel(ctx)
+	cancel()
+	return sub
+}
+
+func goodRoot() context.Context {
+	return context.Background()
+}
+
+func suppressedDrain(ctx context.Context) context.Context {
+	<-ctx.Done()
+	return context.Background() //nolint:ctxflow // testdata: drain deadline must outlive the cancelled ctx
+}

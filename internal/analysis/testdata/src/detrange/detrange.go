@@ -1,0 +1,49 @@
+package detrange
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+func bad(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `Fprintf called inside range over map m`
+	}
+	for k := range m {
+		b, _ := json.Marshal(k) // want `Marshal called inside range over map m`
+		w.Write(b)              // want `Write called inside range over map m`
+	}
+}
+
+func badNested(groups map[string][]int, w io.Writer) {
+	for _, vs := range groups {
+		for _, v := range vs {
+			fmt.Fprintln(w, v) // want `Fprintln called inside range over map groups`
+		}
+	}
+}
+
+func good(m map[string]int, w io.Writer) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+func goodSlice(vs []int, w io.Writer) {
+	for _, v := range vs {
+		fmt.Fprintln(w, v)
+	}
+}
+
+func suppressed(m map[string]int, w io.Writer) {
+	for k := range m {
+		fmt.Fprintln(w, k) //nolint:detrange // testdata: suppression grammar must silence the finding
+	}
+}

@@ -1,0 +1,65 @@
+package goexit
+
+import "sync"
+
+func bad() {
+	go func() { // want `naked goroutine`
+		println("boom")
+	}()
+}
+
+func badNamed() {
+	go worker() // want `naked goroutine`
+}
+
+func worker() { println("work") }
+
+func badOpaque(f func()) {
+	go f() // want `cannot see the body of this goroutine`
+}
+
+func goodWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		println("work")
+	}()
+}
+
+func goodChan() <-chan int {
+	c := make(chan int, 1)
+	go func() { c <- 42 }()
+	return c
+}
+
+func goodClose() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		println("work")
+	}()
+	return done
+}
+
+func goodRecover() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				println("recovered")
+			}
+		}()
+		println("work")
+	}()
+}
+
+type looper struct{ wg sync.WaitGroup }
+
+func goodNamedLoop(l *looper) {
+	l.wg.Add(1)
+	go l.loop()
+}
+
+func (l *looper) loop() {
+	defer l.wg.Done()
+	println("loop")
+}

@@ -1,0 +1,52 @@
+package locked
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex
+	// rows is the hot index. guarded by mu
+	rows map[string]int
+	free int
+}
+
+func (t *table) add(k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows[k]++
+}
+
+func (t *table) bad(k string) int {
+	return t.rows[k] // want `rows is guarded by mu, but bad does not lock mu`
+}
+
+func (t *table) sizeLocked() int {
+	return len(t.rows)
+}
+
+func (t *table) withRLock() int {
+	var rw rwTable
+	rw.mu.RLock()
+	defer rw.mu.RUnlock()
+	return len(rw.rows)
+}
+
+type rwTable struct {
+	mu sync.RWMutex
+	// guarded by mu
+	rows map[string]int
+}
+
+func (t *rwTable) badRead() int {
+	return len(t.rows) // want `rows is guarded by mu, but badRead does not lock mu`
+}
+
+func newTable() *table {
+	return &table{rows: make(map[string]int)}
+}
+
+type broken struct {
+	// guarded by mx
+	x int // want "names no field of this struct"
+}
+
+func (b *broken) read() int { return b.x }

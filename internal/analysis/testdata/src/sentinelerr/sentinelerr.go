@@ -1,0 +1,53 @@
+package sentinelerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrOverloaded mirrors the backend admission sentinel.
+	ErrOverloaded = errors.New("overloaded")
+	errInternal   = errors.New("internal")
+)
+
+func bad(err error) bool {
+	return err == ErrOverloaded // want `sentinel ErrOverloaded compared with ==`
+}
+
+func bad2(err error) bool {
+	return ErrOverloaded != err // want `sentinel ErrOverloaded compared with !=`
+}
+
+func badText(err error) bool {
+	return err.Error() == "overloaded" // want `error text compared with ==`
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrOverloaded: // want `sentinel ErrOverloaded in a switch case`
+		return "overloaded"
+	case errInternal: // want `sentinel errInternal in a switch case`
+		return "internal"
+	}
+	return ""
+}
+
+func badWrap(err error) error {
+	return fmt.Errorf("place: %v: %v", ErrOverloaded, err) // want `sentinel ErrOverloaded formatted without %w`
+}
+
+func good(err error) error {
+	if errors.Is(err, ErrOverloaded) {
+		return fmt.Errorf("busy: %w", ErrOverloaded)
+	}
+	if err != nil {
+		return fmt.Errorf("other: %w", err)
+	}
+	return nil
+}
+
+func goodNilAndLocal(err error) bool {
+	other := errors.New("scoped")
+	return err == nil || err == other
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunWant is the suite's analysistest: it loads each named package from
+// srcRoot (testdata/src layout), runs the analyzer, and checks the
+// findings against `// want "regexp"` comments — every finding must
+// match a want on its line, and every want must be matched. Multiple
+// quoted regexps on one want comment expect multiple diagnostics.
+func RunWant(t *testing.T, a *Analyzer, srcRoot string, pkgNames ...string) {
+	t.Helper()
+	for _, name := range pkgNames {
+		pkg, err := LoadTestdata(srcRoot, name)
+		if err != nil {
+			t.Fatalf("load %s/%s: %v", srcRoot, name, err)
+		}
+		wants, err := collectWants(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		findings, err := Run(a, pkg)
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, name, err)
+		}
+		for _, f := range findings {
+			if !wants.match(f.Pos, f.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", a.Name, f)
+			}
+		}
+		for _, w := range wants.unmatched() {
+			t.Errorf("%s: no diagnostic at %s matching %q", a.Name, w.pos, w.re)
+		}
+	}
+}
+
+// want is one expected-diagnostic pattern pinned to a line.
+type want struct {
+	pos     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantSet indexes wants by filename and line.
+type wantSet struct {
+	byLine map[string]map[int][]*want
+}
+
+// collectWants scans every comment of pkg for the `// want` grammar.
+func collectWants(pkg *Package) (*wantSet, error) {
+	ws := &wantSet{byLine: make(map[string]map[int][]*want)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parseWantPatterns(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want comment: %v", pos, err)
+				}
+				lines := ws.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*want)
+					ws.byLine[pos.Filename] = lines
+				}
+				for _, re := range res {
+					lines[pos.Line] = append(lines[pos.Line], &want{
+						pos: fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
+						re:  re,
+					})
+				}
+			}
+		}
+	}
+	return ws, nil
+}
+
+// parseWantPatterns splits `"re1" "re2"` into compiled regexps. Both
+// interpreted and raw (backquoted) Go string syntax are accepted.
+func parseWantPatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		var lit string
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated string in %q", s)
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated raw string in %q", s)
+			}
+			lit = s[1 : end+1]
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp, got %q", s)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no patterns")
+	}
+	return out, nil
+}
+
+// match consumes the first unmatched want on pos's line whose regexp
+// matches msg.
+func (ws *wantSet) match(pos token.Position, msg string) bool {
+	for _, w := range ws.byLine[pos.Filename][pos.Line] {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// unmatched returns the wants no finding satisfied, in stable order.
+func (ws *wantSet) unmatched() []*want {
+	var out []*want
+	for _, lines := range ws.byLine {
+		for _, wl := range lines {
+			for _, w := range wl {
+				if !w.matched {
+					out = append(out, w)
+				}
+			}
+		}
+	}
+	// Deterministic error ordering for test output.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].pos > out[j].pos; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -249,6 +249,7 @@ func (l *Local) place(ctx context.Context, spec store.CellSpec) (store.Result, S
 // abort them. ctx is used only to carry the caller's trace into the
 // solve-stage observation, never for cancellation.
 func (l *Local) compute(ctx context.Context, c sweep.Cell) (store.Result, error) {
+	//nolint:ctxflow // coalesced flights outlive their leader: followers must not lose the solve when the leader disconnects
 	out := <-engine.Stream(context.Background(), 1, []sweep.Cell{c},
 		func(_ context.Context, _ int, c sweep.Cell) (store.Result, error) {
 			if l.opts.OnPlace != nil {

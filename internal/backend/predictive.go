@@ -80,7 +80,7 @@ type Predictive struct {
 	opts  PredictiveOptions
 
 	nmu  sync.RWMutex
-	nets map[string]netInfo
+	nets map[string]netInfo // guarded by nmu
 
 	refine   chan store.CellSpec
 	inflight sync.Map // spec string -> struct{}: refinements queued or running

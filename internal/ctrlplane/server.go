@@ -338,7 +338,16 @@ func (s *Server) optimize(reports map[*routerConn]*Report) error {
 		}
 		perRouter[sl.rc] = append(perRouter[sl.rc], AggregateInstall{Key: sl.key, Paths: paths})
 	}
-	for rc, aggs := range perRouter {
+	// Push in stable router-name order: perRouter is a map, and frames
+	// hitting the wire in iteration order would make install sequences
+	// differ run to run (the detrange invariant).
+	routers := make([]*routerConn, 0, len(perRouter))
+	for rc := range perRouter {
+		routers = append(routers, rc)
+	}
+	sort.Slice(routers, func(i, j int) bool { return routers[i].node < routers[j].node })
+	for _, rc := range routers {
+		aggs := perRouter[rc]
 		inst := &Install{
 			Round:      round,
 			Aggregates: aggs,

@@ -1,8 +1,9 @@
-// Package doclint is a test-only gate: the operator-facing packages
-// (internal/cluster, internal/backend) must document every exported
-// identifier. It runs as a plain test, so `go test ./...` — and with it
-// CI's short and race jobs — fails on an undocumented export instead of
-// leaving godoc holes for the next reader.
+// Package doclint is a test-only gate: the packages named in
+// lintedPackages (the operator-facing surface plus the engine, store,
+// sweep and predict cores) must document every exported identifier. It
+// runs as a plain test, so `go test ./...` — and with it CI's short and
+// race jobs — fails on an undocumented export instead of leaving godoc
+// holes for the next reader.
 package doclint
 
 import (
@@ -21,8 +22,12 @@ import (
 var lintedPackages = []string{
 	"../backend",
 	"../cluster",
+	"../engine",
 	"../obs",
+	"../predict",
 	"../serve",
+	"../store",
+	"../sweep",
 }
 
 func TestExportedDeclarationsAreDocumented(t *testing.T) {

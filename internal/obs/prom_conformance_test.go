@@ -43,10 +43,16 @@ func TestWriteMetricsConformance(t *testing.T) {
 		t.Fatalf("stage label not escaped:\n%s", out)
 	}
 
-	typed := map[string]string{}  // family -> kind
-	helped := map[string]bool{}   // family -> HELP seen
-	sampled := map[string]bool{}  // family -> sample seen
-	type bucketState struct{ last float64; lastCum int64; inf bool; count int64; hasCount bool }
+	typed := map[string]string{} // family -> kind
+	helped := map[string]bool{}  // family -> HELP seen
+	sampled := map[string]bool{} // family -> sample seen
+	type bucketState struct {
+		last     float64
+		lastCum  int64
+		inf      bool
+		count    int64
+		hasCount bool
+	}
 	buckets := map[string]*bucketState{} // histogram family+labels(-le) -> state
 	for ln, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
 		if line == "" {

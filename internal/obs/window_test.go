@@ -185,12 +185,12 @@ func TestWindowRotationConcurrentRecord(t *testing.T) {
 func TestSnapshotMergeQuantileProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	ranges := [][2]int64{
-		{1, 1000},                    // overlapping low range
-		{1, 1000},                    // same again (full overlap)
-		{1 << 20, 1 << 24},           // disjoint mid range
-		{1 << 40, 1 << 44},           // disjoint high range
-		{100, 1 << 42},               // spans everything
-		{0, 3},                       // unit buckets only
+		{1, 1000},          // overlapping low range
+		{1, 1000},          // same again (full overlap)
+		{1 << 20, 1 << 24}, // disjoint mid range
+		{1 << 40, 1 << 44}, // disjoint high range
+		{100, 1 << 42},     // spans everything
+		{0, 3},             // unit buckets only
 	}
 	for trial := 0; trial < 50; trial++ {
 		ra := ranges[rng.Intn(len(ranges))]

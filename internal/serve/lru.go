@@ -16,8 +16,8 @@ import (
 type lruCache[V any] struct {
 	mu  sync.Mutex
 	cap int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	ll  *list.List               // front = most recently used; guarded by mu
+	m   map[string]*list.Element // guarded by mu
 }
 
 type lruEntry[V any] struct {

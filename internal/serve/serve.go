@@ -614,6 +614,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
+	//nolint:ctxflow // ctx is already cancelled here; the drain deadline must outlive it
 	drain, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drain); err != nil {

@@ -33,7 +33,7 @@ type flight struct {
 // permanence is the store's and the LRU's job.
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[string]*flight
+	m  map[string]*flight // guarded by mu
 }
 
 func newFlightGroup() *flightGroup {

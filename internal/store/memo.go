@@ -139,7 +139,7 @@ func (s *Store) loadMemo() error {
 			s.skipped++
 			continue
 		}
-		s.memo[r.Key] = r.Matrix
+		s.memo[r.Key] = r.Matrix //nolint:locked // Open-time: the store has not been published to any other goroutine yet
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("store: memo %s: %w", path, err)
@@ -147,9 +147,9 @@ func (s *Store) loadMemo() error {
 	return nil
 }
 
-// compactMemo rewrites the memo file as exactly one line per indexed
+// compactMemoLocked rewrites the memo file as exactly one line per indexed
 // entry, sorted, via temp+rename. Callers hold mmu and imu.
-func (s *Store) compactMemo() error {
+func (s *Store) compactMemoLocked() error {
 	if s.memoFile != nil {
 		s.memoFile.Close()
 		s.memoFile = nil

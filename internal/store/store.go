@@ -93,9 +93,9 @@ type Store struct {
 	memoFile *os.File   // lazily opened memo append handle
 
 	imu     sync.RWMutex
-	index   map[CellKey]Result
-	memo    map[MemoKey]Digest
-	skipped int // unparseable lines tolerated at Open
+	index   map[CellKey]Result // guarded by imu
+	memo    map[MemoKey]Digest // guarded by imu
+	skipped int                // unparseable lines tolerated at Open
 }
 
 // Open creates dir if needed, scans every shard for existing results and
@@ -199,7 +199,7 @@ func (s *Store) loadShard(path string) error {
 			s.skipped++
 			continue
 		}
-		s.index[r.Key] = r
+		s.index[r.Key] = r //nolint:locked // Open-time: the store has not been published to any other goroutine yet
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("store: shard %s: %w", path, err)
@@ -422,7 +422,7 @@ func (s *Store) Compact() error {
 			}
 		}
 	}
-	if err := s.compactMemo(); err != nil {
+	if err := s.compactMemoLocked(); err != nil {
 		return err
 	}
 	s.skipped = 0
